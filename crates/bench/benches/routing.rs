@@ -1,0 +1,55 @@
+//! Routing cost: label routing, arithmetic routing, table construction,
+//! stack-graph routing (experiment T4 substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use otis_routing::{imase_itoh_route, kautz_route, RoutingTable, StackRouter};
+use otis_topologies::{kautz, kautz_node_count, StackKautz};
+use std::time::Duration;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+
+    let (d, k) = (4usize, 4usize);
+    let n = kautz_node_count(d, k);
+    group.bench_function("kautz_label_route_d4k4_all_from_0", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for dst in 0..n {
+                total += kautz_route(d, k, 0, dst).len();
+            }
+            total
+        })
+    });
+
+    group.bench_function("imase_itoh_route_d4_n1000_sample", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in (0..1000).step_by(7) {
+                total += imase_itoh_route(4, 1000, 3, v).len();
+            }
+            total
+        })
+    });
+
+    let g = kautz(3, 3);
+    group.bench_function("routing_table_kautz_3_3", |b| b.iter(|| RoutingTable::new(&g)));
+
+    let sk = StackKautz::new(4, 3, 2);
+    let router = StackRouter::new(sk.stack_graph().clone());
+    group.bench_function("stack_route_sk_4_3_2_all_pairs", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for src in 0..sk.node_count() {
+                for dst in 0..sk.node_count() {
+                    hops += router.route(src, dst).map(|r| r.len()).unwrap_or(0);
+                }
+            }
+            hops
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Slotted-simulation throughput (experiment T5 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otis_sim::{HotPotatoSim, HotPotatoSimConfig, MultiOpsSim, MultiOpsSimConfig, TrafficPattern};
+use otis_topologies::{de_bruijn, Pops, StackKautz};
+use std::time::Duration;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let traffic = TrafficPattern::Uniform { load: 0.5 };
+
+    for &(s, d, k) in &[(4usize, 2usize, 2usize), (6, 3, 2)] {
+        let sk = StackKautz::new(s, d, k);
+        group.bench_with_input(
+            BenchmarkId::new("stack_kautz_500_slots", format!("s{s}d{d}k{k}")),
+            &sk,
+            |b, sk| {
+                b.iter(|| {
+                    MultiOpsSim::new(
+                        sk.stack_graph().clone(),
+                        MultiOpsSimConfig { slots: 500, ..Default::default() },
+                    )
+                    .run(&traffic)
+                })
+            },
+        );
+    }
+
+    let pops = Pops::new(8, 8);
+    group.bench_function("pops_8x8_500_slots", |b| {
+        b.iter(|| {
+            MultiOpsSim::new(
+                pops.stack_graph().clone(),
+                MultiOpsSimConfig { slots: 500, ..Default::default() },
+            )
+            .run(&traffic)
+        })
+    });
+
+    let db = de_bruijn(2, 6);
+    group.bench_function("hot_potato_de_bruijn_2_6_500_slots", |b| {
+        b.iter(|| {
+            HotPotatoSim::new(db.clone(), HotPotatoSimConfig { slots: 500, ..Default::default() })
+                .run(&traffic)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! # otis-bench
+//!
+//! Benchmark and paper-reproduction harness.
+//!
+//! * The [`reproduce`] module regenerates, in text form, every figure and
+//!   in-text table of the paper — run
+//!   `cargo run -p otis-bench --bin reproduce -- all`, or a single experiment
+//!   id such as `fig10` (see [`reproduce::available_experiments`]).
+//! * The Criterion benches under `benches/` measure the performance of the
+//!   building blocks: topology construction, diameter computation, routing,
+//!   OTIS design construction + verification, and simulation throughput.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(clippy::all)]
+
+pub mod reproduce;
+
+pub use reproduce::{available_experiments, run_experiment};

@@ -1,0 +1,350 @@
+//! Common representation of an optical design.
+//!
+//! Every design in this crate boils down to the same data: an optical
+//! [`Netlist`], plus bookkeeping that says which transmitter / receiver
+//! component belongs to which logical processor (and, for multi-OPS designs,
+//! which OPS coupler each multiplexer/beam-splitter pair forms).  From that,
+//! the *induced* connectivity — which processors each processor can reach in
+//! one optical hop, and through which coupler — is recovered purely by signal
+//! tracing, never by construction-time assumption, so comparing it against
+//! the target topology is a genuine end-to-end check of the design.
+
+use otis_optics::trace::trace_from_transmitter;
+use otis_optics::{ComponentId, HardwareInventory, Netlist};
+use otis_graphs::{Digraph, DigraphBuilder, HyperArc, Hypergraph};
+use std::collections::BTreeMap;
+
+/// A point-to-point design: every processor owns a set of transmitters and a
+/// set of receivers, and each transmitter illuminates exactly one receiver.
+#[derive(Debug, Clone)]
+pub struct PointToPointDesign {
+    /// The optical netlist.
+    pub netlist: Netlist,
+    /// `transmitters[u][a]` is the component id of processor `u`'s `a`-th
+    /// transmitter (`a` is 0-based; the paper's α is `a + 1`).
+    pub transmitters: Vec<Vec<ComponentId>>,
+    /// `receivers[u][b]` is the component id of processor `u`'s `b`-th receiver.
+    pub receivers: Vec<Vec<ComponentId>>,
+    /// Reverse map from receiver component id to its owning processor.
+    pub receiver_owner: BTreeMap<ComponentId, usize>,
+}
+
+impl PointToPointDesign {
+    /// Number of processors.
+    pub fn processor_count(&self) -> usize {
+        self.transmitters.len()
+    }
+
+    /// The digraph on processors induced by tracing every transmitter:
+    /// one arc per transmitter, from its owner to the owner of the receiver
+    /// it reaches.  Arcs leaving a processor appear in transmitter order, so
+    /// the α-th arc of the result corresponds to the α-th transmitter.
+    ///
+    /// # Panics
+    /// Panics if any transmitter reaches zero or more than one receiver —
+    /// a point-to-point design must be exactly 1-to-1.
+    pub fn induced_digraph(&self) -> Digraph {
+        let n = self.processor_count();
+        let mut b = DigraphBuilder::new(n);
+        for (u, txs) in self.transmitters.iter().enumerate() {
+            for &tx in txs {
+                let hits = trace_from_transmitter(&self.netlist, tx);
+                assert_eq!(
+                    hits.len(),
+                    1,
+                    "transmitter {tx} of processor {u} reaches {} receivers, expected exactly 1",
+                    hits.len()
+                );
+                let owner = *self
+                    .receiver_owner
+                    .get(&hits[0].receiver)
+                    .expect("traced receiver must belong to a processor");
+                b.add_arc(u, owner);
+            }
+        }
+        b.build()
+    }
+
+    /// The parts list of the design.
+    pub fn inventory(&self) -> HardwareInventory {
+        self.netlist.inventory()
+    }
+
+    /// Worst-case optical loss over all transmitter→receiver paths, in dB.
+    pub fn worst_case_loss_db(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for txs in &self.transmitters {
+            for &tx in txs {
+                for hit in trace_from_transmitter(&self.netlist, tx) {
+                    worst = worst.max(hit.loss_db);
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// A multi-OPS design: processors own transmitters/receivers, and the design
+/// also records which multiplexer + beam-splitter pair forms each OPS
+/// coupler.
+#[derive(Debug, Clone)]
+pub struct MultiOpsDesign {
+    /// The optical netlist.
+    pub netlist: Netlist,
+    /// `transmitters[p][a]`: processor `p`'s `a`-th transmitter component.
+    pub transmitters: Vec<Vec<ComponentId>>,
+    /// `receivers[p][b]`: processor `p`'s `b`-th receiver component.
+    pub receivers: Vec<Vec<ComponentId>>,
+    /// Reverse map from receiver component id to its owning processor.
+    pub receiver_owner: BTreeMap<ComponentId, usize>,
+    /// For every OPS coupler (in target hyperarc order): the multiplexer
+    /// component forming its input half and the beam-splitter (or fiber, for
+    /// loop couplers realized in guided optics) forming its output half.
+    pub couplers: Vec<(ComponentId, ComponentId)>,
+}
+
+impl MultiOpsDesign {
+    /// Number of processors.
+    pub fn processor_count(&self) -> usize {
+        self.transmitters.len()
+    }
+
+    /// Number of OPS couplers.
+    pub fn coupler_count(&self) -> usize {
+        self.couplers.len()
+    }
+
+    /// The digraph on processors induced by tracing every transmitter: an arc
+    /// `u → v` whenever some transmitter of `u` reaches some receiver of `v`.
+    /// Parallel arcs from distinct transmitters/couplers are collapsed.
+    pub fn induced_digraph(&self) -> Digraph {
+        let n = self.processor_count();
+        let mut adjacency: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+        for (u, txs) in self.transmitters.iter().enumerate() {
+            for &tx in txs {
+                for hit in trace_from_transmitter(&self.netlist, tx) {
+                    let owner = *self
+                        .receiver_owner
+                        .get(&hit.receiver)
+                        .expect("traced receiver must belong to a processor");
+                    adjacency[u].insert(owner);
+                }
+            }
+        }
+        let mut b = DigraphBuilder::new(n);
+        for (u, outs) in adjacency.iter().enumerate() {
+            for &v in outs {
+                b.add_arc(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// The hypergraph on processors induced by the couplers: for every
+    /// coupler, the tail is the set of processors owning a transmitter that
+    /// reaches the coupler's multiplexer, and the head is the set of
+    /// processors reached from it, both recovered by tracing.
+    pub fn induced_hypergraph(&self) -> Hypergraph {
+        let n = self.processor_count();
+        let mut h = Hypergraph::new(n);
+
+        // Tail sets: trace every transmitter once and remember which couplers
+        // (identified by their splitter/fiber component) it reaches... but a
+        // transmitter reaches *receivers*, so instead identify the coupler by
+        // tracing from the multiplexer side: a processor is in the tail of a
+        // coupler iff one of its transmitters' paths passes through the
+        // coupler's multiplexer.  We detect that by tracing with the coupler's
+        // multiplexer isolated: cheaper and simpler is to recompute tails from
+        // the wiring: follow each transmitter until the first multiplexer hit.
+        let mut mux_tail: BTreeMap<ComponentId, Vec<usize>> = BTreeMap::new();
+        for (p, txs) in self.transmitters.iter().enumerate() {
+            for &tx in txs {
+                if let Some(mux) = first_component_hit(&self.netlist, tx) {
+                    mux_tail.entry(mux).or_default().push(p);
+                }
+            }
+        }
+
+        for &(mux, splitter_or_fiber) in &self.couplers {
+            let mut tail = mux_tail.get(&mux).cloned().unwrap_or_default();
+            tail.sort_unstable();
+            tail.dedup();
+            // Head: processors owning a receiver downstream of the splitter.
+            // We find them by tracing from every transmitter in the tail and
+            // keeping the receivers whose path goes through this coupler; the
+            // designs guarantee each transmitter feeds exactly one mux, so
+            // the receivers reached from a tail transmitter through this mux
+            // are exactly the coupler's head.
+            let mut head: Vec<usize> = Vec::new();
+            if let Some(&p) = tail.first() {
+                // Use the transmitter of p that feeds this mux.
+                for &tx in &self.transmitters[p] {
+                    if first_component_hit(&self.netlist, tx) == Some(mux) {
+                        for hit in trace_from_transmitter(&self.netlist, tx) {
+                            head.push(self.receiver_owner[&hit.receiver]);
+                        }
+                        break;
+                    }
+                }
+            }
+            head.sort_unstable();
+            head.dedup();
+            let _ = splitter_or_fiber;
+            h.add_hyperarc(HyperArc::new(tail, head))
+                .expect("induced hyperarc endpoints are valid processors");
+        }
+        h
+    }
+
+    /// The parts list of the design.
+    pub fn inventory(&self) -> HardwareInventory {
+        self.netlist.inventory()
+    }
+
+    /// Worst-case optical loss over all transmitter→receiver paths, in dB.
+    pub fn worst_case_loss_db(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for txs in &self.transmitters {
+            for &tx in txs {
+                for hit in trace_from_transmitter(&self.netlist, tx) {
+                    worst = worst.max(hit.loss_db);
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// Follows the wiring from a transmitter until the first multiplexer, OPS
+/// coupler or fiber component is reached, passing transparently through OTIS
+/// units.  Returns `None` when the transmitter's light never reaches such a
+/// component (dangling design).
+fn first_component_hit(netlist: &Netlist, transmitter: ComponentId) -> Option<ComponentId> {
+    use otis_optics::components::ComponentKind;
+    use otis_optics::netlist::PortRef;
+    let mut port = PortRef::new(transmitter, 0);
+    for _ in 0..netlist.component_count() + 1 {
+        let next = netlist.destination(port)?;
+        match netlist.component(next.component).kind {
+            ComponentKind::Multiplexer { .. }
+            | ComponentKind::OpsCoupler { .. }
+            | ComponentKind::Fiber => return Some(next.component),
+            ComponentKind::Receiver => return None,
+            ComponentKind::Otis { .. } => {
+                // OTIS is 1-to-1: follow through.
+                let kind = netlist.component(next.component).kind;
+                let outs = kind.propagate(next.port);
+                debug_assert_eq!(outs.len(), 1);
+                port = PortRef::new(next.component, outs[0].0);
+            }
+            ComponentKind::BeamSplitter { .. } => {
+                // A splitter before any mux would make the "first coupler"
+                // ill-defined; none of the designs do this.
+                return None;
+            }
+            ComponentKind::Transmitter => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_optics::components::ComponentKind;
+    use otis_optics::netlist::PortRef;
+
+    /// Two processors, each with one transmitter and one receiver, connected
+    /// through a degree-2 coupler made of an explicit mux + splitter.
+    fn two_processor_design() -> MultiOpsDesign {
+        let mut n = Netlist::new();
+        let tx0 = n.add(ComponentKind::Transmitter, "p0 tx");
+        let tx1 = n.add(ComponentKind::Transmitter, "p1 tx");
+        let mux = n.add(ComponentKind::Multiplexer { inputs: 2 }, "mux");
+        let split = n.add(ComponentKind::BeamSplitter { outputs: 2 }, "split");
+        let rx0 = n.add(ComponentKind::Receiver, "p0 rx");
+        let rx1 = n.add(ComponentKind::Receiver, "p1 rx");
+        n.connect(PortRef::new(tx0, 0), PortRef::new(mux, 0));
+        n.connect(PortRef::new(tx1, 0), PortRef::new(mux, 1));
+        n.connect(PortRef::new(mux, 0), PortRef::new(split, 0));
+        n.connect(PortRef::new(split, 0), PortRef::new(rx0, 0));
+        n.connect(PortRef::new(split, 1), PortRef::new(rx1, 0));
+        let mut receiver_owner = BTreeMap::new();
+        receiver_owner.insert(rx0, 0);
+        receiver_owner.insert(rx1, 1);
+        MultiOpsDesign {
+            netlist: n,
+            transmitters: vec![vec![tx0], vec![tx1]],
+            receivers: vec![vec![rx0], vec![rx1]],
+            receiver_owner,
+            couplers: vec![(mux, split)],
+        }
+    }
+
+    #[test]
+    fn induced_digraph_of_single_coupler() {
+        let d = two_processor_design();
+        let g = d.induced_digraph();
+        assert_eq!(g.node_count(), 2);
+        // Both processors reach both processors through the shared coupler.
+        assert_eq!(g.arc_count(), 4);
+        for u in 0..2 {
+            for v in 0..2 {
+                assert!(g.has_arc(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn induced_hypergraph_of_single_coupler() {
+        let d = two_processor_design();
+        let h = d.induced_hypergraph();
+        assert_eq!(h.hyperarc_count(), 1);
+        let a = h.hyperarc(0).unwrap();
+        assert_eq!(a.tail, vec![0, 1]);
+        assert_eq!(a.head, vec![0, 1]);
+    }
+
+    #[test]
+    fn inventory_and_loss() {
+        let d = two_processor_design();
+        let inv = d.inventory();
+        assert_eq!(inv.transmitter_count(), 2);
+        assert_eq!(inv.receiver_count(), 2);
+        assert_eq!(inv.multiplexer_count(), 1);
+        assert_eq!(inv.splitter_count(), 1);
+        assert!(d.worst_case_loss_db() > 0.0);
+        assert_eq!(d.processor_count(), 2);
+        assert_eq!(d.coupler_count(), 1);
+    }
+
+    #[test]
+    fn point_to_point_induced_digraph() {
+        // Two processors joined by direct fiber in both directions.
+        let mut n = Netlist::new();
+        let tx0 = n.add(ComponentKind::Transmitter, "p0 tx");
+        let tx1 = n.add(ComponentKind::Transmitter, "p1 tx");
+        let f0 = n.add(ComponentKind::Fiber, "f0");
+        let f1 = n.add(ComponentKind::Fiber, "f1");
+        let rx0 = n.add(ComponentKind::Receiver, "p0 rx");
+        let rx1 = n.add(ComponentKind::Receiver, "p1 rx");
+        n.connect(PortRef::new(tx0, 0), PortRef::new(f0, 0));
+        n.connect(PortRef::new(f0, 0), PortRef::new(rx1, 0));
+        n.connect(PortRef::new(tx1, 0), PortRef::new(f1, 0));
+        n.connect(PortRef::new(f1, 0), PortRef::new(rx0, 0));
+        let mut receiver_owner = BTreeMap::new();
+        receiver_owner.insert(rx0, 0);
+        receiver_owner.insert(rx1, 1);
+        let d = PointToPointDesign {
+            netlist: n,
+            transmitters: vec![vec![tx0], vec![tx1]],
+            receivers: vec![vec![rx0], vec![rx1]],
+            receiver_owner,
+        };
+        let g = d.induced_digraph();
+        assert_eq!(g.sorted_arc_list(), vec![(0, 1), (1, 0)]);
+        assert_eq!(d.processor_count(), 2);
+        assert!(d.worst_case_loss_db() > 0.0);
+        assert_eq!(d.inventory().fiber_count(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! # otis-core
+//!
+//! The paper's contribution: **optical designs of multi-OPS lightwave
+//! networks built from the OTIS architecture**, together with machinery that
+//! *verifies*, by exact signal tracing, that every design realizes its target
+//! topology.
+//!
+//! The designs implemented here follow §3 and §4 of the paper:
+//!
+//! * [`group`] — the group-of-processors building block (§3.1, Fig. 8/9):
+//!   one `OTIS(t, g)` plus `g` optical multiplexers connects the `t`
+//!   processors of a group to the inputs of its `g` OPS couplers, and one
+//!   `OTIS(g, t)` plus `g` beam-splitters connects the couplers' outputs back
+//!   to the group;
+//! * [`imase_itoh_design`] — Proposition 1 (Fig. 10): the point-to-point
+//!   interconnections of the Imase–Itoh graph `II(d, n)` are realized exactly
+//!   by a single `OTIS(d, n)`;
+//! * [`kautz_design`] — Corollary 1: the Kautz graph `KG(d, k)` is
+//!   `II(d, d^(k-1)(d+1))`, hence realized by `OTIS(d, d^(k-1)(d+1))`;
+//! * [`pops_design`] — §4.1 (Fig. 11): the single-hop `POPS(t, g)` network
+//!   built from `g` transmitter-side `OTIS(t, g)`, `g` receiver-side
+//!   `OTIS(g, t)`, `g²` multiplexers, `g²` beam-splitters and one central
+//!   `OTIS(g, g)`;
+//! * [`stack_kautz_design`] — §4.2 (Fig. 12): the multi-hop stack-Kautz
+//!   network `SK(s, d, k)` built from `d^(k-1)(d+1)` group blocks
+//!   (`OTIS(s, d+1)` / `OTIS(d+1, s)` plus multiplexers and splitters), one
+//!   central `OTIS(d, d^(k-1)(d+1))` and one fiber loop per group;
+//! * [`stack_imase_itoh_design`] — the "trivial extension" mentioned at the
+//!   end of §2.7: the same construction over `II(d, n)` for arbitrary `n`;
+//! * [`design`] and [`verify`] — the common representation of a design
+//!   (netlist + processor↔transceiver maps) and the checks that its traced
+//!   connectivity equals the target (stack-)graph arc for arc.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(clippy::all)]
+
+pub mod design;
+pub mod group;
+pub mod imase_itoh_design;
+pub mod kautz_design;
+pub mod pops_design;
+pub mod stack_imase_itoh_design;
+pub mod stack_kautz_design;
+pub mod verify;
+
+pub use design::{MultiOpsDesign, PointToPointDesign};
+pub use imase_itoh_design::ImaseItohDesign;
+pub use kautz_design::KautzDesign;
+pub use pops_design::PopsDesign;
+pub use stack_imase_itoh_design::StackImaseItohDesign;
+pub use stack_kautz_design::StackKautzDesign;
+pub use verify::{VerificationError, VerificationReport};

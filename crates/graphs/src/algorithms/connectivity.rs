@@ -1,0 +1,156 @@
+//! Strong connectivity (Tarjan's algorithm, iterative).
+
+use crate::digraph::{Digraph, NodeId};
+
+/// Computes the strongly connected components of `g`.
+///
+/// Returns a vector `comp` with `comp[u]` being the component index of node
+/// `u`. Component indices are in reverse topological order of the condensation
+/// (a property of Tarjan's algorithm), numbered from 0.
+pub fn strongly_connected_components(g: &Digraph) -> Vec<usize> {
+    let n = g.node_count();
+    const UNVISITED: usize = usize::MAX;
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Explicit DFS stack: (node, next-neighbour-position).
+    let mut call_stack: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (u, ref mut pos)) = call_stack.last_mut() {
+            let neighbors = g.out_neighbors(u);
+            if *pos < neighbors.len() {
+                let v = neighbors[*pos];
+                *pos += 1;
+                if index[v] == UNVISITED {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call_stack.push((v, 0));
+                } else if on_stack[v] {
+                    lowlink[u] = lowlink[u].min(index[v]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[u]);
+                }
+                if lowlink[u] == index[u] {
+                    // u is the root of an SCC; pop it off.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Returns `true` if the digraph is strongly connected (every node reaches
+/// every other node by a directed path). The empty digraph is considered
+/// strongly connected; a single node is as well.
+pub fn is_strongly_connected(g: &Digraph) -> bool {
+    if g.node_count() <= 1 {
+        return true;
+    }
+    let comp = strongly_connected_components(g);
+    comp.iter().all(|&c| c == comp[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DigraphBuilder;
+
+    #[test]
+    fn cycle_is_strongly_connected() {
+        let mut b = DigraphBuilder::new(5);
+        for u in 0..5 {
+            b.add_arc(u, (u + 1) % 5);
+        }
+        assert!(is_strongly_connected(&b.build()));
+    }
+
+    #[test]
+    fn path_is_not_strongly_connected() {
+        let g = Digraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!is_strongly_connected(&g));
+        let comp = strongly_connected_components(&g);
+        // Three singleton components.
+        assert_eq!(comp.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+
+    #[test]
+    fn two_cycles_joined_one_way() {
+        // Cycle {0,1,2} -> cycle {3,4} via arc 2->3; not strongly connected.
+        let g = Digraph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
+        );
+        assert!(!is_strongly_connected(&g));
+        let comp = strongly_connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn condensation_order_is_reverse_topological() {
+        // 0 -> 1; Tarjan assigns the sink component (1) a smaller index.
+        let g = Digraph::from_edges(2, &[(0, 1)]);
+        let comp = strongly_connected_components(&g);
+        assert!(comp[1] < comp[0]);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        assert!(is_strongly_connected(&Digraph::empty(0)));
+        assert!(is_strongly_connected(&Digraph::empty(1)));
+        assert!(!is_strongly_connected(&Digraph::empty(2)));
+    }
+
+    #[test]
+    fn loops_do_not_break_scc() {
+        let g = Digraph::from_edges(2, &[(0, 1), (1, 0), (0, 0)]);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // A long path plus a return arc: one big SCC, depth ~200k would
+        // overflow a recursive implementation.
+        let n = 200_000;
+        let mut b = DigraphBuilder::with_capacity(n, n + 1);
+        for u in 0..n - 1 {
+            b.add_arc(u, u + 1);
+        }
+        b.add_arc(n - 1, 0);
+        assert!(is_strongly_connected(&b.build()));
+    }
+}

@@ -1,0 +1,186 @@
+//! Hamiltonian cycles in digraphs (exact backtracking for small instances).
+//!
+//! Hamiltonicity is NP-hard in general; the reproduction only needs it for
+//! small Kautz instances (the paper asserts Kautz graphs are Hamiltonian), so
+//! a pruned backtracking search is sufficient.  The search is deterministic
+//! and bounded by `max_steps` so that tests cannot hang on adversarial
+//! inputs.
+
+use crate::digraph::{Digraph, NodeId};
+
+/// Default work bound for the backtracking search (number of extension
+/// attempts before giving up).
+pub const DEFAULT_MAX_STEPS: u64 = 50_000_000;
+
+/// Attempts to find a Hamiltonian cycle, returned as a sequence of the `n`
+/// distinct nodes in visiting order (the closing arc back to the first node
+/// is implicit and guaranteed to exist).
+///
+/// Returns `Ok(Some(cycle))` if one is found, `Ok(None)` if the search proves
+/// there is none, and `Err(steps)` if the work bound was exhausted first.
+pub fn hamiltonian_cycle_bounded(
+    g: &Digraph,
+    max_steps: u64,
+) -> Result<Option<Vec<NodeId>>, u64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(None);
+    }
+    if n == 1 {
+        return Ok(if g.has_arc(0, 0) { Some(vec![0]) } else { None });
+    }
+    // Quick necessary condition: every node needs in/out degree >= 1 ignoring loops.
+    for u in 0..n {
+        let out_ok = g.out_neighbors(u).iter().any(|&v| v != u);
+        let in_ok = g.in_neighbors(u).iter().any(|&v| v != u);
+        if !out_ok || !in_ok {
+            return Ok(None);
+        }
+    }
+
+    let mut visited = vec![false; n];
+    let mut path = Vec::with_capacity(n);
+    let mut steps = 0u64;
+    path.push(0);
+    visited[0] = true;
+    if backtrack(g, &mut path, &mut visited, &mut steps, max_steps) {
+        return Ok(Some(path));
+    }
+    if steps >= max_steps {
+        Err(steps)
+    } else {
+        Ok(None)
+    }
+}
+
+fn backtrack(
+    g: &Digraph,
+    path: &mut Vec<NodeId>,
+    visited: &mut [bool],
+    steps: &mut u64,
+    max_steps: u64,
+) -> bool {
+    let n = g.node_count();
+    if path.len() == n {
+        return g.has_arc(*path.last().unwrap(), path[0]);
+    }
+    if *steps >= max_steps {
+        return false;
+    }
+    let u = *path.last().unwrap();
+    for &v in g.out_neighbors(u) {
+        if visited[v] {
+            continue;
+        }
+        *steps += 1;
+        visited[v] = true;
+        path.push(v);
+        if backtrack(g, path, visited, steps, max_steps) {
+            return true;
+        }
+        path.pop();
+        visited[v] = false;
+        if *steps >= max_steps {
+            return false;
+        }
+    }
+    false
+}
+
+/// Convenience wrapper around [`hamiltonian_cycle_bounded`] with the default
+/// work bound; an exhausted bound is reported as "no cycle found" (`None`).
+pub fn hamiltonian_cycle(g: &Digraph) -> Option<Vec<NodeId>> {
+    hamiltonian_cycle_bounded(g, DEFAULT_MAX_STEPS).unwrap_or(None)
+}
+
+/// Returns `true` if a Hamiltonian cycle was found within the default bound.
+pub fn is_hamiltonian(g: &Digraph) -> bool {
+    hamiltonian_cycle(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DigraphBuilder;
+
+    fn cycle(n: usize) -> Digraph {
+        let mut b = DigraphBuilder::new(n);
+        for u in 0..n {
+            b.add_arc(u, (u + 1) % n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn directed_cycle_is_hamiltonian() {
+        let g = cycle(7);
+        let c = hamiltonian_cycle(&g).unwrap();
+        assert_eq!(c.len(), 7);
+        // All nodes distinct.
+        let set: std::collections::HashSet<_> = c.iter().collect();
+        assert_eq!(set.len(), 7);
+        // Consecutive arcs plus the closing arc exist.
+        for w in c.windows(2) {
+            assert!(g.has_arc(w[0], w[1]));
+        }
+        assert!(g.has_arc(*c.last().unwrap(), c[0]));
+    }
+
+    #[test]
+    fn path_is_not_hamiltonian() {
+        let g = Digraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(!is_hamiltonian(&g));
+    }
+
+    #[test]
+    fn complete_digraph_is_hamiltonian() {
+        let mut b = DigraphBuilder::new(5);
+        for u in 0..5 {
+            for v in 0..5 {
+                if u != v {
+                    b.add_arc(u, v);
+                }
+            }
+        }
+        assert!(is_hamiltonian(&b.build()));
+    }
+
+    #[test]
+    fn single_node_needs_a_loop() {
+        assert!(!is_hamiltonian(&Digraph::empty(1)));
+        assert!(is_hamiltonian(&Digraph::from_edges(1, &[(0, 0)])));
+    }
+
+    #[test]
+    fn empty_graph_is_not_hamiltonian() {
+        assert!(!is_hamiltonian(&Digraph::empty(0)));
+        assert!(!is_hamiltonian(&Digraph::empty(3)));
+    }
+
+    #[test]
+    fn bounded_search_reports_exhaustion() {
+        // A moderately sized graph with a tiny budget must report exhaustion
+        // rather than claiming "no cycle".
+        let mut b = DigraphBuilder::new(12);
+        for u in 0..12 {
+            for v in 0..12 {
+                if u != v {
+                    b.add_arc(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        match hamiltonian_cycle_bounded(&g, 3) {
+            Err(steps) => assert!(steps >= 3),
+            Ok(Some(_)) => { /* found extremely fast; also acceptable */ }
+            Ok(None) => panic!("must not claim non-Hamiltonian when the bound is exhausted"),
+        }
+    }
+
+    #[test]
+    fn loops_do_not_count_as_progress() {
+        // Two nodes with loops but only a one-way arc between them.
+        let g = Digraph::from_edges(2, &[(0, 0), (1, 1), (0, 1)]);
+        assert!(!is_hamiltonian(&g));
+    }
+}

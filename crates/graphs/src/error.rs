@@ -1,0 +1,102 @@
+//! Error types shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier was outside the valid range `0..n`.
+    NodeOutOfRange {
+        /// The offending node identifier.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An arc identifier was outside the valid range `0..m`.
+    ArcOutOfRange {
+        /// The offending arc identifier.
+        arc: usize,
+        /// The number of arcs in the graph.
+        m: usize,
+    },
+    /// A hyperarc identifier was outside the valid range.
+    HyperArcOutOfRange {
+        /// The offending hyperarc identifier.
+        arc: usize,
+        /// The number of hyperarcs in the hypergraph.
+        m: usize,
+    },
+    /// A parameter combination does not define a valid object
+    /// (for example a stacking factor of zero).
+    InvalidParameter {
+        /// Human readable description of the violated constraint.
+        reason: String,
+    },
+    /// The two graphs handed to an operation have incompatible sizes.
+    SizeMismatch {
+        /// Size of the left-hand graph.
+        left: usize,
+        /// Size of the right-hand graph.
+        right: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::ArcOutOfRange { arc, m } => {
+                write!(f, "arc {arc} out of range for graph with {m} arcs")
+            }
+            GraphError::HyperArcOutOfRange { arc, m } => {
+                write!(f, "hyperarc {arc} out of range for hypergraph with {m} hyperarcs")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+            GraphError::SizeMismatch { left, right } => {
+                write!(f, "size mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenience constructor for [`GraphError::InvalidParameter`].
+pub fn invalid_parameter(reason: impl Into<String>) -> GraphError {
+    GraphError::InvalidParameter {
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_node_out_of_range() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 4 };
+        assert_eq!(e.to_string(), "node 7 out of range for graph with 4 nodes");
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = invalid_parameter("stacking factor must be >= 1");
+        assert!(e.to_string().contains("stacking factor"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GraphError::SizeMismatch { left: 1, right: 2 },
+            GraphError::SizeMismatch { left: 1, right: 2 }
+        );
+        assert_ne!(
+            GraphError::SizeMismatch { left: 1, right: 2 },
+            GraphError::SizeMismatch { left: 2, right: 1 }
+        );
+    }
+}

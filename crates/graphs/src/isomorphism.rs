@@ -1,0 +1,268 @@
+//! Digraph isomorphism utilities.
+//!
+//! The reproduction needs isomorphism in two places:
+//!
+//! 1. **Labelled relabelling**: Corollary 1 of the paper identifies the Kautz
+//!    graph `KG(d, k)` with the Imase–Itoh graph `II(d, d^(k-1)(d+1))`.  The
+//!    identification comes with an *explicit* node bijection (word labels to
+//!    integers), so checking it only requires applying a relabelling and
+//!    comparing arc multisets — [`relabel`] + [`Digraph::same_arcs`].
+//! 2. **Unlabelled isomorphism** for small instances (for example checking
+//!    `L(KG(d,k)) ≅ KG(d,k+1)` without constructing the textbook bijection).
+//!    [`are_isomorphic`] implements a refinement-guided backtracking search
+//!    adequate for the small, highly regular graphs in the test-suite.
+
+use crate::digraph::{Arc, Digraph, NodeId};
+
+/// Applies a node bijection to `g`: node `u` of the input becomes node
+/// `mapping[u]` of the output. `mapping` must be a permutation of `0..n`.
+///
+/// # Panics
+/// Panics when `mapping` is not a permutation of the node set.
+pub fn relabel(g: &Digraph, mapping: &[NodeId]) -> Digraph {
+    let n = g.node_count();
+    assert_eq!(mapping.len(), n, "mapping length must equal node count");
+    let mut seen = vec![false; n];
+    for &image in mapping {
+        assert!(image < n, "mapping image {image} out of range");
+        assert!(!seen[image], "mapping is not injective (image {image} repeated)");
+        seen[image] = true;
+    }
+    let arcs: Vec<Arc> = g
+        .arcs()
+        .iter()
+        .map(|a| Arc::new(mapping[a.source], mapping[a.target]))
+        .collect();
+    Digraph::from_arcs(n, &arcs)
+}
+
+/// Returns `true` if the two digraphs are identical as *labelled* digraphs:
+/// same node count and same multiset of arcs.
+pub fn is_identical(a: &Digraph, b: &Digraph) -> bool {
+    a.same_arcs(b)
+}
+
+/// Checks whether `mapping` is an isomorphism from `a` to `b` (arc
+/// multiplicities included).
+pub fn is_isomorphism(a: &Digraph, b: &Digraph, mapping: &[NodeId]) -> bool {
+    if a.node_count() != b.node_count()
+        || a.arc_count() != b.arc_count()
+        || mapping.len() != a.node_count()
+    {
+        return false;
+    }
+    let mut seen = vec![false; b.node_count()];
+    for &image in mapping {
+        if image >= b.node_count() || seen[image] {
+            return false;
+        }
+        seen[image] = true;
+    }
+    relabel(a, mapping).same_arcs(b)
+}
+
+/// Degree-signature of a node used to prune the isomorphism search:
+/// (out-degree, in-degree, number of loops, sorted multiset of neighbour
+/// out-degrees).  Invariant under isomorphism.
+fn signature(g: &Digraph, u: NodeId) -> (usize, usize, usize, Vec<usize>) {
+    let loops = g.out_neighbors(u).iter().filter(|&&v| v == u).count();
+    let mut nbr_degrees: Vec<usize> = g
+        .out_neighbors(u)
+        .iter()
+        .map(|&v| g.out_degree(v))
+        .collect();
+    nbr_degrees.sort_unstable();
+    (g.out_degree(u), g.in_degree(u), loops, nbr_degrees)
+}
+
+/// Attempts to decide whether two digraphs are isomorphic, returning a witness
+/// mapping when they are.
+///
+/// Backtracking with degree-signature pruning; intended for the small (≲ a few
+/// hundred node) instances that appear in tests and figure reproduction, not
+/// as a general-purpose isomorphism solver.
+pub fn find_isomorphism(a: &Digraph, b: &Digraph) -> Option<Vec<NodeId>> {
+    let n = a.node_count();
+    if n != b.node_count() || a.arc_count() != b.arc_count() {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+
+    let sig_a: Vec<_> = (0..n).map(|u| signature(a, u)).collect();
+    let sig_b: Vec<_> = (0..n).map(|u| signature(b, u)).collect();
+    {
+        let mut sa = sig_a.clone();
+        let mut sb = sig_b.clone();
+        sa.sort();
+        sb.sort();
+        if sa != sb {
+            return None;
+        }
+    }
+
+    // Candidate images of each node of `a`: nodes of `b` with the same signature.
+    let mut candidates: Vec<Vec<NodeId>> = (0..n)
+        .map(|u| (0..n).filter(|&v| sig_a[u] == sig_b[v]).collect())
+        .collect();
+
+    // Order the nodes of `a` from fewest candidates to most (most constrained first).
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.sort_by_key(|&u| candidates[u].len());
+    // Pre-index position in the order for partial consistency checks.
+    for c in candidates.iter_mut() {
+        c.sort_unstable();
+    }
+
+    let mut mapping: Vec<Option<NodeId>> = vec![None; n];
+    let mut used = vec![false; n];
+
+    fn consistent(a: &Digraph, b: &Digraph, mapping: &[Option<NodeId>], u: NodeId, img: NodeId) -> bool {
+        // All already-mapped neighbours must have their adjacency preserved in
+        // both directions with correct multiplicities.
+        for (x, &mx) in mapping.iter().enumerate() {
+            let Some(mx) = mx else { continue };
+            if a.arc_multiplicity(u, x) != b.arc_multiplicity(img, mx) {
+                return false;
+            }
+            if a.arc_multiplicity(x, u) != b.arc_multiplicity(mx, img) {
+                return false;
+            }
+        }
+        a.arc_multiplicity(u, u) == b.arc_multiplicity(img, img)
+    }
+
+    fn backtrack(
+        a: &Digraph,
+        b: &Digraph,
+        order: &[NodeId],
+        candidates: &[Vec<NodeId>],
+        mapping: &mut Vec<Option<NodeId>>,
+        used: &mut Vec<bool>,
+        depth: usize,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let u = order[depth];
+        for &img in &candidates[u] {
+            if used[img] || !consistent(a, b, mapping, u, img) {
+                continue;
+            }
+            mapping[u] = Some(img);
+            used[img] = true;
+            if backtrack(a, b, order, candidates, mapping, used, depth + 1) {
+                return true;
+            }
+            mapping[u] = None;
+            used[img] = false;
+        }
+        false
+    }
+
+    if backtrack(a, b, &order, &candidates, &mut mapping, &mut used, 0) {
+        Some(mapping.into_iter().map(|m| m.unwrap()).collect())
+    } else {
+        None
+    }
+}
+
+/// Returns `true` when [`find_isomorphism`] succeeds.
+pub fn are_isomorphic(a: &Digraph, b: &Digraph) -> bool {
+    find_isomorphism(a, b).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DigraphBuilder;
+
+    fn cycle(n: usize) -> Digraph {
+        let mut b = DigraphBuilder::new(n);
+        for u in 0..n {
+            b.add_arc(u, (u + 1) % n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn relabel_roundtrip() {
+        let g = cycle(5);
+        let perm = vec![2, 3, 4, 0, 1];
+        let h = relabel(&g, &perm);
+        // Applying the inverse brings us back.
+        let mut inv = vec![0; 5];
+        for (u, &img) in perm.iter().enumerate() {
+            inv[img] = u;
+        }
+        assert!(relabel(&h, &inv).same_arcs(&g));
+        assert!(is_isomorphism(&g, &h, &perm));
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn relabel_rejects_non_permutation() {
+        relabel(&cycle(3), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn rotated_cycles_are_isomorphic() {
+        let g = cycle(6);
+        let h = relabel(&g, &[3, 4, 5, 0, 1, 2]);
+        assert!(are_isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn cycle_vs_two_cycles_not_isomorphic() {
+        let g = cycle(6);
+        let h = Digraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        assert_eq!(g.arc_count(), h.arc_count());
+        assert!(!are_isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn different_sizes_not_isomorphic() {
+        assert!(!are_isomorphic(&cycle(4), &cycle(5)));
+    }
+
+    #[test]
+    fn loops_matter() {
+        let g = Digraph::from_edges(2, &[(0, 1), (1, 0), (0, 0)]);
+        let h = Digraph::from_edges(2, &[(0, 1), (1, 0), (1, 1)]);
+        // These are isomorphic (swap the two nodes).
+        assert!(are_isomorphic(&g, &h));
+        let k = Digraph::from_edges(2, &[(0, 1), (1, 0), (0, 1)]);
+        assert!(!are_isomorphic(&g, &k));
+    }
+
+    #[test]
+    fn multiplicity_is_respected() {
+        let g = Digraph::from_edges(2, &[(0, 1), (0, 1), (1, 0)]);
+        let h = Digraph::from_edges(2, &[(0, 1), (1, 0), (1, 0)]);
+        assert!(are_isomorphic(&g, &h));
+        let k = Digraph::from_edges(2, &[(0, 1), (1, 0), (0, 0)]);
+        assert!(!are_isomorphic(&g, &k));
+    }
+
+    #[test]
+    fn witness_is_a_real_isomorphism() {
+        let g = cycle(7);
+        let h = relabel(&g, &[6, 5, 4, 3, 2, 1, 0]);
+        let w = find_isomorphism(&g, &h).unwrap();
+        assert!(is_isomorphism(&g, &h, &w));
+    }
+
+    #[test]
+    fn identical_graphs() {
+        let g = cycle(4);
+        assert!(is_identical(&g, &g.clone()));
+        assert!(!is_identical(&g, &cycle(5)));
+    }
+
+    #[test]
+    fn empty_graphs_are_isomorphic() {
+        assert!(are_isomorphic(&Digraph::empty(0), &Digraph::empty(0)));
+        assert!(are_isomorphic(&Digraph::empty(3), &Digraph::empty(3)));
+    }
+}

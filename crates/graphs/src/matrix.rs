@@ -1,0 +1,200 @@
+//! Dense adjacency matrices.
+//!
+//! Small topology instances (the worked examples of the paper) are easier to
+//! check through their adjacency matrices: matrix powers count walks, so
+//! `A^k > 0` everywhere certifies diameter ≤ k, and the (d, k) Moore-style
+//! bounds used to argue Kautz optimality are naturally phrased this way.
+
+use crate::digraph::Digraph;
+
+/// A dense adjacency matrix with `u64` entries (walk counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    data: Vec<u64>,
+}
+
+impl AdjacencyMatrix {
+    /// The zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        AdjacencyMatrix { n, data: vec![0; n * n] }
+    }
+
+    /// The identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds the adjacency matrix of a digraph; entry `(u, v)` is the number
+    /// of parallel arcs from `u` to `v`.
+    pub fn from_digraph(g: &Digraph) -> Self {
+        let mut m = Self::zeros(g.node_count());
+        for a in g.arcs() {
+            let idx = a.source * m.n + a.target;
+            m.data[idx] += 1;
+        }
+        m
+    }
+
+    /// Dimension of the matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        self.data[row * self.n + col]
+    }
+
+    /// Sets entry `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, value: u64) {
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Matrix product `self * other` (saturating on overflow so that walk
+    /// counts of large powers stay well defined for positivity tests).
+    pub fn multiply(&self, other: &AdjacencyMatrix) -> AdjacencyMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = AdjacencyMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.get(i, k);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur.saturating_add(a.saturating_mul(other.get(k, j))));
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix power `self^e` (with `self^0 = I`).
+    pub fn power(&self, e: u32) -> AdjacencyMatrix {
+        let mut result = AdjacencyMatrix::identity(self.n);
+        let mut base = self.clone();
+        let mut exp = e;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result.multiply(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.multiply(&base);
+            }
+        }
+        result
+    }
+
+    /// Number of directed walks of length exactly `len` from `u` to `v`.
+    pub fn walk_count(&self, u: usize, v: usize, len: u32) -> u64 {
+        self.power(len).get(u, v)
+    }
+
+    /// Returns `true` if `I + A + A² + … + A^k` has no zero entry, i.e. every
+    /// ordered pair of nodes is joined by a walk of length at most `k`.
+    /// This is exactly the statement "diameter ≤ k".
+    pub fn covers_within(&self, k: u32) -> bool {
+        let n = self.n;
+        let mut acc = AdjacencyMatrix::identity(n);
+        let mut pow = AdjacencyMatrix::identity(n);
+        for _ in 0..k {
+            pow = pow.multiply(self);
+            for i in 0..n * n {
+                acc.data[i] = acc.data[i].saturating_add(pow.data[i]);
+            }
+        }
+        acc.data.iter().all(|&x| x > 0)
+    }
+
+    /// Sum of all entries (total arc count for an adjacency matrix).
+    pub fn total(&self) -> u64 {
+        self.data.iter().fold(0u64, |acc, &x| acc.saturating_add(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DigraphBuilder;
+
+    fn cycle(n: usize) -> Digraph {
+        let mut b = DigraphBuilder::new(n);
+        for u in 0..n {
+            b.add_arc(u, (u + 1) % n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn from_digraph_counts_multiplicity() {
+        let g = Digraph::from_edges(2, &[(0, 1), (0, 1), (1, 0)]);
+        let m = AdjacencyMatrix::from_digraph(&g);
+        assert_eq!(m.get(0, 1), 2);
+        assert_eq!(m.get(1, 0), 1);
+        assert_eq!(m.get(0, 0), 0);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn identity_and_power_zero() {
+        let m = AdjacencyMatrix::from_digraph(&cycle(4));
+        assert_eq!(m.power(0), AdjacencyMatrix::identity(4));
+    }
+
+    #[test]
+    fn walk_counts_on_cycle() {
+        let m = AdjacencyMatrix::from_digraph(&cycle(4));
+        // Exactly one walk of length 4 from a node back to itself.
+        assert_eq!(m.walk_count(0, 0, 4), 1);
+        assert_eq!(m.walk_count(0, 0, 3), 0);
+        assert_eq!(m.walk_count(0, 2, 2), 1);
+    }
+
+    #[test]
+    fn covers_within_matches_diameter() {
+        let m = AdjacencyMatrix::from_digraph(&cycle(5));
+        assert!(!m.covers_within(3));
+        assert!(m.covers_within(4));
+        assert!(m.covers_within(10));
+    }
+
+    #[test]
+    fn walk_counts_on_complete_digraph() {
+        // K_3 without loops: number of closed walks of length 2 from a node is 2.
+        let mut b = DigraphBuilder::new(3);
+        for u in 0..3 {
+            for v in 0..3 {
+                if u != v {
+                    b.add_arc(u, v);
+                }
+            }
+        }
+        let m = AdjacencyMatrix::from_digraph(&b.build());
+        assert_eq!(m.walk_count(0, 0, 2), 2);
+        assert_eq!(m.walk_count(0, 1, 2), 1);
+    }
+
+    #[test]
+    fn multiply_dimension_checked() {
+        let a = AdjacencyMatrix::zeros(2);
+        let b = AdjacencyMatrix::zeros(3);
+        let result = std::panic::catch_unwind(|| a.multiply(&b));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let mut m = AdjacencyMatrix::zeros(1);
+        m.set(0, 0, u64::MAX);
+        let sq = m.multiply(&m);
+        assert_eq!(sq.get(0, 0), u64::MAX);
+    }
+}

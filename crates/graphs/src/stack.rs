@@ -1,0 +1,247 @@
+//! Stack-graphs `ς(s, G)` (Definition 1 of the paper).
+//!
+//! A stack-graph is obtained by piling up `s` copies of a digraph `G` and
+//! viewing each stack of arcs as a single hyperarc:
+//!
+//! * nodes are pairs `(i, v)` with `0 ≤ i < s` (the position in the stack)
+//!   and `v` a node of `G`;
+//! * the projection `π(i, v) = v` maps stack-graph nodes onto quotient nodes;
+//! * every arc `(u, v)` of `G` becomes the hyperarc
+//!   `(π⁻¹(u), π⁻¹(v))` — i.e. an OPS coupler whose inputs are all `s`
+//!   processors of group `u` and whose outputs are all `s` processors of
+//!   group `v`.
+//!
+//! The POPS network `POPS(t, g)` is `ς(t, K⁺_g)` and the stack-Kautz network
+//! `SK(s, d, k)` is `ς(s, KG⁺(d, k))`; both are constructed in
+//! `otis-topologies` on top of this type.
+
+use crate::digraph::{Digraph, NodeId};
+use crate::error::{invalid_parameter, GraphError};
+use crate::hyper::{HyperArc, Hypergraph};
+
+/// A node of a stack-graph, identified by its stack position and the quotient
+/// node (processor group) it projects onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StackNode {
+    /// Position inside the stack, `0 ≤ index < s`.  In network terms this is
+    /// the label of the processor inside its group.
+    pub index: usize,
+    /// Node of the quotient digraph this node projects onto (the group label).
+    pub group: NodeId,
+}
+
+impl StackNode {
+    /// Creates a stack node from its in-group index and group label.
+    pub fn new(index: usize, group: NodeId) -> Self {
+        StackNode { index, group }
+    }
+}
+
+/// The stack-graph `ς(s, G)` of stacking factor `s` over quotient digraph `G`.
+#[derive(Debug, Clone)]
+pub struct StackGraph {
+    stacking_factor: usize,
+    quotient: Digraph,
+}
+
+impl StackGraph {
+    /// Builds `ς(s, quotient)`.  The stacking factor must be at least 1.
+    pub fn new(stacking_factor: usize, quotient: Digraph) -> Result<Self, GraphError> {
+        if stacking_factor == 0 {
+            return Err(invalid_parameter("stacking factor s must be >= 1"));
+        }
+        Ok(StackGraph {
+            stacking_factor,
+            quotient,
+        })
+    }
+
+    /// The stacking factor `s`.
+    pub fn stacking_factor(&self) -> usize {
+        self.stacking_factor
+    }
+
+    /// The quotient digraph `G`.
+    pub fn quotient(&self) -> &Digraph {
+        &self.quotient
+    }
+
+    /// Number of nodes `s · |V(G)|`.
+    pub fn node_count(&self) -> usize {
+        self.stacking_factor * self.quotient.node_count()
+    }
+
+    /// Number of hyperarcs, which equals the number of arcs of the quotient.
+    pub fn hyperarc_count(&self) -> usize {
+        self.quotient.arc_count()
+    }
+
+    /// Number of processor groups, `|V(G)|`.
+    pub fn group_count(&self) -> usize {
+        self.quotient.node_count()
+    }
+
+    /// The projection `π`: maps a flat node identifier to its quotient node.
+    pub fn project(&self, node: NodeId) -> NodeId {
+        self.to_stack_node(node).group
+    }
+
+    /// Converts a flat node identifier (`0 ..  s·|V|`) into a [`StackNode`].
+    ///
+    /// The paper's worked figures (Fig. 7, Fig. 12) number processors group by
+    /// group — processor `(x, y)` gets flat id `x·s + y` — and this crate uses
+    /// the same convention.
+    pub fn to_stack_node(&self, node: NodeId) -> StackNode {
+        assert!(node < self.node_count(), "node {node} out of range");
+        StackNode {
+            group: node / self.stacking_factor,
+            index: node % self.stacking_factor,
+        }
+    }
+
+    /// Converts a [`StackNode`] back to its flat identifier.
+    pub fn to_flat(&self, node: StackNode) -> NodeId {
+        assert!(node.index < self.stacking_factor, "index out of range");
+        assert!(node.group < self.quotient.node_count(), "group out of range");
+        node.group * self.stacking_factor + node.index
+    }
+
+    /// The fibre `π⁻¹(group)`: flat identifiers of all nodes in a group.
+    pub fn fiber(&self, group: NodeId) -> Vec<NodeId> {
+        assert!(group < self.quotient.node_count(), "group out of range");
+        (0..self.stacking_factor)
+            .map(|i| group * self.stacking_factor + i)
+            .collect()
+    }
+
+    /// Materialises the stack-graph as an explicit directed hypergraph: one
+    /// hyperarc `(π⁻¹(u), π⁻¹(v))` per quotient arc `(u, v)`, in quotient-arc
+    /// insertion order.
+    pub fn to_hypergraph(&self) -> Hypergraph {
+        let mut h = Hypergraph::new(self.node_count());
+        for arc in self.quotient.arcs() {
+            let tail = self.fiber(arc.source);
+            let head = self.fiber(arc.target);
+            h.add_hyperarc(HyperArc::new(tail, head))
+                .expect("fiber nodes are always in range");
+        }
+        h
+    }
+
+    /// Flattens to a plain digraph (every hyperarc replaced by the complete
+    /// bipartite arc set).  Hop distances of the multi-OPS network are
+    /// distances in this digraph.
+    pub fn flatten(&self) -> Digraph {
+        self.to_hypergraph().flatten()
+    }
+
+    /// Degree of a node: number of hyperarcs it can transmit on, which equals
+    /// the out-degree of its group in the quotient.
+    pub fn node_out_degree(&self, node: NodeId) -> usize {
+        self.quotient.out_degree(self.project(node))
+    }
+
+    /// Diameter of the stack-graph (in hops).  When the quotient has a loop on
+    /// every node and at least 2 stacked copies, this equals the quotient
+    /// diameter computed over the loop-less quotient; in general it is the
+    /// diameter of the flattened digraph, which is what this computes.
+    pub fn diameter(&self) -> Option<u32> {
+        crate::algorithms::diameter(&self.flatten())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DigraphBuilder;
+
+    /// Complete digraph with loops on g nodes — the quotient of a POPS network.
+    fn k_plus(g: usize) -> Digraph {
+        let mut b = DigraphBuilder::new(g);
+        for u in 0..g {
+            for v in 0..g {
+                b.add_arc(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn stack_of_k_plus_2_matches_pops_4_2() {
+        // Fig. 5 of the paper: POPS(4, 2) is ς(4, K⁺₂).
+        let sg = StackGraph::new(4, k_plus(2)).unwrap();
+        assert_eq!(sg.node_count(), 8);
+        assert_eq!(sg.hyperarc_count(), 4);
+        assert_eq!(sg.group_count(), 2);
+        assert_eq!(sg.stacking_factor(), 4);
+        // Single-hop network: diameter 1.
+        assert_eq!(sg.diameter(), Some(1));
+    }
+
+    #[test]
+    fn zero_stacking_factor_rejected() {
+        let err = StackGraph::new(0, k_plus(2)).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn flat_and_stack_node_roundtrip() {
+        let sg = StackGraph::new(6, k_plus(3)).unwrap();
+        for flat in 0..sg.node_count() {
+            let sn = sg.to_stack_node(flat);
+            assert_eq!(sg.to_flat(sn), flat);
+            assert_eq!(sg.project(flat), sn.group);
+        }
+    }
+
+    #[test]
+    fn fiber_contents() {
+        let sg = StackGraph::new(3, k_plus(4)).unwrap();
+        assert_eq!(sg.fiber(0), vec![0, 1, 2]);
+        assert_eq!(sg.fiber(2), vec![6, 7, 8]);
+        for &n in &sg.fiber(2) {
+            assert_eq!(sg.project(n), 2);
+        }
+    }
+
+    #[test]
+    fn hypergraph_has_one_hyperarc_per_quotient_arc() {
+        let quotient = Digraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let sg = StackGraph::new(2, quotient).unwrap();
+        let h = sg.to_hypergraph();
+        assert_eq!(h.hyperarc_count(), 3);
+        let a = h.hyperarc(0).unwrap();
+        assert_eq!(a.tail, vec![0, 1]);
+        assert_eq!(a.head, vec![2, 3]);
+        assert_eq!(a.ops_degree(), Some(2));
+    }
+
+    #[test]
+    fn node_degree_equals_quotient_out_degree() {
+        let quotient = Digraph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let sg = StackGraph::new(5, quotient).unwrap();
+        for node in sg.fiber(0) {
+            assert_eq!(sg.node_out_degree(node), 2);
+        }
+        for node in sg.fiber(2) {
+            assert_eq!(sg.node_out_degree(node), 0);
+        }
+    }
+
+    #[test]
+    fn diameter_of_stacked_cycle() {
+        // Quotient: directed triangle with loops. Stack of 2.
+        // Any node reaches any node of the "next" group in 1 hop, its own
+        // group in 1 hop (via the loop coupler), the third group in 2 hops.
+        let quotient = Digraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).with_loops();
+        let sg = StackGraph::new(2, quotient).unwrap();
+        assert_eq!(sg.diameter(), Some(2));
+    }
+
+    #[test]
+    fn stacking_factor_one_flatten_recovers_quotient_arcs() {
+        let quotient = Digraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let sg = StackGraph::new(1, quotient.clone()).unwrap();
+        assert!(sg.flatten().same_arcs(&quotient));
+    }
+}

@@ -1,0 +1,240 @@
+//! Port-level optical component models.
+//!
+//! Every component has `input_count()` input ports and `output_count()`
+//! output ports and a fixed internal propagation rule mapping each input
+//! port to the set of output ports that light entering it reaches (with the
+//! associated insertion loss).  The catalogue covers exactly the parts used
+//! by the paper's designs:
+//!
+//! | kind | inputs | outputs | propagation |
+//! |------|--------|---------|-------------|
+//! | `Transmitter` | 0 | 1 | source of light |
+//! | `Receiver` | 1 | 0 | sink |
+//! | `Otis { groups, group_size }` | G·T | G·T | transpose permutation |
+//! | `Multiplexer { inputs }` | s | 1 | every input to the single output |
+//! | `BeamSplitter { outputs }` | 1 | z | the input to every output (1/z power each) |
+//! | `OpsCoupler { degree }` | s | s | every input to every output (a multiplexer fused to a beam-splitter) |
+//! | `Fiber` | 1 | 1 | pass-through (used for the stack-Kautz loop couplers) |
+
+use crate::otis::Otis;
+use crate::power;
+
+/// Identifier of a component inside a [`crate::netlist::Netlist`].
+pub type ComponentId = usize;
+
+/// The catalogue of optical parts the designs are assembled from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// An optical transmitter (laser / VCSEL); the start of a signal path.
+    Transmitter,
+    /// An optical receiver (photodetector); the end of a signal path.
+    Receiver,
+    /// A free-space `OTIS(G, T)` transpose interconnect.
+    Otis {
+        /// Number of transmitter-side groups `G`.
+        groups: usize,
+        /// Size of each transmitter-side group `T`.
+        group_size: usize,
+    },
+    /// An optical multiplexer combining `inputs` fibres onto one output.
+    Multiplexer {
+        /// Number of input ports `s`.
+        inputs: usize,
+    },
+    /// A beam-splitter dividing one input onto `outputs` outputs.
+    BeamSplitter {
+        /// Number of output ports `z`.
+        outputs: usize,
+    },
+    /// A complete OPS coupler of the given degree (multiplexer + splitter).
+    OpsCoupler {
+        /// Degree `s`: number of inputs and of outputs.
+        degree: usize,
+    },
+    /// A point-to-point fiber (or waveguide) link.
+    Fiber,
+}
+
+impl ComponentKind {
+    /// Number of input ports of this component.
+    pub fn input_count(&self) -> usize {
+        match *self {
+            ComponentKind::Transmitter => 0,
+            ComponentKind::Receiver => 1,
+            ComponentKind::Otis { groups, group_size } => groups * group_size,
+            ComponentKind::Multiplexer { inputs } => inputs,
+            ComponentKind::BeamSplitter { .. } => 1,
+            ComponentKind::OpsCoupler { degree } => degree,
+            ComponentKind::Fiber => 1,
+        }
+    }
+
+    /// Number of output ports of this component.
+    pub fn output_count(&self) -> usize {
+        match *self {
+            ComponentKind::Transmitter => 1,
+            ComponentKind::Receiver => 0,
+            ComponentKind::Otis { groups, group_size } => groups * group_size,
+            ComponentKind::Multiplexer { .. } => 1,
+            ComponentKind::BeamSplitter { outputs } => outputs,
+            ComponentKind::OpsCoupler { degree } => degree,
+            ComponentKind::Fiber => 1,
+        }
+    }
+
+    /// Internal propagation: output ports reached by light entering `input`,
+    /// together with the insertion loss (dB) incurred inside the component.
+    ///
+    /// # Panics
+    /// Panics when `input` is out of range (or when called on a
+    /// `Transmitter`, which has no inputs).
+    pub fn propagate(&self, input: usize) -> Vec<(usize, f64)> {
+        assert!(
+            input < self.input_count(),
+            "input port {input} out of range for {self:?}"
+        );
+        match *self {
+            ComponentKind::Transmitter => unreachable!("transmitters have no inputs"),
+            ComponentKind::Receiver => Vec::new(),
+            ComponentKind::Otis { groups, group_size } => {
+                let otis = Otis::new(groups, group_size);
+                vec![(otis.map_index(input), power::OTIS_LOSS_DB)]
+            }
+            ComponentKind::Multiplexer { .. } => {
+                vec![(0, power::MULTIPLEXER_LOSS_DB)]
+            }
+            ComponentKind::BeamSplitter { outputs } => {
+                let loss = power::splitting_loss_db(outputs) + power::SPLITTER_EXCESS_LOSS_DB;
+                (0..outputs).map(|o| (o, loss)).collect()
+            }
+            ComponentKind::OpsCoupler { degree } => {
+                let loss = power::splitting_loss_db(degree)
+                    + power::MULTIPLEXER_LOSS_DB
+                    + power::SPLITTER_EXCESS_LOSS_DB;
+                (0..degree).map(|o| (o, loss)).collect()
+            }
+            ComponentKind::Fiber => vec![(0, power::FIBER_LOSS_DB)],
+        }
+    }
+
+    /// A short name used in printed inventories and trace dumps.
+    pub fn short_name(&self) -> String {
+        match *self {
+            ComponentKind::Transmitter => "tx".to_string(),
+            ComponentKind::Receiver => "rx".to_string(),
+            ComponentKind::Otis { groups, group_size } => format!("OTIS({groups},{group_size})"),
+            ComponentKind::Multiplexer { inputs } => format!("mux({inputs})"),
+            ComponentKind::BeamSplitter { outputs } => format!("split({outputs})"),
+            ComponentKind::OpsCoupler { degree } => format!("OPS({degree})"),
+            ComponentKind::Fiber => "fiber".to_string(),
+        }
+    }
+}
+
+/// A placed component: its kind plus a free-form label (used by the designs
+/// to record which group / coupler / processor the part belongs to).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// What the component is.
+    pub kind: ComponentKind,
+    /// Human-readable label, e.g. `"group 3 transmitter-side OTIS"`.
+    pub label: String,
+}
+
+impl Component {
+    /// Creates a labelled component.
+    pub fn new(kind: ComponentKind, label: impl Into<String>) -> Self {
+        Component { kind, label: label.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_counts() {
+        assert_eq!(ComponentKind::Transmitter.input_count(), 0);
+        assert_eq!(ComponentKind::Transmitter.output_count(), 1);
+        assert_eq!(ComponentKind::Receiver.input_count(), 1);
+        assert_eq!(ComponentKind::Receiver.output_count(), 0);
+        let otis = ComponentKind::Otis { groups: 3, group_size: 6 };
+        assert_eq!(otis.input_count(), 18);
+        assert_eq!(otis.output_count(), 18);
+        assert_eq!(ComponentKind::Multiplexer { inputs: 6 }.input_count(), 6);
+        assert_eq!(ComponentKind::Multiplexer { inputs: 6 }.output_count(), 1);
+        assert_eq!(ComponentKind::BeamSplitter { outputs: 4 }.output_count(), 4);
+        assert_eq!(ComponentKind::OpsCoupler { degree: 4 }.input_count(), 4);
+        assert_eq!(ComponentKind::Fiber.output_count(), 1);
+    }
+
+    #[test]
+    fn otis_propagation_follows_transpose() {
+        let kind = ComponentKind::Otis { groups: 3, group_size: 6 };
+        let otis = Otis::new(3, 6);
+        for input in 0..18 {
+            let out = kind.propagate(input);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].0, otis.map_index(input));
+            assert!(out[0].1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn multiplexer_funnels_to_single_output() {
+        let kind = ComponentKind::Multiplexer { inputs: 5 };
+        for input in 0..5 {
+            assert_eq!(kind.propagate(input).len(), 1);
+            assert_eq!(kind.propagate(input)[0].0, 0);
+        }
+    }
+
+    #[test]
+    fn splitter_broadcasts_with_1_over_z_loss() {
+        let kind = ComponentKind::BeamSplitter { outputs: 4 };
+        let out = kind.propagate(0);
+        assert_eq!(out.len(), 4);
+        // 1/4 split is about 6 dB plus the excess loss.
+        for &(port, loss) in &out {
+            assert!(port < 4);
+            assert!((loss - (6.0206 + power::SPLITTER_EXCESS_LOSS_DB)).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn coupler_is_all_to_all() {
+        let kind = ComponentKind::OpsCoupler { degree: 3 };
+        for input in 0..3 {
+            let outs: Vec<usize> = kind.propagate(input).iter().map(|&(p, _)| p).collect();
+            assert_eq!(outs, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn receiver_absorbs() {
+        assert!(ComponentKind::Receiver.propagate(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn propagate_checks_port_range() {
+        ComponentKind::Fiber.propagate(1);
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(
+            ComponentKind::Otis { groups: 6, group_size: 4 }.short_name(),
+            "OTIS(6,4)"
+        );
+        assert_eq!(ComponentKind::OpsCoupler { degree: 6 }.short_name(), "OPS(6)");
+        assert_eq!(ComponentKind::Fiber.short_name(), "fiber");
+    }
+
+    #[test]
+    fn component_labels() {
+        let c = Component::new(ComponentKind::Transmitter, "processor (0,3) transmitter 1");
+        assert_eq!(c.kind, ComponentKind::Transmitter);
+        assert!(c.label.contains("processor"));
+    }
+}

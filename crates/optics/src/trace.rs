@@ -1,0 +1,203 @@
+//! Signal tracing through a netlist.
+//!
+//! Starting from a transmitter, light propagates through the design: each
+//! wire carries it to the next component's input port, and the component's
+//! internal rule ([`crate::components::ComponentKind::propagate`]) determines
+//! which output ports it emerges from (fanning out inside beam-splitters and
+//! OPS couplers) and how much optical power is lost.  Tracing terminates at
+//! receivers.
+//!
+//! The `otis-core` crate uses tracing to *prove* that a design realizes its
+//! target topology: for every transmitter, the set of reached receivers must
+//! match the arcs / hyperarcs of the target graph exactly.
+
+use crate::components::{ComponentId, ComponentKind};
+use crate::netlist::{Netlist, PortRef};
+use std::collections::VecDeque;
+
+/// One receiver reached from a traced transmitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceResult {
+    /// The receiver component reached.
+    pub receiver: ComponentId,
+    /// Total optical loss accumulated on the path, in dB.
+    pub loss_db: f64,
+    /// Number of components traversed between the transmitter and the
+    /// receiver (exclusive of both).
+    pub components_traversed: usize,
+}
+
+/// Traces the light emitted by `transmitter` through the netlist and returns
+/// every receiver it reaches, sorted by receiver identifier.
+///
+/// If several optical paths reach the same receiver (which does not happen in
+/// any of the paper's designs but is physically possible), the one with the
+/// smallest loss is reported.
+///
+/// # Panics
+/// Panics if `transmitter` is not a transmitter component.
+pub fn trace_from_transmitter(netlist: &Netlist, transmitter: ComponentId) -> Vec<TraceResult> {
+    assert!(
+        matches!(netlist.component(transmitter).kind, ComponentKind::Transmitter),
+        "component {transmitter} is not a transmitter"
+    );
+    let mut results: std::collections::BTreeMap<ComponentId, TraceResult> =
+        std::collections::BTreeMap::new();
+    // Queue of (output port, accumulated loss, components traversed).
+    let mut queue: VecDeque<(PortRef, f64, usize)> = VecDeque::new();
+    queue.push_back((PortRef::new(transmitter, 0), 0.0, 0));
+
+    while let Some((out_port, loss, depth)) = queue.pop_front() {
+        let Some(in_port) = netlist.destination(out_port) else {
+            continue; // dangling output: light leaves the system
+        };
+        let kind = &netlist.component(in_port.component).kind;
+        match kind {
+            ComponentKind::Receiver => {
+                let entry = TraceResult {
+                    receiver: in_port.component,
+                    loss_db: loss,
+                    components_traversed: depth,
+                };
+                results
+                    .entry(in_port.component)
+                    .and_modify(|existing| {
+                        if loss < existing.loss_db {
+                            *existing = entry.clone();
+                        }
+                    })
+                    .or_insert(entry);
+            }
+            ComponentKind::Transmitter => {
+                unreachable!("transmitters have no input ports, the netlist cannot route into one")
+            }
+            _ => {
+                for (next_out, extra_loss) in kind.propagate(in_port.port) {
+                    queue.push_back((
+                        PortRef::new(in_port.component, next_out),
+                        loss + extra_loss,
+                        depth + 1,
+                    ));
+                }
+            }
+        }
+    }
+    results.into_values().collect()
+}
+
+/// Convenience: the set of receivers reached (identifiers only).
+pub fn reachable_receivers(netlist: &Netlist, transmitter: ComponentId) -> Vec<ComponentId> {
+    trace_from_transmitter(netlist, transmitter)
+        .into_iter()
+        .map(|r| r.receiver)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power;
+
+    /// tx -> mux(2) -> splitter(3) -> three receivers, plus a second tx into
+    /// the same mux.
+    fn chain() -> (Netlist, ComponentId, ComponentId, Vec<ComponentId>) {
+        let mut n = Netlist::new();
+        let tx0 = n.add(ComponentKind::Transmitter, "tx0");
+        let tx1 = n.add(ComponentKind::Transmitter, "tx1");
+        let mux = n.add(ComponentKind::Multiplexer { inputs: 2 }, "mux");
+        let split = n.add(ComponentKind::BeamSplitter { outputs: 3 }, "split");
+        let rxs: Vec<ComponentId> = (0..3)
+            .map(|i| n.add(ComponentKind::Receiver, format!("rx{i}")))
+            .collect();
+        n.connect(PortRef::new(tx0, 0), PortRef::new(mux, 0));
+        n.connect(PortRef::new(tx1, 0), PortRef::new(mux, 1));
+        n.connect(PortRef::new(mux, 0), PortRef::new(split, 0));
+        for (i, &rx) in rxs.iter().enumerate() {
+            n.connect(PortRef::new(split, i), PortRef::new(rx, 0));
+        }
+        (n, tx0, tx1, rxs)
+    }
+
+    #[test]
+    fn trace_reaches_all_receivers() {
+        let (n, tx0, tx1, rxs) = chain();
+        let reached = reachable_receivers(&n, tx0);
+        assert_eq!(reached, rxs);
+        let reached1 = reachable_receivers(&n, tx1);
+        assert_eq!(reached1, rxs);
+    }
+
+    #[test]
+    fn loss_accumulates() {
+        let (n, tx0, _, _) = chain();
+        let results = trace_from_transmitter(&n, tx0);
+        let expected = power::MULTIPLEXER_LOSS_DB
+            + power::splitting_loss_db(3)
+            + power::SPLITTER_EXCESS_LOSS_DB;
+        for r in &results {
+            assert!((r.loss_db - expected).abs() < 1e-9);
+            assert_eq!(r.components_traversed, 2);
+        }
+    }
+
+    #[test]
+    fn otis_trace_is_point_to_point() {
+        let mut n = Netlist::new();
+        let otis = n.add(ComponentKind::Otis { groups: 2, group_size: 3 }, "otis");
+        let txs: Vec<_> = (0..6).map(|i| n.add(ComponentKind::Transmitter, format!("tx{i}"))).collect();
+        let rxs: Vec<_> = (0..6).map(|i| n.add(ComponentKind::Receiver, format!("rx{i}"))).collect();
+        for (i, &tx) in txs.iter().enumerate() {
+            n.connect(PortRef::new(tx, 0), PortRef::new(otis, i));
+        }
+        for (i, &rx) in rxs.iter().enumerate() {
+            n.connect(PortRef::new(otis, i), PortRef::new(rx, 0));
+        }
+        let o = crate::otis::Otis::new(2, 3);
+        for (i, &tx) in txs.iter().enumerate() {
+            let reached = reachable_receivers(&n, tx);
+            assert_eq!(reached.len(), 1);
+            assert_eq!(reached[0], rxs[o.map_index(i)]);
+        }
+    }
+
+    #[test]
+    fn dangling_output_loses_light() {
+        let mut n = Netlist::new();
+        let tx = n.add(ComponentKind::Transmitter, "tx");
+        let split = n.add(ComponentKind::BeamSplitter { outputs: 2 }, "split");
+        let rx = n.add(ComponentKind::Receiver, "rx");
+        n.connect(PortRef::new(tx, 0), PortRef::new(split, 0));
+        n.connect(PortRef::new(split, 0), PortRef::new(rx, 0));
+        // split output 1 left dangling.
+        let reached = reachable_receivers(&n, tx);
+        assert_eq!(reached, vec![rx]);
+    }
+
+    #[test]
+    fn unconnected_transmitter_reaches_nothing() {
+        let mut n = Netlist::new();
+        let tx = n.add(ComponentKind::Transmitter, "tx");
+        assert!(trace_from_transmitter(&n, tx).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a transmitter")]
+    fn tracing_from_non_transmitter_panics() {
+        let mut n = Netlist::new();
+        let rx = n.add(ComponentKind::Receiver, "rx");
+        trace_from_transmitter(&n, rx);
+    }
+
+    #[test]
+    fn fiber_passthrough() {
+        let mut n = Netlist::new();
+        let tx = n.add(ComponentKind::Transmitter, "tx");
+        let fiber = n.add(ComponentKind::Fiber, "loop");
+        let rx = n.add(ComponentKind::Receiver, "rx");
+        n.connect(PortRef::new(tx, 0), PortRef::new(fiber, 0));
+        n.connect(PortRef::new(fiber, 0), PortRef::new(rx, 0));
+        let results = trace_from_transmitter(&n, tx);
+        assert_eq!(results.len(), 1);
+        assert!((results[0].loss_db - power::FIBER_LOSS_DB).abs() < 1e-12);
+    }
+}

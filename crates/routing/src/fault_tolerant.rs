@@ -1,0 +1,244 @@
+//! Fault-tolerant routing.
+//!
+//! §2.5 of the paper cites Imase, Soneoka and Okada: the label routing of the
+//! Kautz graph "can be extended to generate a path of length at most `k + 2`
+//! which survives `d − 1` link or node faults".  This module provides
+//!
+//! * a [`FaultSet`] describing failed nodes and arcs,
+//! * [`fault_tolerant_route`], which finds a shortest fault-avoiding path,
+//! * [`validate_kautz_fault_bound`], which checks the `≤ k + 2` claim on a
+//!   concrete Kautz instance under every (or a sampled set of) fault pattern
+//!   of size `d − 1` — the empirical validation used by experiment T4.
+
+use otis_graphs::algorithms::shortest_path_avoiding;
+use otis_graphs::{Digraph, NodeId};
+use std::collections::HashSet;
+
+/// A set of failed nodes and failed arcs.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSet {
+    failed_nodes: HashSet<NodeId>,
+    failed_arcs: HashSet<(NodeId, NodeId)>,
+}
+
+impl FaultSet {
+    /// An empty fault set.
+    pub fn new() -> Self {
+        FaultSet::default()
+    }
+
+    /// Marks a node as failed (all its incident arcs become unusable).
+    pub fn fail_node(&mut self, node: NodeId) -> &mut Self {
+        self.failed_nodes.insert(node);
+        self
+    }
+
+    /// Marks a single arc as failed.
+    pub fn fail_arc(&mut self, from: NodeId, to: NodeId) -> &mut Self {
+        self.failed_arcs.insert((from, to));
+        self
+    }
+
+    /// Total number of faults (failed nodes plus failed arcs).
+    pub fn len(&self) -> usize {
+        self.failed_nodes.len() + self.failed_arcs.len()
+    }
+
+    /// Whether the fault set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.failed_nodes.is_empty() && self.failed_arcs.is_empty()
+    }
+
+    /// Whether a node has failed.
+    pub fn node_failed(&self, node: NodeId) -> bool {
+        self.failed_nodes.contains(&node)
+    }
+
+    /// Whether traversing the arc `(from, to)` is forbidden (the arc itself
+    /// failed, or one of its endpoints failed).
+    pub fn blocks(&self, from: NodeId, to: NodeId) -> bool {
+        self.failed_arcs.contains(&(from, to))
+            || self.failed_nodes.contains(&from)
+            || self.failed_nodes.contains(&to)
+    }
+}
+
+/// Finds a shortest path from `src` to `dst` avoiding every fault in
+/// `faults`.  Returns `None` when the faults disconnect the pair (or when an
+/// endpoint itself has failed).
+pub fn fault_tolerant_route(
+    g: &Digraph,
+    src: NodeId,
+    dst: NodeId,
+    faults: &FaultSet,
+) -> Option<Vec<NodeId>> {
+    if faults.node_failed(src) || faults.node_failed(dst) {
+        return None;
+    }
+    shortest_path_avoiding(g, src, dst, |u, v| faults.blocks(u, v))
+}
+
+/// Outcome of validating the Kautz fault-tolerance bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultBoundReport {
+    /// Number of (source, destination, fault-pattern) cases examined.
+    pub cases: usize,
+    /// Longest fault-avoiding route observed.
+    pub worst_length: usize,
+    /// The bound that was checked (`k + 2`).
+    pub bound: usize,
+    /// Number of cases where no route existed (should be 0 for fewer than
+    /// `d` node faults on a Kautz graph, whose connectivity is `d`).
+    pub disconnected: usize,
+}
+
+impl FaultBoundReport {
+    /// Whether every examined case satisfied the bound and stayed connected.
+    pub fn holds(&self) -> bool {
+        self.disconnected == 0 && self.worst_length <= self.bound
+    }
+}
+
+/// Validates, on the digraph `g` assumed to be `KG(d, k)`, that for every
+/// source/destination pair (with both alive) and every provided fault
+/// pattern of at most `d − 1` failed nodes, a route of length at most
+/// `k + 2` exists.
+///
+/// `fault_patterns` lets the caller choose exhaustive enumeration (small
+/// instances) or random sampling (larger ones).
+pub fn validate_kautz_fault_bound(
+    g: &Digraph,
+    d: usize,
+    k: usize,
+    fault_patterns: &[Vec<NodeId>],
+) -> FaultBoundReport {
+    let bound = k + 2;
+    let mut cases = 0usize;
+    let mut worst = 0usize;
+    let mut disconnected = 0usize;
+    for pattern in fault_patterns {
+        assert!(
+            pattern.len() < d,
+            "fault pattern has {} faults, the claim only covers up to d-1 = {}",
+            pattern.len(),
+            d - 1
+        );
+        let mut faults = FaultSet::new();
+        for &node in pattern {
+            faults.fail_node(node);
+        }
+        for src in 0..g.node_count() {
+            if faults.node_failed(src) {
+                continue;
+            }
+            for dst in 0..g.node_count() {
+                if src == dst || faults.node_failed(dst) {
+                    continue;
+                }
+                cases += 1;
+                match fault_tolerant_route(g, src, dst, &faults) {
+                    Some(path) => worst = worst.max(path.len() - 1),
+                    None => disconnected += 1,
+                }
+            }
+        }
+    }
+    FaultBoundReport {
+        cases,
+        worst_length: worst,
+        bound,
+        disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_graphs::algorithms::is_valid_path;
+    use otis_topologies::kautz;
+
+    #[test]
+    fn fault_set_blocking_rules() {
+        let mut f = FaultSet::new();
+        assert!(f.is_empty());
+        f.fail_node(3);
+        f.fail_arc(0, 1);
+        assert_eq!(f.len(), 2);
+        assert!(f.blocks(0, 1));
+        assert!(f.blocks(3, 2));
+        assert!(f.blocks(2, 3));
+        assert!(!f.blocks(1, 0));
+        assert!(f.node_failed(3));
+        assert!(!f.node_failed(0));
+    }
+
+    #[test]
+    fn route_avoids_failed_arc() {
+        let g = kautz(2, 2);
+        // Pick any arc on some shortest path and fail it; a route must still
+        // exist and avoid it.
+        let mut faults = FaultSet::new();
+        let arc = g.arcs()[0];
+        faults.fail_arc(arc.source, arc.target);
+        let path = fault_tolerant_route(&g, arc.source, arc.target, &faults)
+            .expect("KG(2,2) is 2-connected, one arc fault cannot disconnect it");
+        assert!(is_valid_path(&g, &path));
+        assert!(!path.windows(2).any(|w| (w[0], w[1]) == (arc.source, arc.target)));
+    }
+
+    #[test]
+    fn failed_endpoint_has_no_route() {
+        let g = kautz(2, 2);
+        let mut faults = FaultSet::new();
+        faults.fail_node(0);
+        assert_eq!(fault_tolerant_route(&g, 0, 3, &faults), None);
+        assert_eq!(fault_tolerant_route(&g, 3, 0, &faults), None);
+    }
+
+    #[test]
+    fn kautz_bound_holds_exhaustively_for_small_instances() {
+        // KG(2, 2): d - 1 = 1 fault; enumerate every single-node fault.
+        let (d, k) = (2, 2);
+        let g = kautz(d, k);
+        let patterns: Vec<Vec<usize>> = (0..g.node_count()).map(|u| vec![u]).collect();
+        let report = validate_kautz_fault_bound(&g, d, k, &patterns);
+        assert!(report.holds(), "{report:?}");
+        assert_eq!(report.disconnected, 0);
+        assert!(report.worst_length <= k + 2);
+        assert!(report.cases > 0);
+    }
+
+    #[test]
+    fn kautz_bound_holds_for_kg_3_2_with_two_faults() {
+        let (d, k) = (3, 2);
+        let g = kautz(d, k);
+        // All unordered pairs of failed nodes (d - 1 = 2 faults).
+        let mut patterns = Vec::new();
+        for a in 0..g.node_count() {
+            for b in (a + 1)..g.node_count() {
+                patterns.push(vec![a, b]);
+            }
+        }
+        let report = validate_kautz_fault_bound(&g, d, k, &patterns);
+        assert!(report.holds(), "{report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "only covers up to")]
+    fn too_many_faults_rejected() {
+        let g = kautz(2, 2);
+        validate_kautz_fault_bound(&g, 2, 2, &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn no_faults_reduces_to_shortest_path() {
+        let g = kautz(2, 3);
+        let faults = FaultSet::new();
+        for src in 0..g.node_count() {
+            for dst in 0..g.node_count() {
+                let path = fault_tolerant_route(&g, src, dst, &faults).unwrap();
+                assert!(path.len() - 1 <= 3);
+            }
+        }
+    }
+}

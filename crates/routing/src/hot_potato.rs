@@ -1,0 +1,215 @@
+//! Hot-potato (deflection) routing.
+//!
+//! The single-OPS / point-to-point baseline the multi-OPS designs are
+//! compared against (Zhang & Acampora, ref [25] of the paper) uses hot-potato
+//! routing: a node never buffers a transit message — in every slot each
+//! incoming message must leave on *some* output link, preferably one on a
+//! shortest path to its destination, otherwise it is *deflected* onto any
+//! free link.  This module provides the per-node decision procedure; the
+//! slotted simulator drives it.
+
+use crate::table::RoutingTable;
+use otis_graphs::{Digraph, NodeId};
+use rand::Rng;
+
+/// A hot-potato routing oracle for one digraph.
+#[derive(Debug, Clone)]
+pub struct HotPotatoRouter {
+    graph: Digraph,
+    table: RoutingTable,
+}
+
+impl HotPotatoRouter {
+    /// Builds the oracle (precomputes shortest-path distances).
+    pub fn new(graph: Digraph) -> Self {
+        let table = RoutingTable::new(&graph);
+        HotPotatoRouter { graph, table }
+    }
+
+    /// The underlying digraph.
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// Distance oracle (hops) from `src` to `dst`.
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        self.table.distance(src, dst)
+    }
+
+    /// Ranks the output ports of `node` for a message heading to `dst`:
+    /// returns the out-neighbour indices (positions within
+    /// `graph.out_neighbors(node)`) sorted from most preferred (closest to
+    /// the destination) to least preferred.  Deflection = being assigned a
+    /// port far down this list.
+    pub fn ranked_ports(&self, node: NodeId, dst: NodeId) -> Vec<usize> {
+        let neighbors = self.graph.out_neighbors(node);
+        let mut ranked: Vec<(u32, usize)> = neighbors
+            .iter()
+            .enumerate()
+            .map(|(port, &next)| {
+                let d = self.table.distance(next, dst).unwrap_or(u32::MAX);
+                (d, port)
+            })
+            .collect();
+        ranked.sort();
+        ranked.into_iter().map(|(_, port)| port).collect()
+    }
+
+    /// Chooses an output port for a message at `node` heading to `dst`, given
+    /// which ports are still free this slot.  Returns the most preferred free
+    /// port, or `None` when every port is taken (the caller must then drop or
+    /// buffer, depending on its model).
+    pub fn choose_port(&self, node: NodeId, dst: NodeId, port_free: &[bool]) -> Option<usize> {
+        assert_eq!(port_free.len(), self.graph.out_degree(node), "port mask length mismatch");
+        self.ranked_ports(node, dst)
+            .into_iter()
+            .find(|&p| port_free[p])
+    }
+
+    /// Like [`HotPotatoRouter::choose_port`] but breaks ties among equally
+    /// good free ports uniformly at random (the classical randomised
+    /// deflection rule); still prefers strictly closer ports first.
+    pub fn choose_port_randomized<R: Rng>(
+        &self,
+        node: NodeId,
+        dst: NodeId,
+        port_free: &[bool],
+        rng: &mut R,
+    ) -> Option<usize> {
+        assert_eq!(port_free.len(), self.graph.out_degree(node), "port mask length mismatch");
+        let neighbors = self.graph.out_neighbors(node);
+        let mut best: Option<(u32, Vec<usize>)> = None;
+        for (port, &next) in neighbors.iter().enumerate() {
+            if !port_free[port] {
+                continue;
+            }
+            let d = self.table.distance(next, dst).unwrap_or(u32::MAX);
+            match &mut best {
+                None => best = Some((d, vec![port])),
+                Some((bd, ports)) => {
+                    if d < *bd {
+                        *bd = d;
+                        ports.clear();
+                        ports.push(port);
+                    } else if d == *bd {
+                        ports.push(port);
+                    }
+                }
+            }
+        }
+        best.map(|(_, ports)| ports[rng.gen_range(0..ports.len())])
+    }
+
+    /// Whether sending through `port` at `node` makes progress (strictly
+    /// decreases the distance) towards `dst`.
+    pub fn is_progress_port(&self, node: NodeId, dst: NodeId, port: usize) -> bool {
+        let next = self.graph.out_neighbors(node)[port];
+        match (self.table.distance(node, dst), self.table.distance(next, dst)) {
+            (Some(here), Some(there)) => there < here,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_topologies::de_bruijn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preferred_port_is_on_a_shortest_path() {
+        let router = HotPotatoRouter::new(de_bruijn(2, 3));
+        let g = router.graph().clone();
+        for src in 0..g.node_count() {
+            for dst in 0..g.node_count() {
+                if src == dst {
+                    continue;
+                }
+                let all_free = vec![true; g.out_degree(src)];
+                let port = router.choose_port(src, dst, &all_free).unwrap();
+                let next = g.out_neighbors(src)[port];
+                assert_eq!(
+                    router.distance(next, dst).unwrap() + 1,
+                    router.distance(src, dst).unwrap().max(1),
+                    "{src}->{dst} via {next}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deflection_when_preferred_port_is_busy() {
+        let router = HotPotatoRouter::new(de_bruijn(2, 2));
+        let g = router.graph().clone();
+        let src = 1;
+        let dst = 2;
+        let ranked = router.ranked_ports(src, dst);
+        // Block the preferred port: the router must pick another one.
+        let mut free = vec![true; g.out_degree(src)];
+        free[ranked[0]] = false;
+        let chosen = router.choose_port(src, dst, &free).unwrap();
+        assert_ne!(chosen, ranked[0]);
+    }
+
+    #[test]
+    fn no_free_port_returns_none() {
+        let router = HotPotatoRouter::new(de_bruijn(2, 2));
+        assert_eq!(router.choose_port(0, 3, &[false, false]), None);
+    }
+
+    #[test]
+    fn randomized_choice_is_among_best_free_ports() {
+        let router = HotPotatoRouter::new(de_bruijn(2, 3));
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = router.graph().clone();
+        for src in 0..g.node_count() {
+            for dst in 0..g.node_count() {
+                if src == dst {
+                    continue;
+                }
+                let free = vec![true; g.out_degree(src)];
+                let det = router.choose_port(src, dst, &free).unwrap();
+                let rand_port = router
+                    .choose_port_randomized(src, dst, &free, &mut rng)
+                    .unwrap();
+                let next_det = g.out_neighbors(src)[det];
+                let next_rand = g.out_neighbors(src)[rand_port];
+                assert_eq!(
+                    router.distance(next_det, dst),
+                    router.distance(next_rand, dst),
+                    "randomized pick must be as good as the deterministic one"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn progress_port_detection() {
+        let router = HotPotatoRouter::new(de_bruijn(2, 3));
+        let g = router.graph().clone();
+        for src in 0..g.node_count() {
+            for dst in 0..g.node_count() {
+                if src == dst {
+                    continue;
+                }
+                let ranked = router.ranked_ports(src, dst);
+                // The top-ranked port always makes progress in a de Bruijn
+                // graph (there is always a shortest-path port).
+                assert!(router.is_progress_port(src, dst, ranked[0]) || g.has_arc(src, dst) == false && router.distance(src, dst) == Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_ports_cover_all_out_arcs() {
+        let router = HotPotatoRouter::new(de_bruijn(3, 2));
+        for node in 0..router.graph().node_count() {
+            let ranked = router.ranked_ports(node, 0);
+            assert_eq!(ranked.len(), router.graph().out_degree(node));
+            let set: std::collections::HashSet<_> = ranked.iter().collect();
+            assert_eq!(set.len(), ranked.len());
+        }
+    }
+}

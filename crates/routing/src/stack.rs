@@ -1,0 +1,248 @@
+//! Routing in stack-graphs (stack-Kautz, stack-Imase–Itoh, POPS).
+//!
+//! A route in a multi-OPS network modelled by a stack-graph `ς(s, G)` is a
+//! sequence of optical hops; each hop uses one OPS coupler, i.e. one arc of
+//! the quotient `G`.  Because every processor of a group can transmit on all
+//! of its group's couplers and every processor of the destination group hears
+//! them, routing reduces to routing in the quotient: the group-level path is
+//! computed first (here with a [`RoutingTable`] over the quotient, so any
+//! quotient works), and the in-group destination index only matters at the
+//! final hop.  This is exactly why the paper says the stack-Kautz network
+//! "inherits" the Kautz graph's shortest-path routing.
+
+use crate::table::RoutingTable;
+use otis_graphs::{NodeId, StackGraph};
+
+/// One hop of a stack-graph route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackHop {
+    /// The quotient arc (OPS coupler) used, identified by its arc index in
+    /// the quotient digraph.
+    pub coupler: usize,
+    /// The processor that receives the message at the end of this hop.
+    pub receiver: NodeId,
+}
+
+/// A complete route between two processors of a stack-graph network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackRoute {
+    /// The source processor (flat identifier).
+    pub source: NodeId,
+    /// The destination processor (flat identifier).
+    pub destination: NodeId,
+    /// The optical hops, in order.  Empty when source == destination.
+    pub hops: Vec<StackHop>,
+}
+
+impl StackRoute {
+    /// Number of optical hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the route is empty (source equals destination).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
+
+/// A router for one stack-graph network.
+#[derive(Debug, Clone)]
+pub struct StackRouter {
+    stack: StackGraph,
+    quotient_table: RoutingTable,
+}
+
+impl StackRouter {
+    /// Builds a router for the given stack-graph (precomputes the quotient
+    /// routing table).
+    pub fn new(stack: StackGraph) -> Self {
+        let quotient_table = RoutingTable::new(stack.quotient());
+        StackRouter { stack, quotient_table }
+    }
+
+    /// The stack-graph this router serves.
+    pub fn stack_graph(&self) -> &StackGraph {
+        &self.stack
+    }
+
+    /// Routes from processor `src` to processor `dst` (flat identifiers).
+    ///
+    /// Intermediate hops are received by the processor of the intermediate
+    /// group whose in-group index equals the destination's index (any choice
+    /// would do — the coupler broadcast reaches the whole group — and this
+    /// deterministic choice makes routes reproducible).  Returns `None` when
+    /// the quotient offers no path.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<StackRoute> {
+        let s = self.stack.stacking_factor();
+        let src_sn = self.stack.to_stack_node(src);
+        let dst_sn = self.stack.to_stack_node(dst);
+        if src == dst {
+            return Some(StackRoute { source: src, destination: dst, hops: Vec::new() });
+        }
+
+        // Same group, different processor: one hop over the group's loop
+        // coupler if the quotient has one, otherwise route around.
+        let quotient = self.stack.quotient();
+        let mut group_path: Vec<NodeId> = if src_sn.group == dst_sn.group {
+            if quotient.has_arc(src_sn.group, src_sn.group) {
+                vec![src_sn.group, src_sn.group]
+            } else {
+                // No loop coupler: go out and come back via the quotient.
+                let out = self.quotient_table.route(src_sn.group, dst_sn.group)?;
+                if out.len() == 1 {
+                    // Route of length 0 but no loop: find a neighbour to bounce off.
+                    let via = *quotient.out_neighbors(src_sn.group).first()?;
+                    let back = self.quotient_table.route(via, dst_sn.group)?;
+                    let mut p = vec![src_sn.group];
+                    p.extend(back);
+                    p
+                } else {
+                    out
+                }
+            }
+        } else {
+            self.quotient_table.route(src_sn.group, dst_sn.group)?
+        };
+
+        // Degenerate safety: ensure the path starts at the source group.
+        debug_assert_eq!(group_path.first(), Some(&src_sn.group));
+        if group_path.len() == 1 {
+            group_path.push(dst_sn.group);
+        }
+
+        let mut hops = Vec::with_capacity(group_path.len() - 1);
+        for w in group_path.windows(2) {
+            let (from, to) = (w[0], w[1]);
+            // The coupler is the quotient arc from `from` to `to`; use the
+            // first matching arc id (parallel arcs are interchangeable).
+            let coupler = quotient
+                .out_arc_ids(from)
+                .iter()
+                .copied()
+                .find(|&id| quotient.arc(id).unwrap().target == to)
+                .expect("group path follows quotient arcs");
+            let receiver_group = to;
+            let receiver = self
+                .stack
+                .to_flat(otis_graphs::StackNode::new(dst_sn.index.min(s - 1), receiver_group));
+            hops.push(StackHop { coupler, receiver });
+        }
+        // The last hop must deliver to the actual destination processor.
+        if let Some(last) = hops.last_mut() {
+            last.receiver = dst;
+        }
+        Some(StackRoute { source: src, destination: dst, hops })
+    }
+
+    /// The number of optical hops of the route from `src` to `dst`, or `None`
+    /// when unreachable.
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        self.route(src, dst).map(|r| r.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_topologies::{Pops, StackKautz};
+
+    fn validate_route(router: &StackRouter, route: &StackRoute) {
+        let stack = router.stack_graph();
+        let quotient = stack.quotient();
+        let mut current_group = stack.to_stack_node(route.source).group;
+        for hop in &route.hops {
+            let arc = quotient.arc(hop.coupler).unwrap();
+            assert_eq!(arc.source, current_group, "hop leaves the wrong group");
+            assert_eq!(
+                stack.to_stack_node(hop.receiver).group,
+                arc.target,
+                "hop receiver not in the coupler's destination group"
+            );
+            current_group = arc.target;
+        }
+        assert_eq!(
+            current_group,
+            stack.to_stack_node(route.destination).group,
+            "route does not end in the destination group"
+        );
+        if let Some(last) = route.hops.last() {
+            assert_eq!(last.receiver, route.destination);
+        }
+    }
+
+    #[test]
+    fn stack_kautz_routes_within_diameter() {
+        let sk = StackKautz::new(3, 2, 2);
+        let router = StackRouter::new(sk.stack_graph().clone());
+        for src in 0..sk.node_count() {
+            for dst in 0..sk.node_count() {
+                let route = router.route(src, dst).expect("SK is strongly connected");
+                validate_route(&router, &route);
+                assert!(
+                    route.len() <= 2,
+                    "SK(3,2,2) has diameter 2, route {src}->{dst} used {} hops",
+                    route.len()
+                );
+                if src == dst {
+                    assert!(route.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pops_routes_are_single_hop() {
+        let pops = Pops::new(4, 2);
+        let router = StackRouter::new(pops.stack_graph().clone());
+        for src in 0..pops.node_count() {
+            for dst in 0..pops.node_count() {
+                if src == dst {
+                    continue;
+                }
+                let route = router.route(src, dst).unwrap();
+                validate_route(&router, &route);
+                assert_eq!(route.len(), 1, "POPS is single-hop");
+            }
+        }
+    }
+
+    #[test]
+    fn same_group_uses_loop_coupler() {
+        let sk = StackKautz::new(4, 2, 2);
+        let router = StackRouter::new(sk.stack_graph().clone());
+        let a = sk.processor(3, 0);
+        let b = sk.processor(3, 2);
+        let route = router.route(a, b).unwrap();
+        assert_eq!(route.len(), 1);
+        let arc = sk.stack_graph().quotient().arc(route.hops[0].coupler).unwrap();
+        assert!(arc.is_loop());
+    }
+
+    #[test]
+    fn hop_count_matches_route_length() {
+        let sk = StackKautz::new(2, 2, 3);
+        let router = StackRouter::new(sk.stack_graph().clone());
+        for src in (0..sk.node_count()).step_by(5) {
+            for dst in (0..sk.node_count()).step_by(7) {
+                assert_eq!(
+                    router.hop_count(src, dst).unwrap(),
+                    router.route(src, dst).unwrap().len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stack_kautz_diameter_bound_over_all_pairs() {
+        let sk = StackKautz::new(2, 2, 3);
+        let router = StackRouter::new(sk.stack_graph().clone());
+        let mut worst = 0;
+        for src in 0..sk.node_count() {
+            for dst in 0..sk.node_count() {
+                worst = worst.max(router.route(src, dst).unwrap().len());
+            }
+        }
+        assert_eq!(worst, 3, "SK(2,2,3) routes must peak at the quotient diameter");
+    }
+}

@@ -1,0 +1,42 @@
+//! # otis-sim
+//!
+//! A slotted discrete-event simulator for multi-OPS lightwave networks.
+//!
+//! The paper itself reports no measurements — its evaluation is the optical
+//! constructions — but its motivation rests on companion work comparing
+//! graph (single-OPS, point-to-point) and hypergraph (multi-OPS) topologies
+//! under load (refs [7], [11], [25]).  This crate provides the simulation
+//! substrate needed to regenerate that comparison *shape*:
+//!
+//! * time is slotted; a single-wavelength OPS coupler carries **one** message
+//!   per slot (the behavioural fact inherited from `otis-optics`);
+//! * [`multi_ops`] simulates any stack-graph network (POPS, stack-Kautz,
+//!   stack-Imase–Itoh): messages follow the group-level routes of
+//!   `otis-routing`, and per-coupler [`arbitration`] decides which waiting
+//!   sender wins each slot;
+//! * [`hot_potato`] simulates the single-OPS point-to-point baseline
+//!   (de Bruijn / Kautz with deflection routing, ref [25]);
+//! * [`traffic`] generates uniform, permutation, hot-spot and broadcast
+//!   workloads; [`metrics`] aggregates latency, throughput and utilisation;
+//!   [`scenarios`] packages the head-to-head comparisons used by the
+//!   benchmark harness (experiment T5).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(clippy::all)]
+
+pub mod arbitration;
+pub mod hot_potato;
+pub mod message;
+pub mod metrics;
+pub mod multi_ops;
+pub mod scenarios;
+pub mod traffic;
+
+pub use arbitration::ArbitrationPolicy;
+pub use hot_potato::{HotPotatoSim, HotPotatoSimConfig};
+pub use message::Message;
+pub use metrics::SimMetrics;
+pub use multi_ops::{MultiOpsSim, MultiOpsSimConfig};
+pub use scenarios::{compare_networks, ComparisonRow};
+pub use traffic::TrafficPattern;

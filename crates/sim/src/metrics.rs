@@ -1,0 +1,133 @@
+//! Simulation metrics.
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMetrics {
+    /// Number of processors simulated.
+    pub processors: usize,
+    /// Number of slots simulated.
+    pub slots: u64,
+    /// Messages injected.
+    pub injected: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages dropped (hot-potato with no free port, or still queued at the
+    /// end of the run — reported separately as `in_flight`).
+    pub dropped: u64,
+    /// Messages still in flight when the run ended.
+    pub in_flight: u64,
+    /// Sum of end-to-end latencies of delivered messages, in slots.
+    pub total_latency: u64,
+    /// Largest observed latency.
+    pub max_latency: u64,
+    /// Sum of hop counts of delivered messages.
+    pub total_hops: u64,
+    /// Number of coupler/link grants issued (used slots across all couplers).
+    pub grants: u64,
+    /// Number of couplers or links in the network (for utilisation).
+    pub channels: usize,
+}
+
+impl SimMetrics {
+    /// A zeroed metrics record.
+    pub fn new(processors: usize, channels: usize) -> Self {
+        SimMetrics {
+            processors,
+            slots: 0,
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            in_flight: 0,
+            total_latency: 0,
+            max_latency: 0,
+            total_hops: 0,
+            grants: 0,
+            channels,
+        }
+    }
+
+    /// Average end-to-end latency of delivered messages, in slots.
+    pub fn average_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            f64::NAN
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Average number of optical hops per delivered message.
+    pub fn average_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            f64::NAN
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Delivered messages per processor per slot (accepted throughput).
+    pub fn throughput(&self) -> f64 {
+        if self.slots == 0 || self.processors == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / (self.slots as f64 * self.processors as f64)
+        }
+    }
+
+    /// Fraction of channel-slots actually used, in `[0, 1]`.
+    pub fn channel_utilization(&self) -> f64 {
+        if self.slots == 0 || self.channels == 0 {
+            0.0
+        } else {
+            self.grants as f64 / (self.slots as f64 * self.channels as f64)
+        }
+    }
+
+    /// Fraction of injected messages that were delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            f64::NAN
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+
+    /// Records a delivery.
+    pub fn record_delivery(&mut self, latency: u64, hops: u32) {
+        self.delivered += 1;
+        self.total_latency += latency;
+        self.max_latency = self.max_latency.max(latency);
+        self.total_hops += u64::from(hops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages() {
+        let mut m = SimMetrics::new(10, 5);
+        m.slots = 100;
+        m.injected = 50;
+        m.record_delivery(4, 2);
+        m.record_delivery(6, 3);
+        m.grants = 40;
+        assert_eq!(m.delivered, 2);
+        assert!((m.average_latency() - 5.0).abs() < 1e-12);
+        assert!((m.average_hops() - 2.5).abs() < 1e-12);
+        assert!((m.throughput() - 0.002).abs() < 1e-12);
+        assert!((m.channel_utilization() - 0.08).abs() < 1e-12);
+        assert!((m.delivery_ratio() - 0.04).abs() < 1e-12);
+        assert_eq!(m.max_latency, 6);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let m = SimMetrics::new(0, 0);
+        assert!(m.average_latency().is_nan());
+        assert!(m.average_hops().is_nan());
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.channel_utilization(), 0.0);
+        assert!(m.delivery_ratio().is_nan());
+    }
+}

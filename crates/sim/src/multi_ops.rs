@@ -1,0 +1,273 @@
+//! Slotted simulation of multi-OPS (stack-graph) networks.
+//!
+//! The model follows the behavioural facts established by the optics layer:
+//!
+//! * time is divided into slots;
+//! * each OPS coupler is single-wavelength, so it carries **one** message per
+//!   slot, chosen by an [`ArbitrationPolicy`] among the processors of its
+//!   tail that have a message queued for it;
+//! * a processor has one transmitter per coupler it feeds and one receiver
+//!   per coupler it hears (as in the OTIS designs), so it can take part in
+//!   several couplers in the same slot;
+//! * messages follow the group-level routes of
+//!   [`otis_routing::StackRouter`]; intermediate processors re-queue the
+//!   message for its next-hop coupler in the following slot.
+
+use crate::arbitration::ArbitrationPolicy;
+use crate::message::Message;
+use crate::metrics::SimMetrics;
+use crate::traffic::TrafficPattern;
+use otis_graphs::StackGraph;
+use otis_routing::{StackRoute, StackRouter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Configuration of one multi-OPS simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiOpsSimConfig {
+    /// Number of slots to simulate.
+    pub slots: u64,
+    /// Arbitration policy applied at every coupler.
+    pub policy: ArbitrationPolicy,
+    /// Random seed (traffic and random arbitration).
+    pub seed: u64,
+    /// Messages a processor may hold queued per coupler before it stops
+    /// injecting (back-pressure).  `0` means unlimited.
+    pub queue_limit: usize,
+}
+
+impl Default for MultiOpsSimConfig {
+    fn default() -> Self {
+        MultiOpsSimConfig {
+            slots: 1000,
+            policy: ArbitrationPolicy::OldestFirst,
+            seed: 1,
+            queue_limit: 0,
+        }
+    }
+}
+
+/// A message in flight together with its remaining route.
+#[derive(Debug, Clone)]
+struct InFlight {
+    message: Message,
+    route: StackRoute,
+    next_hop: usize,
+    /// The processor currently holding the message (the sender of the next hop).
+    holder: usize,
+}
+
+/// The multi-OPS network simulator.
+#[derive(Debug)]
+pub struct MultiOpsSim {
+    router: StackRouter,
+    config: MultiOpsSimConfig,
+}
+
+impl MultiOpsSim {
+    /// Creates a simulator for the given stack-graph network.
+    pub fn new(stack: StackGraph, config: MultiOpsSimConfig) -> Self {
+        MultiOpsSim {
+            router: StackRouter::new(stack),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MultiOpsSimConfig {
+        &self.config
+    }
+
+    /// Number of processors simulated.
+    pub fn processor_count(&self) -> usize {
+        self.router.stack_graph().node_count()
+    }
+
+    /// Number of couplers simulated.
+    pub fn coupler_count(&self) -> usize {
+        self.router.stack_graph().hyperarc_count()
+    }
+
+    /// Runs the simulation under the given traffic pattern.
+    pub fn run(&self, traffic: &TrafficPattern) -> SimMetrics {
+        let n = self.processor_count();
+        let couplers = self.coupler_count();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut metrics = SimMetrics::new(n, couplers);
+        // One queue per coupler of messages waiting to use it.
+        let mut queues: Vec<VecDeque<InFlight>> = (0..couplers).map(|_| VecDeque::new()).collect();
+        let mut last_winner: Vec<Option<usize>> = vec![None; couplers];
+        let mut next_id: u64 = 0;
+
+        for slot in 0..self.config.slots {
+            metrics.slots = slot + 1;
+
+            // 1. Injection.
+            for (src, dst) in traffic.injections(n, &mut rng).into_iter().enumerate() {
+                let Some(dst) = dst else { continue };
+                let Some(route) = self.router.route(src, dst) else { continue };
+                if route.is_empty() {
+                    continue;
+                }
+                let first_coupler = route.hops[0].coupler;
+                if self.config.queue_limit > 0
+                    && queues[first_coupler].len() >= self.config.queue_limit
+                {
+                    // Back-pressure: the injection is refused, not counted.
+                    continue;
+                }
+                let message = Message::new(next_id, src, dst, slot);
+                next_id += 1;
+                metrics.injected += 1;
+                queues[first_coupler].push_back(InFlight {
+                    message,
+                    route,
+                    next_hop: 0,
+                    holder: src,
+                });
+            }
+
+            // 2. Per-coupler arbitration and transmission.
+            for coupler in 0..couplers {
+                if queues[coupler].is_empty() {
+                    continue;
+                }
+                let candidates: Vec<(usize, u64)> = queues[coupler]
+                    .iter()
+                    .map(|f| (f.holder, f.message.created_slot))
+                    .collect();
+                let Some(winner_idx) =
+                    self.config
+                        .policy
+                        .pick(&candidates, last_winner[coupler], &mut rng)
+                else {
+                    continue;
+                };
+                let mut flight = queues[coupler].remove(winner_idx).expect("index valid");
+                last_winner[coupler] = Some(flight.holder);
+                metrics.grants += 1;
+
+                let hop = flight.route.hops[flight.next_hop];
+                flight.message.hops += 1;
+                flight.next_hop += 1;
+                flight.holder = hop.receiver;
+                if flight.next_hop == flight.route.hops.len() {
+                    // Delivered at the end of this slot.
+                    let latency = slot + 1 - flight.message.created_slot;
+                    metrics.record_delivery(latency, flight.message.hops);
+                } else {
+                    let next_coupler = flight.route.hops[flight.next_hop].coupler;
+                    queues[next_coupler].push_back(flight);
+                }
+            }
+        }
+
+        metrics.in_flight = queues.iter().map(|q| q.len() as u64).sum();
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_topologies::{Pops, StackKautz};
+
+    fn pops_sim(load: f64, slots: u64) -> SimMetrics {
+        let pops = Pops::new(4, 2);
+        let sim = MultiOpsSim::new(
+            pops.stack_graph().clone(),
+            MultiOpsSimConfig { slots, ..Default::default() },
+        );
+        sim.run(&TrafficPattern::Uniform { load })
+    }
+
+    #[test]
+    fn conservation_of_messages() {
+        let m = pops_sim(0.5, 500);
+        assert_eq!(m.injected, m.delivered + m.in_flight + m.dropped);
+        assert!(m.injected > 0);
+    }
+
+    #[test]
+    fn pops_light_load_latency_is_one_slot() {
+        // At very light load there is no contention; every message is
+        // delivered in the slot it was injected (single-hop network).
+        let m = pops_sim(0.01, 4000);
+        assert!(m.delivered > 0);
+        assert!((m.average_latency() - 1.0).abs() < 0.2, "latency {}", m.average_latency());
+        assert!((m.average_hops() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stack_kautz_hops_within_diameter() {
+        let sk = StackKautz::new(3, 2, 2);
+        let sim = MultiOpsSim::new(
+            sk.stack_graph().clone(),
+            MultiOpsSimConfig { slots: 2000, ..Default::default() },
+        );
+        let m = sim.run(&TrafficPattern::Uniform { load: 0.05 });
+        assert!(m.delivered > 0);
+        assert!(m.average_hops() <= 2.0 + 1e-9);
+        assert!(m.average_hops() >= 1.0);
+    }
+
+    #[test]
+    fn throughput_saturates_at_coupler_capacity() {
+        // POPS(4,2): 4 couplers, 8 processors; at most 4 messages can be
+        // delivered per slot, i.e. 0.5 per processor per slot.
+        let m = pops_sim(1.0, 1000);
+        assert!(m.throughput() <= 0.5 + 1e-9);
+        assert!(m.throughput() > 0.3, "saturated throughput {}", m.throughput());
+        assert!(m.channel_utilization() > 0.8);
+    }
+
+    #[test]
+    fn higher_load_increases_latency() {
+        let light = pops_sim(0.05, 2000);
+        let heavy = pops_sim(0.9, 2000);
+        assert!(heavy.average_latency() > light.average_latency());
+    }
+
+    #[test]
+    fn queue_limit_applies_back_pressure() {
+        let pops = Pops::new(4, 2);
+        let unlimited = MultiOpsSim::new(
+            pops.stack_graph().clone(),
+            MultiOpsSimConfig { slots: 500, queue_limit: 0, ..Default::default() },
+        )
+        .run(&TrafficPattern::Uniform { load: 1.0 });
+        let limited = MultiOpsSim::new(
+            pops.stack_graph().clone(),
+            MultiOpsSimConfig { slots: 500, queue_limit: 2, ..Default::default() },
+        )
+        .run(&TrafficPattern::Uniform { load: 1.0 });
+        assert!(limited.injected < unlimited.injected);
+        assert!(limited.in_flight <= unlimited.in_flight);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = pops_sim(0.3, 300);
+        let b = pops_sim(0.3, 300);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arbitration_policies_all_work() {
+        let pops = Pops::new(3, 3);
+        for policy in [
+            ArbitrationPolicy::RoundRobin,
+            ArbitrationPolicy::OldestFirst,
+            ArbitrationPolicy::Random,
+        ] {
+            let sim = MultiOpsSim::new(
+                pops.stack_graph().clone(),
+                MultiOpsSimConfig { slots: 300, policy, ..Default::default() },
+            );
+            let m = sim.run(&TrafficPattern::Uniform { load: 0.8 });
+            assert!(m.delivered > 0, "{policy:?}");
+            assert_eq!(m.injected, m.delivered + m.in_flight + m.dropped);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Packaged head-to-head comparison scenarios (experiment T5).
+//!
+//! The motivation of the paper — multi-OPS networks are "more viable and
+//! cost-effective under current optical technology" — rests on comparisons
+//! like the one packaged here: the single-hop POPS, the multi-hop stack-Kautz
+//! and a single-OPS point-to-point hot-potato de Bruijn network of comparable
+//! size are driven with the same traffic and their accepted throughput and
+//! latency are tabulated across offered loads.
+
+use crate::hot_potato::{HotPotatoSim, HotPotatoSimConfig};
+use crate::metrics::SimMetrics;
+use crate::multi_ops::{MultiOpsSim, MultiOpsSimConfig};
+use crate::traffic::TrafficPattern;
+use otis_topologies::{de_bruijn, Pops, StackKautz};
+
+/// One row of the comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Network name, e.g. `"POPS(9,8)"`.
+    pub network: String,
+    /// Number of processors.
+    pub processors: usize,
+    /// Number of couplers (multi-OPS) or links (point-to-point).
+    pub channels: usize,
+    /// Offered load (messages per processor per slot).
+    pub offered_load: f64,
+    /// Accepted throughput (delivered messages per processor per slot).
+    pub throughput: f64,
+    /// Average delivered latency in slots.
+    pub average_latency: f64,
+    /// Average optical hops per delivered message.
+    pub average_hops: f64,
+}
+
+impl ComparisonRow {
+    fn from_metrics(network: impl Into<String>, load: f64, m: &SimMetrics) -> Self {
+        ComparisonRow {
+            network: network.into(),
+            processors: m.processors,
+            channels: m.channels,
+            offered_load: load,
+            throughput: m.throughput(),
+            average_latency: m.average_latency(),
+            average_hops: m.average_hops(),
+        }
+    }
+
+    /// Formats the row for the reproduction harness.
+    pub fn as_table_row(&self) -> String {
+        format!(
+            "{:<16} {:>6} {:>8} {:>8.3} {:>10.4} {:>10.2} {:>8.2}",
+            self.network,
+            self.processors,
+            self.channels,
+            self.offered_load,
+            self.throughput,
+            self.average_latency,
+            self.average_hops
+        )
+    }
+
+    /// Header matching [`ComparisonRow::as_table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<16} {:>6} {:>8} {:>8} {:>10} {:>10} {:>8}",
+            "network", "procs", "channels", "load", "thruput", "latency", "hops"
+        )
+    }
+}
+
+/// Runs the three-way comparison — `SK(s, d, k)`, a POPS with the same number
+/// of processors, and a hot-potato de Bruijn of comparable size — over the
+/// given offered loads, for `slots` slots each, and returns one row per
+/// (network, load) pair.
+pub fn compare_networks(
+    s: usize,
+    d: usize,
+    k: usize,
+    loads: &[f64],
+    slots: u64,
+    seed: u64,
+) -> Vec<ComparisonRow> {
+    let sk = StackKautz::new(s, d, k);
+    let n = sk.node_count();
+    // A POPS with the same processor count: groups of size s·(groups of SK)…
+    // keep it simple and fair: same N, group size s, so g = N / s groups.
+    let pops_groups = sk.group_count();
+    let pops = Pops::new(s, pops_groups);
+    // A de Bruijn graph with at least as many nodes, same degree d.
+    let mut db_k = 1usize;
+    while d.pow(db_k as u32) < n {
+        db_k += 1;
+    }
+    let db = de_bruijn(d, db_k);
+
+    let mut rows = Vec::new();
+    for &load in loads {
+        let traffic = TrafficPattern::Uniform { load };
+
+        let sk_metrics = MultiOpsSim::new(
+            sk.stack_graph().clone(),
+            MultiOpsSimConfig { slots, seed, ..Default::default() },
+        )
+        .run(&traffic);
+        rows.push(ComparisonRow::from_metrics(
+            format!("SK({s},{d},{k})"),
+            load,
+            &sk_metrics,
+        ));
+
+        let pops_metrics = MultiOpsSim::new(
+            pops.stack_graph().clone(),
+            MultiOpsSimConfig { slots, seed, ..Default::default() },
+        )
+        .run(&traffic);
+        rows.push(ComparisonRow::from_metrics(
+            format!("POPS({s},{pops_groups})"),
+            load,
+            &pops_metrics,
+        ));
+
+        let db_metrics = HotPotatoSim::new(
+            db.clone(),
+            HotPotatoSimConfig { slots, seed, ..Default::default() },
+        )
+        .run(&traffic);
+        rows.push(ComparisonRow::from_metrics(
+            format!("B({d},{db_k}) hot-potato"),
+            load,
+            &db_metrics,
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_three_rows_per_load() {
+        let rows = compare_networks(2, 2, 2, &[0.1, 0.5], 300, 7);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.processors > 0);
+            assert!(row.throughput >= 0.0);
+            assert!(!row.as_table_row().is_empty());
+        }
+        assert!(ComparisonRow::table_header().contains("thruput"));
+    }
+
+    #[test]
+    fn pops_has_lower_hops_than_stack_kautz() {
+        // Single-hop vs multi-hop: POPS average hops ≈ 1, SK > 1 at any load.
+        let rows = compare_networks(2, 2, 2, &[0.2], 2000, 3);
+        let sk = rows.iter().find(|r| r.network.starts_with("SK")).unwrap();
+        let pops = rows.iter().find(|r| r.network.starts_with("POPS")).unwrap();
+        assert!((pops.average_hops - 1.0).abs() < 1e-6);
+        assert!(sk.average_hops >= pops.average_hops);
+    }
+
+    #[test]
+    fn pops_needs_more_couplers_than_stack_kautz() {
+        // The hardware-scalability argument: for the same N and group size,
+        // POPS needs g² couplers while SK needs g·(d+1).
+        let rows = compare_networks(2, 2, 2, &[0.1], 100, 1);
+        let sk = rows.iter().find(|r| r.network.starts_with("SK")).unwrap();
+        let pops = rows.iter().find(|r| r.network.starts_with("POPS")).unwrap();
+        assert!(pops.channels > sk.channels);
+    }
+
+    #[test]
+    fn throughput_grows_with_load_until_saturation() {
+        let rows = compare_networks(2, 2, 2, &[0.05, 0.8], 1500, 11);
+        let sk_light = &rows[0];
+        let sk_heavy = &rows[3];
+        assert!(sk_heavy.throughput >= sk_light.throughput * 0.9);
+    }
+}

@@ -1,0 +1,181 @@
+//! Traffic generators.
+//!
+//! Each pattern answers one question per processor per slot: "does this
+//! processor inject a new message this slot, and to whom?".  Loads are
+//! expressed as the per-processor injection probability per slot, so a load
+//! of 1.0 means every processor tries to inject every slot.
+
+use rand::Rng;
+
+/// A synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficPattern {
+    /// Every processor injects with probability `load` per slot, destination
+    /// chosen uniformly among the other processors.
+    Uniform {
+        /// Injection probability per processor per slot, in `[0, 1]`.
+        load: f64,
+    },
+    /// Every processor injects with probability `load`, always to the fixed
+    /// destination `(source + offset) mod N` — a static permutation.
+    Permutation {
+        /// Injection probability per processor per slot.
+        load: f64,
+        /// The shift of the permutation.
+        offset: usize,
+    },
+    /// Like `Uniform`, but a fraction `hot_fraction` of messages go to the
+    /// single `hot_node`.
+    Hotspot {
+        /// Injection probability per processor per slot.
+        load: f64,
+        /// The hot destination.
+        hot_node: usize,
+        /// Fraction of messages directed to `hot_node`, in `[0, 1]`.
+        hot_fraction: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// The injection decisions of one slot: for every processor, an optional
+    /// destination.
+    pub fn injections<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<Option<usize>> {
+        (0..n).map(|src| self.inject_for(src, n, rng)).collect()
+    }
+
+    /// The injection decision of one processor in one slot.
+    pub fn inject_for<R: Rng>(&self, src: usize, n: usize, rng: &mut R) -> Option<usize> {
+        if n < 2 {
+            return None;
+        }
+        match *self {
+            TrafficPattern::Uniform { load } => {
+                if rng.gen_bool(load.clamp(0.0, 1.0)) {
+                    Some(random_other(src, n, rng))
+                } else {
+                    None
+                }
+            }
+            TrafficPattern::Permutation { load, offset } => {
+                if rng.gen_bool(load.clamp(0.0, 1.0)) {
+                    let dst = (src + offset) % n;
+                    if dst == src {
+                        None
+                    } else {
+                        Some(dst)
+                    }
+                } else {
+                    None
+                }
+            }
+            TrafficPattern::Hotspot { load, hot_node, hot_fraction } => {
+                if rng.gen_bool(load.clamp(0.0, 1.0)) {
+                    if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) && hot_node != src && hot_node < n {
+                        Some(hot_node)
+                    } else {
+                        Some(random_other(src, n, rng))
+                    }
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The nominal offered load (messages per processor per slot).
+    pub fn offered_load(&self) -> f64 {
+        match *self {
+            TrafficPattern::Uniform { load }
+            | TrafficPattern::Permutation { load, .. }
+            | TrafficPattern::Hotspot { load, .. } => load,
+        }
+    }
+}
+
+fn random_other<R: Rng>(src: usize, n: usize, rng: &mut R) -> usize {
+    let mut dst = rng.gen_range(0..n - 1);
+    if dst >= src {
+        dst += 1;
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_load_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pattern = TrafficPattern::Uniform { load: 0.3 };
+        let n = 50;
+        let slots = 2000;
+        let mut injected = 0usize;
+        for _ in 0..slots {
+            injected += pattern.injections(n, &mut rng).iter().flatten().count();
+        }
+        let rate = injected as f64 / (n as f64 * slots as f64);
+        assert!((rate - 0.3).abs() < 0.02, "measured rate {rate}");
+    }
+
+    #[test]
+    fn uniform_never_self_addresses() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pattern = TrafficPattern::Uniform { load: 1.0 };
+        for _ in 0..200 {
+            for (src, dst) in pattern.injections(10, &mut rng).iter().enumerate() {
+                assert_ne!(Some(src), *dst);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_deterministic_in_destination() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pattern = TrafficPattern::Permutation { load: 1.0, offset: 3 };
+        for (src, dst) in pattern.injections(8, &mut rng).iter().enumerate() {
+            assert_eq!(*dst, Some((src + 3) % 8));
+        }
+        // Offset 0 would self-address; the generator suppresses those.
+        let degenerate = TrafficPattern::Permutation { load: 1.0, offset: 0 };
+        assert!(degenerate.injections(8, &mut rng).iter().all(|d| d.is_none()));
+    }
+
+    #[test]
+    fn hotspot_skews_towards_hot_node() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pattern = TrafficPattern::Hotspot { load: 1.0, hot_node: 0, hot_fraction: 0.5 };
+        let n = 20;
+        let mut to_hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            for dst in pattern.injections(n, &mut rng).into_iter().flatten() {
+                total += 1;
+                if dst == 0 {
+                    to_hot += 1;
+                }
+            }
+        }
+        let fraction = to_hot as f64 / total as f64;
+        assert!(fraction > 0.4, "hot fraction {fraction}");
+    }
+
+    #[test]
+    fn tiny_networks_inject_nothing() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pattern = TrafficPattern::Uniform { load: 1.0 };
+        assert!(pattern.injections(1, &mut rng).iter().all(|d| d.is_none()));
+        assert!(pattern.injections(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn offered_load_accessor() {
+        assert_eq!(TrafficPattern::Uniform { load: 0.7 }.offered_load(), 0.7);
+        assert_eq!(
+            TrafficPattern::Hotspot { load: 0.2, hot_node: 1, hot_fraction: 0.3 }.offered_load(),
+            0.2
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Complete digraphs `K_n` and `K⁺_n`.
+//!
+//! `K⁺_g` (complete digraph with loops on `g` nodes, `g²` arcs) is the
+//! quotient of the POPS network: `POPS(t, g) = ς(t, K⁺_g)` (§2.4 of the
+//! paper).  `K_{d+1}` (no loops) is the base case of the Kautz family:
+//! `KG(d, 1) = K_{d+1}`.
+
+use otis_graphs::{Digraph, DigraphBuilder};
+
+/// The complete digraph `K_n` **without** loops: `n` nodes, `n(n-1)` arcs.
+pub fn complete_digraph(n: usize) -> Digraph {
+    let mut b = DigraphBuilder::with_capacity(n, n.saturating_mul(n.saturating_sub(1)));
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b.add_arc(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The complete digraph `K⁺_n` **with** loops: `n` nodes, `n²` arcs.
+///
+/// Arcs are inserted in row-major order `(u, v)` for `u` then `v` increasing,
+/// so the arc with identifier `u·n + v` goes from `u` to `v`; the POPS design
+/// relies on this to label OPS couplers by the pair `(source group, target
+/// group)` exactly as the paper does.
+pub fn complete_digraph_with_loops(n: usize) -> Digraph {
+    let mut b = DigraphBuilder::with_capacity(n, n.saturating_mul(n));
+    for u in 0..n {
+        for v in 0..n {
+            b.add_arc(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_graphs::algorithms::{diameter, is_eulerian, is_strongly_connected};
+
+    #[test]
+    fn complete_counts() {
+        for n in 1..8 {
+            let g = complete_digraph(n);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.arc_count(), n * (n - 1));
+            assert_eq!(g.loop_count(), 0);
+            assert!(g.is_d_regular(n - 1));
+        }
+    }
+
+    #[test]
+    fn complete_with_loops_counts() {
+        for n in 1..8 {
+            let g = complete_digraph_with_loops(n);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.arc_count(), n * n);
+            assert_eq!(g.loop_count(), n);
+            assert!(g.is_d_regular(n));
+        }
+    }
+
+    #[test]
+    fn arc_identifier_encodes_group_pair() {
+        let g = complete_digraph_with_loops(4);
+        for u in 0..4 {
+            for v in 0..4 {
+                let arc = g.arc(u * 4 + v).unwrap();
+                assert_eq!((arc.source, arc.target), (u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn complete_is_diameter_one_and_eulerian() {
+        let g = complete_digraph(5);
+        assert_eq!(diameter(&g), Some(1));
+        assert!(is_strongly_connected(&g));
+        assert!(is_eulerian(&g));
+    }
+
+    #[test]
+    fn k1_edge_cases() {
+        assert_eq!(complete_digraph(1).arc_count(), 0);
+        assert_eq!(complete_digraph_with_loops(1).arc_count(), 1);
+        assert_eq!(complete_digraph(0).node_count(), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Kautz word labels.
+//!
+//! Definition 2 of the paper labels a vertex of `KG(d, k)` with a word
+//! `(x₁, …, x_k)` over the alphabet `Σ = {0, …, d}` (so `|Σ| = d + 1`) in
+//! which consecutive letters differ.  There is an arc from
+//! `(x₁, …, x_k)` to every `(x₂, …, x_k, z)` with `z ≠ x_k`.
+//!
+//! This module provides the [`KautzWord`] type together with the bijection
+//! between words and integer node identifiers used throughout the workspace.
+//! The bijection is the mixed-radix encoding
+//!
+//! ```text
+//! index(x) = x₁ · d^(k-1) + Σ_{i=2}^{k} rank(x_i | x_{i-1}) · d^(k-i)
+//! ```
+//!
+//! where `rank(z | p)` is the position of `z` in the increasing enumeration of
+//! `Σ \ {p}` (a value in `0..d`).  The first letter has `d + 1` choices and
+//! every subsequent letter has `d`, so indices cover `0 .. (d+1)·d^(k-1)`
+//! exactly once — the Kautz node count.
+
+use std::fmt;
+
+/// A validated Kautz word: letters over `{0, …, d}` with consecutive letters
+/// distinct.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KautzWord {
+    d: usize,
+    letters: Vec<usize>,
+}
+
+impl KautzWord {
+    /// Creates a word for the Kautz graph of degree `d`, validating the
+    /// alphabet and the "no two consecutive letters equal" constraint.
+    pub fn new(d: usize, letters: Vec<usize>) -> Result<Self, String> {
+        if d == 0 {
+            return Err("Kautz degree d must be >= 1".to_string());
+        }
+        if letters.is_empty() {
+            return Err("Kautz word must have length >= 1".to_string());
+        }
+        for &x in &letters {
+            if x > d {
+                return Err(format!("letter {x} outside alphabet 0..={d}"));
+            }
+        }
+        for w in letters.windows(2) {
+            if w[0] == w[1] {
+                return Err(format!("consecutive letters equal ({})", w[0]));
+            }
+        }
+        Ok(KautzWord { d, letters })
+    }
+
+    /// The Kautz degree `d` this word belongs to.
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// The diameter parameter `k` (word length).
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// Whether the word is empty (never true for a validated word).
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// The letters of the word.
+    pub fn letters(&self) -> &[usize] {
+        &self.letters
+    }
+
+    /// The last letter.
+    pub fn last(&self) -> usize {
+        *self.letters.last().expect("validated word is non-empty")
+    }
+
+    /// The out-neighbour obtained by shifting in the letter `z` (must differ
+    /// from the last letter): `(x₁,…,x_k) → (x₂,…,x_k,z)`.
+    pub fn shift(&self, z: usize) -> Result<KautzWord, String> {
+        if z > self.d {
+            return Err(format!("letter {z} outside alphabet 0..={}", self.d));
+        }
+        if z == self.last() {
+            return Err("shifted letter must differ from the last letter".to_string());
+        }
+        let mut letters = self.letters[1..].to_vec();
+        letters.push(z);
+        KautzWord::new(self.d, letters)
+    }
+
+    /// All `d` out-neighbours, in increasing order of the shifted-in letter.
+    pub fn successors(&self) -> Vec<KautzWord> {
+        (0..=self.d)
+            .filter(|&z| z != self.last())
+            .map(|z| self.shift(z).expect("valid by construction"))
+            .collect()
+    }
+
+    /// Rank of letter `z` within `Σ \ {previous}`, i.e. a digit in `0..d`.
+    fn rank(d: usize, previous: usize, z: usize) -> usize {
+        debug_assert!(z != previous && z <= d && previous <= d);
+        if z < previous {
+            z
+        } else {
+            z - 1
+        }
+    }
+
+    /// Inverse of [`KautzWord::rank`]: the letter with a given rank.
+    fn unrank(d: usize, previous: usize, rank: usize) -> usize {
+        debug_assert!(rank < d && previous <= d);
+        if rank < previous {
+            rank
+        } else {
+            rank + 1
+        }
+    }
+
+    /// The integer node identifier of this word (see module docs).
+    pub fn index(&self) -> usize {
+        let d = self.d;
+        let k = self.letters.len();
+        let mut idx = self.letters[0];
+        for i in 1..k {
+            idx = idx * d + Self::rank(d, self.letters[i - 1], self.letters[i]);
+        }
+        idx
+    }
+
+    /// Reconstructs the word of length `k` for degree `d` from its integer
+    /// identifier.  Inverse of [`KautzWord::index`].
+    pub fn from_index(d: usize, k: usize, index: usize) -> Result<Self, String> {
+        if d == 0 || k == 0 {
+            return Err("d and k must be >= 1".to_string());
+        }
+        let count = (d + 1) * d.pow((k - 1) as u32);
+        if index >= count {
+            return Err(format!("index {index} out of range (node count {count})"));
+        }
+        // Peel digits from the least significant end.
+        let mut digits = Vec::with_capacity(k);
+        let mut rest = index;
+        for _ in 1..k {
+            digits.push(rest % d);
+            rest /= d;
+        }
+        let first = rest; // in 0..=d
+        let mut letters = Vec::with_capacity(k);
+        letters.push(first);
+        for &digit in digits.iter().rev() {
+            let prev = *letters.last().unwrap();
+            letters.push(Self::unrank(d, prev, digit));
+        }
+        KautzWord::new(d, letters)
+    }
+}
+
+impl fmt::Display for KautzWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, x) in self.letters.iter().enumerate() {
+            if i > 0 && self.d > 9 {
+                write!(f, ".")?;
+            }
+            write!(f, "{x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(KautzWord::new(2, vec![0, 1, 0]).is_ok());
+        assert!(KautzWord::new(2, vec![0, 0, 1]).is_err());
+        assert!(KautzWord::new(2, vec![0, 3]).is_err());
+        assert!(KautzWord::new(2, vec![]).is_err());
+        assert!(KautzWord::new(0, vec![0]).is_err());
+    }
+
+    #[test]
+    fn shift_and_successors() {
+        let w = KautzWord::new(2, vec![1, 2]).unwrap();
+        let succ = w.successors();
+        assert_eq!(succ.len(), 2);
+        assert_eq!(succ[0].letters(), &[2, 0]);
+        assert_eq!(succ[1].letters(), &[2, 1]);
+        assert!(w.shift(2).is_err());
+        assert!(w.shift(5).is_err());
+    }
+
+    #[test]
+    fn index_bijection_small() {
+        // d = 2, k = 3: 12 nodes, every index roundtrips.
+        for idx in 0..12 {
+            let w = KautzWord::from_index(2, 3, idx).unwrap();
+            assert_eq!(w.index(), idx);
+            assert_eq!(w.len(), 3);
+        }
+        assert!(KautzWord::from_index(2, 3, 12).is_err());
+    }
+
+    #[test]
+    fn index_bijection_larger() {
+        // d = 3, k = 3: 3^2 * 4 = 36 nodes.
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..36 {
+            let w = KautzWord::from_index(3, 3, idx).unwrap();
+            assert_eq!(w.index(), idx);
+            assert!(seen.insert(w.letters().to_vec()));
+        }
+        assert_eq!(seen.len(), 36);
+    }
+
+    #[test]
+    fn k_equals_one_words() {
+        // KG(d,1) = K_{d+1}: words are single letters 0..=d.
+        for idx in 0..4 {
+            let w = KautzWord::from_index(3, 1, idx).unwrap();
+            assert_eq!(w.letters(), &[idx]);
+        }
+        assert!(KautzWord::from_index(3, 1, 4).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let w = KautzWord::new(2, vec![1, 2, 0]).unwrap();
+        assert_eq!(w.to_string(), "120");
+        let big = KautzWord::new(11, vec![10, 11]).unwrap();
+        assert_eq!(big.to_string(), "10.11");
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        for d in 1..6 {
+            for prev in 0..=d {
+                for z in 0..=d {
+                    if z == prev {
+                        continue;
+                    }
+                    let r = KautzWord::rank(d, prev, z);
+                    assert!(r < d);
+                    assert_eq!(KautzWord::unrank(d, prev, r), z);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Uniform property summaries of topologies.
+//!
+//! The reproduction harness prints property tables (experiments T1, T2, F7)
+//! for many different families; [`TopologySummary`] is the common row format:
+//! name, node count, arc/coupler count, degree, measured diameter, and the
+//! matching closed-form prediction when one exists.
+
+use otis_graphs::algorithms::{average_distance, diameter, is_strongly_connected};
+use otis_graphs::{Digraph, StackGraph};
+
+/// A uniform summary row describing one topology instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySummary {
+    /// Human-readable name, e.g. `"KG(3,2)"`.
+    pub name: String,
+    /// Number of nodes (processors).
+    pub nodes: usize,
+    /// Number of arcs (point-to-point) or hyperarcs/couplers (multi-OPS).
+    pub links: usize,
+    /// Maximum out-degree of a node.
+    pub degree: usize,
+    /// Measured diameter, `None` when not strongly connected.
+    pub diameter: Option<u32>,
+    /// Closed-form diameter predicted by the paper, when applicable.
+    pub predicted_diameter: Option<u32>,
+    /// Average inter-node distance, `None` when not strongly connected.
+    pub average_distance: Option<f64>,
+    /// Whether the topology is strongly connected.
+    pub strongly_connected: bool,
+}
+
+impl TopologySummary {
+    /// Summarises a point-to-point digraph.
+    pub fn of_digraph(name: impl Into<String>, g: &Digraph, predicted_diameter: Option<u32>) -> Self {
+        TopologySummary {
+            name: name.into(),
+            nodes: g.node_count(),
+            links: g.arc_count(),
+            degree: g.max_out_degree(),
+            diameter: diameter(g),
+            predicted_diameter,
+            average_distance: average_distance(g),
+            strongly_connected: is_strongly_connected(g),
+        }
+    }
+
+    /// Summarises a multi-OPS network given as a stack-graph; the degree
+    /// reported is the processor degree (number of couplers a processor can
+    /// transmit on) and the link count is the number of couplers.
+    pub fn of_stack_graph(
+        name: impl Into<String>,
+        sg: &StackGraph,
+        predicted_diameter: Option<u32>,
+    ) -> Self {
+        let flat = sg.flatten();
+        let degree = (0..sg.node_count())
+            .map(|u| sg.node_out_degree(u))
+            .max()
+            .unwrap_or(0);
+        TopologySummary {
+            name: name.into(),
+            nodes: sg.node_count(),
+            links: sg.hyperarc_count(),
+            degree,
+            diameter: diameter(&flat),
+            predicted_diameter,
+            average_distance: average_distance(&flat),
+            strongly_connected: is_strongly_connected(&flat),
+        }
+    }
+
+    /// Returns `true` when the measured diameter matches the closed-form
+    /// prediction (or when no prediction was supplied).
+    pub fn diameter_matches_prediction(&self) -> bool {
+        match (self.diameter, self.predicted_diameter) {
+            (Some(measured), Some(predicted)) => measured == predicted,
+            (_, None) => true,
+            (None, Some(_)) => false,
+        }
+    }
+
+    /// Formats the summary as one row of a fixed-width text table.
+    pub fn as_table_row(&self) -> String {
+        format!(
+            "{:<18} {:>8} {:>8} {:>6} {:>9} {:>10} {:>10.3}",
+            self.name,
+            self.nodes,
+            self.links,
+            self.degree,
+            self.diameter.map_or("-".to_string(), |d| d.to_string()),
+            self.predicted_diameter
+                .map_or("-".to_string(), |d| d.to_string()),
+            self.average_distance.unwrap_or(f64::NAN),
+        )
+    }
+
+    /// The header line matching [`TopologySummary::as_table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<18} {:>8} {:>8} {:>6} {:>9} {:>10} {:>10}",
+            "topology", "nodes", "links", "degree", "diameter", "predicted", "avg dist"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kautz::kautz;
+    use crate::pops::Pops;
+
+    #[test]
+    fn digraph_summary() {
+        let g = kautz(3, 2);
+        let s = TopologySummary::of_digraph("KG(3,2)", &g, Some(2));
+        assert_eq!(s.nodes, 12);
+        assert_eq!(s.links, 36);
+        assert_eq!(s.degree, 3);
+        assert_eq!(s.diameter, Some(2));
+        assert!(s.strongly_connected);
+        assert!(s.diameter_matches_prediction());
+    }
+
+    #[test]
+    fn stack_graph_summary() {
+        let p = Pops::new(4, 2);
+        let s = TopologySummary::of_stack_graph("POPS(4,2)", p.stack_graph(), Some(1));
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.links, 4);
+        assert_eq!(s.degree, 2);
+        assert_eq!(s.diameter, Some(1));
+        assert!(s.diameter_matches_prediction());
+    }
+
+    #[test]
+    fn prediction_mismatch_detected() {
+        let g = kautz(2, 3);
+        let s = TopologySummary::of_digraph("KG(2,3)", &g, Some(7));
+        assert!(!s.diameter_matches_prediction());
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let g = kautz(2, 2);
+        let s = TopologySummary::of_digraph("KG(2,2)", &g, Some(2));
+        let row = s.as_table_row();
+        assert!(row.contains("KG(2,2)"));
+        assert!(row.contains('6'));
+        assert!(TopologySummary::table_header().contains("diameter"));
+    }
+
+    #[test]
+    fn disconnected_graph_summary() {
+        let g = Digraph::from_edges(3, &[(0, 1)]);
+        let s = TopologySummary::of_digraph("broken", &g, Some(1));
+        assert_eq!(s.diameter, None);
+        assert!(!s.strongly_connected);
+        assert!(!s.diameter_matches_prediction());
+        assert!(s.as_table_row().contains('-'));
+    }
+}

@@ -1,0 +1,26 @@
+//! Head-to-head simulation of the three network styles the paper discusses:
+//! the single-hop multi-OPS POPS, the multi-hop multi-OPS stack-Kautz, and a
+//! single-OPS point-to-point de Bruijn network with hot-potato routing.
+//!
+//! ```text
+//! cargo run --release --example network_comparison
+//! ```
+
+use otis_lightwave::sim::{compare_networks, ComparisonRow};
+
+fn main() {
+    let loads = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+    println!("Uniform traffic, 2000 slots per point, OldestFirst arbitration.");
+    println!("{}", ComparisonRow::table_header());
+    for row in compare_networks(4, 2, 2, &loads, 2000, 2024) {
+        println!("{}", row.as_table_row());
+    }
+    println!();
+    println!("Reading the table:");
+    println!("  - POPS keeps ~1 hop / ~1 slot latency at light load but its accepted throughput");
+    println!("    flattens once its g² couplers saturate;");
+    println!("  - the stack-Kautz pays up to k hops but keeps accepting traffic longer because");
+    println!("    each processor contends on fewer, less-shared couplers;");
+    println!("  - the hot-potato single-OPS baseline inflates hop counts (deflections) as load");
+    println!("    grows, which is exactly the behaviour the multi-OPS designs avoid.");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build the paper's worked example, verify it, and route on it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use otis_lightwave::designs::{KautzDesign, StackKautzDesign};
+use otis_lightwave::routing::StackRouter;
+use otis_lightwave::topologies::StackKautz;
+
+fn main() {
+    // 1. The graph-level object: the stack-Kautz network SK(6,3,2) of Fig. 7.
+    let sk = StackKautz::new(6, 3, 2);
+    println!(
+        "SK(6,3,2): {} processors in {} groups of {}, degree {}, {} OPS couplers, diameter {:?}",
+        sk.node_count(),
+        sk.group_count(),
+        sk.stacking_factor(),
+        sk.node_degree(),
+        sk.coupler_count(),
+        sk.diameter()
+    );
+
+    // 2. The optical design of Fig. 12, and its end-to-end verification by
+    //    signal tracing.
+    let design = StackKautzDesign::new(6, 3, 2);
+    let report = design.verify().expect("the OTIS design realizes SK(6,3,2)");
+    println!("optical design verified: {report}");
+    println!("hardware inventory:\n{}", design.inventory());
+
+    // 3. Corollary 1: a Kautz graph on a single OTIS.
+    let kautz = KautzDesign::new(3, 2);
+    kautz.verify().expect("Corollary 1 holds for KG(3,2)");
+    println!(
+        "KG(3,2) realized by one OTIS(3,{}) — {} lenses in total",
+        kautz.node_count(),
+        kautz.inventory().lens_count()
+    );
+
+    // 4. Routing: the network inherits shortest-path routing from the Kautz
+    //    quotient.
+    let router = StackRouter::new(sk.stack_graph().clone());
+    let src = sk.processor(0, 0);
+    let dst = sk.processor(7, 3);
+    let route = router.route(src, dst).expect("strongly connected");
+    println!(
+        "route from processor (group 0, index 0) to (group 7, index 3): {} optical hops",
+        route.len()
+    );
+    for (i, hop) in route.hops.iter().enumerate() {
+        let (group, index) = sk.processor_label(hop.receiver);
+        println!("  hop {}: coupler {} -> processor (group {group}, index {index})", i + 1, hop.coupler);
+    }
+}

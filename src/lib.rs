@@ -1,0 +1,38 @@
+//! # otis-lightwave
+//!
+//! Umbrella crate for the reproduction of *"OTIS-Based Multi-Hop Multi-OPS
+//! Lightwave Networks"* (Coudert, Ferreira, Muñoz, 1999).  It re-exports the
+//! workspace crates under short module names so examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`graphs`] — digraphs, hypergraphs, stack-graphs and their algorithms;
+//! * [`topologies`] — Kautz, Imase–Itoh, de Bruijn, POPS, stack-Kautz, …;
+//! * [`optics`] — OTIS, OPS couplers, multiplexers, beam-splitters, netlists,
+//!   power and cost models;
+//! * [`designs`] — the paper's OTIS-based optical designs and their
+//!   verification (the `otis-core` crate);
+//! * [`routing`] — label, arithmetic, fault-tolerant, stack and hot-potato
+//!   routing;
+//! * [`sim`] — the slotted multi-OPS network simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use otis_lightwave::designs::StackKautzDesign;
+//!
+//! // Build the paper's worked example SK(6, 3, 2) and verify it optically.
+//! let design = StackKautzDesign::new(6, 3, 2);
+//! let report = design.verify().expect("the design realizes the stack-Kautz network");
+//! assert_eq!(report.processors, 72);
+//! assert_eq!(report.links, 48);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use otis_core as designs;
+pub use otis_graphs as graphs;
+pub use otis_optics as optics;
+pub use otis_routing as routing;
+pub use otis_sim as sim;
+pub use otis_topologies as topologies;
