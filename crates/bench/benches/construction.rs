@@ -6,16 +6,23 @@ use std::time::Duration;
 
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("construction");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     for &(d, k) in &[(2usize, 6usize), (3, 4), (4, 4), (5, 3)] {
-        group.bench_with_input(BenchmarkId::new("kautz", format!("d{d}k{k}")), &(d, k), |b, &(d, k)| {
-            b.iter(|| kautz(d, k))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kautz", format!("d{d}k{k}")),
+            &(d, k),
+            |b, &(d, k)| b.iter(|| kautz(d, k)),
+        );
     }
     for &(d, n) in &[(3usize, 1000usize), (4, 5000), (5, 10000)] {
-        group.bench_with_input(BenchmarkId::new("imase_itoh", format!("d{d}n{n}")), &(d, n), |b, &(d, n)| {
-            b.iter(|| imase_itoh(d, n))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("imase_itoh", format!("d{d}n{n}")),
+            &(d, n),
+            |b, &(d, n)| b.iter(|| imase_itoh(d, n)),
+        );
     }
     group.bench_function("de_bruijn_d4k5", |b| b.iter(|| de_bruijn(4, 5)));
     group.bench_function("pops_16x16", |b| b.iter(|| Pops::new(16, 16)));

@@ -7,19 +7,26 @@ use std::time::Duration;
 
 fn bench_diameter(c: &mut Criterion) {
     let mut group = c.benchmark_group("diameter");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for &(d, k) in &[(2usize, 5usize), (3, 3), (4, 3)] {
         let g = kautz(d, k);
-        group.bench_with_input(BenchmarkId::new("kautz", format!("d{d}k{k}_n{}", g.node_count())), &g, |b, g| {
-            b.iter(|| diameter(g))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kautz", format!("d{d}k{k}_n{}", g.node_count())),
+            &g,
+            |b, g| b.iter(|| diameter(g)),
+        );
     }
     let ii = imase_itoh(3, 500);
     group.bench_function("imase_itoh_d3_n500", |b| b.iter(|| diameter(&ii)));
     let db = de_bruijn(2, 8);
     group.bench_function("de_bruijn_d2_k8", |b| b.iter(|| diameter(&db)));
     let small = kautz(3, 3);
-    group.bench_function("average_distance_kautz_3_3", |b| b.iter(|| average_distance(&small)));
+    group.bench_function("average_distance_kautz_3_3", |b| {
+        b.iter(|| average_distance(&small))
+    });
     group.finish();
 }
 

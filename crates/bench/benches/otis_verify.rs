@@ -7,7 +7,10 @@ use std::time::Duration;
 
 fn bench_designs(c: &mut Criterion) {
     let mut group = c.benchmark_group("otis_designs");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
 
     for &(d, n) in &[(3usize, 12usize), (4, 100), (5, 300)] {
         group.bench_with_input(

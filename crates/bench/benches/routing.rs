@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing");
-    group.sample_size(20).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
 
     let (d, k) = (4usize, 4usize);
     let n = kautz_node_count(d, k);
@@ -33,7 +36,9 @@ fn bench_routing(c: &mut Criterion) {
     });
 
     let g = kautz(3, 3);
-    group.bench_function("routing_table_kautz_3_3", |b| b.iter(|| RoutingTable::new(&g)));
+    group.bench_function("routing_table_kautz_3_3", |b| {
+        b.iter(|| RoutingTable::new(&g))
+    });
 
     let sk = StackKautz::new(4, 3, 2);
     let router = StackRouter::new(sk.stack_graph().clone());

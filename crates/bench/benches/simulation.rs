@@ -7,7 +7,10 @@ use std::time::Duration;
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let traffic = TrafficPattern::Uniform { load: 0.5 };
 
     for &(s, d, k) in &[(4usize, 2usize, 2usize), (6, 3, 2)] {
@@ -19,7 +22,10 @@ fn bench_simulation(c: &mut Criterion) {
                 b.iter(|| {
                     MultiOpsSim::new(
                         sk.stack_graph().clone(),
-                        MultiOpsSimConfig { slots: 500, ..Default::default() },
+                        MultiOpsSimConfig {
+                            slots: 500,
+                            ..Default::default()
+                        },
                     )
                     .run(&traffic)
                 })
@@ -32,7 +38,10 @@ fn bench_simulation(c: &mut Criterion) {
         b.iter(|| {
             MultiOpsSim::new(
                 pops.stack_graph().clone(),
-                MultiOpsSimConfig { slots: 500, ..Default::default() },
+                MultiOpsSimConfig {
+                    slots: 500,
+                    ..Default::default()
+                },
             )
             .run(&traffic)
         })
@@ -41,8 +50,14 @@ fn bench_simulation(c: &mut Criterion) {
     let db = de_bruijn(2, 6);
     group.bench_function("hot_potato_de_bruijn_2_6_500_slots", |b| {
         b.iter(|| {
-            HotPotatoSim::new(db.clone(), HotPotatoSimConfig { slots: 500, ..Default::default() })
-                .run(&traffic)
+            HotPotatoSim::new(
+                db.clone(),
+                HotPotatoSimConfig {
+                    slots: 500,
+                    ..Default::default()
+                },
+            )
+            .run(&traffic)
         })
     });
     group.finish();

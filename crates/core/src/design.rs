@@ -9,10 +9,64 @@
 //! tracing, never by construction-time assumption, so comparing it against
 //! the target topology is a genuine end-to-end check of the design.
 
+use otis_graphs::{Digraph, DigraphBuilder, HyperArc, Hypergraph};
 use otis_optics::trace::trace_from_transmitter;
 use otis_optics::{ComponentId, HardwareInventory, Netlist};
-use otis_graphs::{Digraph, DigraphBuilder, HyperArc, Hypergraph};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why the connectivity induced by a netlist could not be interpreted as the
+/// intended kind of graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InducedGraphError {
+    /// A transmitter of a point-to-point design reaches zero or several
+    /// receivers instead of exactly one.
+    FanOutMismatch {
+        /// The owning processor.
+        processor: usize,
+        /// The offending transmitter component.
+        transmitter: ComponentId,
+        /// How many receivers its light reaches.
+        receivers_reached: usize,
+    },
+    /// A traced receiver is not registered to any processor.
+    UnownedReceiver {
+        /// The transmitter whose trace hit the receiver.
+        transmitter: ComponentId,
+        /// The receiver with no owning processor.
+        receiver: ComponentId,
+    },
+}
+
+impl fmt::Display for InducedGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InducedGraphError::FanOutMismatch {
+                processor,
+                transmitter,
+                receivers_reached,
+            } => {
+                write!(
+                    f,
+                    "transmitter {transmitter} of processor {processor} reaches \
+                     {receivers_reached} receivers, expected exactly 1"
+                )
+            }
+            InducedGraphError::UnownedReceiver {
+                transmitter,
+                receiver,
+            } => {
+                write!(
+                    f,
+                    "receiver {receiver} reached from transmitter {transmitter} \
+                     belongs to no processor"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InducedGraphError {}
 
 /// A point-to-point design: every processor owns a set of transmitters and a
 /// set of receivers, and each transmitter illuminates exactly one receiver.
@@ -40,29 +94,43 @@ impl PointToPointDesign {
     /// it reaches.  Arcs leaving a processor appear in transmitter order, so
     /// the α-th arc of the result corresponds to the α-th transmitter.
     ///
-    /// # Panics
-    /// Panics if any transmitter reaches zero or more than one receiver —
-    /// a point-to-point design must be exactly 1-to-1.
-    pub fn induced_digraph(&self) -> Digraph {
+    /// Returns an [`InducedGraphError`] when a transmitter reaches zero or
+    /// more than one receiver (a point-to-point design must be exactly
+    /// 1-to-1) or when a traced receiver is not registered to a processor.
+    pub fn try_induced_digraph(&self) -> Result<Digraph, InducedGraphError> {
         let n = self.processor_count();
         let mut b = DigraphBuilder::new(n);
         for (u, txs) in self.transmitters.iter().enumerate() {
             for &tx in txs {
                 let hits = trace_from_transmitter(&self.netlist, tx);
-                assert_eq!(
-                    hits.len(),
-                    1,
-                    "transmitter {tx} of processor {u} reaches {} receivers, expected exactly 1",
-                    hits.len()
-                );
-                let owner = *self
-                    .receiver_owner
-                    .get(&hits[0].receiver)
-                    .expect("traced receiver must belong to a processor");
+                if hits.len() != 1 {
+                    return Err(InducedGraphError::FanOutMismatch {
+                        processor: u,
+                        transmitter: tx,
+                        receivers_reached: hits.len(),
+                    });
+                }
+                let owner = *self.receiver_owner.get(&hits[0].receiver).ok_or(
+                    InducedGraphError::UnownedReceiver {
+                        transmitter: tx,
+                        receiver: hits[0].receiver,
+                    },
+                )?;
                 b.add_arc(u, owner);
             }
         }
-        b.build()
+        Ok(b.build())
+    }
+
+    /// Panicking wrapper around [`PointToPointDesign::try_induced_digraph`],
+    /// kept for call sites that treat a malformed design as a bug.
+    ///
+    /// # Panics
+    /// Panics with the [`InducedGraphError`] message when the design is not
+    /// exactly 1-to-1.
+    pub fn induced_digraph(&self) -> Digraph {
+        self.try_induced_digraph()
+            .unwrap_or_else(|e| panic!("malformed point-to-point design: {e}"))
     }
 
     /// The parts list of the design.
@@ -346,5 +414,74 @@ mod tests {
         assert_eq!(d.processor_count(), 2);
         assert!(d.worst_case_loss_db() > 0.0);
         assert_eq!(d.inventory().fiber_count(), 2);
+    }
+
+    /// A transmitter wired into a splitter reaches two receivers: not a
+    /// valid point-to-point design.
+    fn fan_out_design() -> PointToPointDesign {
+        let mut n = Netlist::new();
+        let tx0 = n.add(ComponentKind::Transmitter, "p0 tx");
+        let split = n.add(ComponentKind::BeamSplitter { outputs: 2 }, "split");
+        let rx0 = n.add(ComponentKind::Receiver, "p0 rx");
+        let rx1 = n.add(ComponentKind::Receiver, "p1 rx");
+        n.connect(PortRef::new(tx0, 0), PortRef::new(split, 0));
+        n.connect(PortRef::new(split, 0), PortRef::new(rx0, 0));
+        n.connect(PortRef::new(split, 1), PortRef::new(rx1, 0));
+        let mut receiver_owner = BTreeMap::new();
+        receiver_owner.insert(rx0, 0);
+        receiver_owner.insert(rx1, 1);
+        PointToPointDesign {
+            netlist: n,
+            transmitters: vec![vec![tx0], Vec::new()],
+            receivers: vec![vec![rx0], vec![rx1]],
+            receiver_owner,
+        }
+    }
+
+    #[test]
+    fn try_induced_digraph_reports_fan_out() {
+        let d = fan_out_design();
+        let err = d.try_induced_digraph().unwrap_err();
+        assert_eq!(
+            err,
+            InducedGraphError::FanOutMismatch {
+                processor: 0,
+                transmitter: d.transmitters[0][0],
+                receivers_reached: 2,
+            }
+        );
+        assert!(err.to_string().contains("expected exactly 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed point-to-point design")]
+    fn induced_digraph_wrapper_still_panics() {
+        fan_out_design().induced_digraph();
+    }
+
+    #[test]
+    fn try_induced_digraph_reports_unowned_receiver() {
+        let mut d = fan_out_design();
+        // Remove the splitter fan-out by rebuilding a 1-to-1 netlist whose
+        // receiver is simply not registered.
+        let mut n = Netlist::new();
+        let tx0 = n.add(ComponentKind::Transmitter, "p0 tx");
+        let f = n.add(ComponentKind::Fiber, "f");
+        let rx = n.add(ComponentKind::Receiver, "orphan rx");
+        n.connect(PortRef::new(tx0, 0), PortRef::new(f, 0));
+        n.connect(PortRef::new(f, 0), PortRef::new(rx, 0));
+        d.netlist = n;
+        d.transmitters = vec![vec![tx0]];
+        d.receivers = vec![vec![rx]];
+        d.receiver_owner = BTreeMap::new();
+        let err = d.try_induced_digraph().unwrap_err();
+        assert_eq!(
+            err,
+            InducedGraphError::UnownedReceiver {
+                transmitter: tx0,
+                receiver: rx
+            }
+        );
+        assert!(err.to_string().contains("belongs to no processor"));
     }
 }

@@ -48,7 +48,10 @@ impl TransmitterSideGroup {
     /// The transmitter of `processor` whose light ends up in `multiplexer`
     /// (both 0-based within the group).
     pub fn transmitter_feeding(&self, processor: usize, multiplexer: usize) -> ComponentId {
-        assert!(processor < self.t && multiplexer < self.g, "indices out of range");
+        assert!(
+            processor < self.t && multiplexer < self.g,
+            "indices out of range"
+        );
         self.transmitters[processor][self.g - 1 - multiplexer]
     }
 }
@@ -62,7 +65,10 @@ pub fn add_transmitter_side_group(
 ) -> TransmitterSideGroup {
     assert!(t >= 1 && g >= 1, "group parameters must be >= 1");
     let otis = netlist.add(
-        ComponentKind::Otis { groups: t, group_size: g },
+        ComponentKind::Otis {
+            groups: t,
+            group_size: g,
+        },
         format!("{label_prefix} transmitter-side OTIS({t},{g})"),
     );
     let transmitters: Vec<Vec<ComponentId>> = (0..t)
@@ -94,16 +100,19 @@ pub fn add_transmitter_side_group(
             netlist.connect(PortRef::new(tx, 0), PortRef::new(otis, input_flat));
         }
     }
-    for m in 0..g {
+    for (m, &mux) in multiplexers.iter().enumerate() {
         for q in 0..t {
             let output_flat = m * t + q;
-            netlist.connect(
-                PortRef::new(otis, output_flat),
-                PortRef::new(multiplexers[m], q),
-            );
+            netlist.connect(PortRef::new(otis, output_flat), PortRef::new(mux, q));
         }
     }
-    TransmitterSideGroup { t, g, otis, transmitters, multiplexers }
+    TransmitterSideGroup {
+        t,
+        g,
+        otis,
+        transmitters,
+        multiplexers,
+    }
 }
 
 /// The receiver-side half of a group: `g` beam-splitters whose inputs are
@@ -127,7 +136,10 @@ impl ReceiverSideGroup {
     /// The receiver of `processor` that listens to `splitter` (both 0-based
     /// within the group).
     pub fn receiver_from(&self, processor: usize, splitter: usize) -> ComponentId {
-        assert!(processor < self.t && splitter < self.g, "indices out of range");
+        assert!(
+            processor < self.t && splitter < self.g,
+            "indices out of range"
+        );
         self.receivers[processor][self.g - 1 - splitter]
     }
 }
@@ -141,7 +153,10 @@ pub fn add_receiver_side_group(
 ) -> ReceiverSideGroup {
     assert!(t >= 1 && g >= 1, "group parameters must be >= 1");
     let otis = netlist.add(
-        ComponentKind::Otis { groups: g, group_size: t },
+        ComponentKind::Otis {
+            groups: g,
+            group_size: t,
+        },
         format!("{label_prefix} receiver-side OTIS({g},{t})"),
     );
     let splitters: Vec<ComponentId> = (0..g)
@@ -177,7 +192,13 @@ pub fn add_receiver_side_group(
             netlist.connect(PortRef::new(otis, output_flat), PortRef::new(rx, 0));
         }
     }
-    ReceiverSideGroup { t, g, otis, splitters, receivers }
+    ReceiverSideGroup {
+        t,
+        g,
+        otis,
+        splitters,
+        receivers,
+    }
 }
 
 #[cfg(test)]

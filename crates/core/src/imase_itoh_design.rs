@@ -36,10 +36,16 @@ pub struct ImaseItohDesign {
 impl ImaseItohDesign {
     /// Builds the design for `II(d, n)`.
     pub fn new(d: usize, n: usize) -> Self {
-        assert!(d >= 1 && n >= 1, "II parameters must satisfy d >= 1, n >= 1");
+        assert!(
+            d >= 1 && n >= 1,
+            "II parameters must satisfy d >= 1, n >= 1"
+        );
         let mut netlist = Netlist::new();
         let otis = netlist.add(
-            ComponentKind::Otis { groups: d, group_size: n },
+            ComponentKind::Otis {
+                groups: d,
+                group_size: n,
+            },
             format!("central OTIS({d},{n})"),
         );
 
@@ -67,10 +73,7 @@ impl ImaseItohDesign {
         for v in 0..n {
             let mut row = Vec::with_capacity(d);
             for q in 0..d {
-                let rx = netlist.add(
-                    ComponentKind::Receiver,
-                    format!("node {v} receiver {q}"),
-                );
+                let rx = netlist.add(ComponentKind::Receiver, format!("node {v} receiver {q}"));
                 let flat = v * d + q;
                 netlist.connect(PortRef::new(otis, flat), PortRef::new(rx, 0));
                 receiver_owner.insert(rx, v);
@@ -142,7 +145,9 @@ mod tests {
     #[test]
     fn fig10_ii_3_12_is_realized_exactly() {
         let design = ImaseItohDesign::new(3, 12);
-        let report = design.verify().expect("Proposition 1 must hold for II(3,12)");
+        let report = design
+            .verify()
+            .expect("Proposition 1 must hold for II(3,12)");
         assert_eq!(report.processors, 12);
         assert_eq!(report.links, 36);
         // 1 OTIS + 36 tx + 36 rx.
@@ -151,7 +156,17 @@ mod tests {
 
     #[test]
     fn proposition_1_holds_over_a_parameter_sweep() {
-        for (d, n) in [(1, 4), (2, 5), (2, 6), (2, 12), (3, 7), (3, 12), (4, 9), (4, 30), (5, 11)] {
+        for (d, n) in [
+            (1, 4),
+            (2, 5),
+            (2, 6),
+            (2, 12),
+            (3, 7),
+            (3, 12),
+            (4, 9),
+            (4, 30),
+            (5, 11),
+        ] {
             let design = ImaseItohDesign::new(d, n);
             design
                 .verify()

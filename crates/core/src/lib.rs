@@ -44,7 +44,7 @@ pub mod stack_imase_itoh_design;
 pub mod stack_kautz_design;
 pub mod verify;
 
-pub use design::{MultiOpsDesign, PointToPointDesign};
+pub use design::{InducedGraphError, MultiOpsDesign, PointToPointDesign};
 pub use imase_itoh_design::ImaseItohDesign;
 pub use kautz_design::KautzDesign;
 pub use pops_design::PopsDesign;

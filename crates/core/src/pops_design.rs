@@ -52,7 +52,10 @@ impl PopsDesign {
 
         // Central OTIS(g, g) realizing K⁺_g.
         let core = netlist.add(
-            ComponentKind::Otis { groups: g, group_size: g },
+            ComponentKind::Otis {
+                groups: g,
+                group_size: g,
+            },
             format!("central OTIS({g},{g})"),
         );
         let core_otis = Otis::new(g, g);
@@ -91,10 +94,10 @@ impl PopsDesign {
         // (i, j)): coupler (i, j) is multiplexer g−1−j of group i, and the
         // splitter it reaches through the central OTIS.
         let mut couplers = Vec::with_capacity(g * g);
-        for i in 0..g {
+        for (i, tx_group) in tx_groups.iter().enumerate() {
             for j in 0..g {
                 let m = g - 1 - j;
-                let mux = tx_groups[i].multiplexers[m];
+                let mux = tx_group.multiplexers[m];
                 // Follow the central OTIS: input (i, m) -> output (p, q).
                 let (p, q) = core_otis.map_pair(i, m);
                 let splitter = rx_groups[p].splitters[q];
@@ -226,7 +229,10 @@ mod tests {
             + otis_optics::power::MULTIPLEXER_LOSS_DB
             + otis_optics::power::splitting_loss_db(4)
             + otis_optics::power::SPLITTER_EXCESS_LOSS_DB;
-        assert!((loss - expected).abs() < 1e-9, "loss {loss} vs expected {expected}");
+        assert!(
+            (loss - expected).abs() < 1e-9,
+            "loss {loss} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -25,10 +25,10 @@
 use crate::design::MultiOpsDesign;
 use crate::group::{add_receiver_side_group, add_transmitter_side_group};
 use crate::verify::{verify_multi_ops, VerificationError, VerificationReport};
+use otis_graphs::StackGraph;
 use otis_optics::components::ComponentKind;
 use otis_optics::netlist::{Netlist, PortRef};
 use otis_optics::{HardwareInventory, Otis};
-use otis_graphs::StackGraph;
 use otis_topologies::imase_itoh;
 use std::collections::BTreeMap;
 
@@ -47,7 +47,10 @@ impl StackImaseItohDesign {
     /// Builds the design for `SII(s, d, n)`.
     pub fn new(s: usize, d: usize, n: usize) -> Self {
         assert!(s >= 1, "stacking factor s must be >= 1");
-        assert!(d >= 1 && n >= 1, "Imase-Itoh parameters must satisfy d >= 1, n >= 1");
+        assert!(
+            d >= 1 && n >= 1,
+            "Imase-Itoh parameters must satisfy d >= 1, n >= 1"
+        );
 
         let ii = imase_itoh(d, n);
         let quotient = ii.with_loops();
@@ -58,7 +61,9 @@ impl StackImaseItohDesign {
 
         // Per-group building blocks.  Group u needs δ_u couplers where δ_u is
         // its out-degree in II⁺(d, n).
-        let degrees: Vec<usize> = (0..n).map(|u| if has_loop[u] { d } else { d + 1 }).collect();
+        let degrees: Vec<usize> = (0..n)
+            .map(|u| if has_loop[u] { d } else { d + 1 })
+            .collect();
         let tx_groups: Vec<_> = (0..n)
             .map(|u| add_transmitter_side_group(&mut netlist, s, degrees[u], &format!("group {u}")))
             .collect();
@@ -69,7 +74,10 @@ impl StackImaseItohDesign {
         // The central OTIS(d, n) realizing II(d, n) between multiplexers and
         // beam-splitters (Proposition 1, applied at the group level).
         let core = netlist.add(
-            ComponentKind::Otis { groups: d, group_size: n },
+            ComponentKind::Otis {
+                groups: d,
+                group_size: n,
+            },
             format!("central OTIS({d},{n})"),
         );
         let core_otis = Otis::new(d, n);
@@ -77,16 +85,16 @@ impl StackImaseItohDesign {
         // Graph-arc multiplexer a (0-based; the paper's α = a + 1) of group u
         // occupies core input flat d·u + a; core output (p, q) feeds
         // beam-splitter q of group p.
-        for u in 0..n {
+        for (u, tx_group) in tx_groups.iter().enumerate() {
             for a in 0..d {
-                let mux = tx_groups[u].multiplexers[a];
+                let mux = tx_group.multiplexers[a];
                 let flat = d * u + a;
                 netlist.connect(PortRef::new(mux, 0), PortRef::new(core, flat));
             }
         }
-        for p in 0..n {
+        for (p, rx_group) in rx_groups.iter().enumerate() {
             for q in 0..d {
-                let split = rx_groups[p].splitters[q];
+                let split = rx_group.splitters[q];
                 let flat = core_otis.rx_index(p, q);
                 netlist.connect(PortRef::new(core, flat), PortRef::new(split, 0));
             }
@@ -126,9 +134,9 @@ impl StackImaseItohDesign {
         // II arc (u, α) in (u, α) order, then the added loops in node order —
         // exactly the order `Digraph::with_loops` produces.
         let mut couplers = Vec::with_capacity(quotient.arc_count());
-        for u in 0..n {
+        for (u, tx_group) in tx_groups.iter().enumerate() {
             for a in 0..d {
-                let mux = tx_groups[u].multiplexers[a];
+                let mux = tx_group.multiplexers[a];
                 let flat = d * u + a;
                 let i = flat / n;
                 let j = flat % n;
@@ -215,7 +223,14 @@ mod tests {
     fn verification_sweep_including_loopy_quotients() {
         // II(3,10) and II(2,3) contain loops; the design must adapt the
         // per-group coupler count and still realize ς(s, II⁺).
-        for (s, d, n) in [(2, 2, 5), (2, 3, 10), (3, 2, 3), (2, 2, 9), (1, 2, 6), (2, 3, 7)] {
+        for (s, d, n) in [
+            (2, 2, 5),
+            (2, 3, 10),
+            (3, 2, 3),
+            (2, 2, 9),
+            (1, 2, 6),
+            (2, 3, 7),
+        ] {
             StackImaseItohDesign::new(s, d, n)
                 .verify()
                 .unwrap_or_else(|e| panic!("SII({s},{d},{n}) design failed: {e}"));

@@ -20,11 +20,11 @@
 //! through the `II(d, n) ≅ KG(d, k)` identification established in
 //! `otis-topologies`.
 
+use crate::design::MultiOpsDesign;
 use crate::stack_imase_itoh_design::StackImaseItohDesign;
 use crate::verify::{VerificationError, VerificationReport};
-use crate::design::MultiOpsDesign;
-use otis_optics::HardwareInventory;
 use otis_graphs::StackGraph;
+use otis_optics::HardwareInventory;
 use otis_topologies::kautz_node_count;
 
 /// The OTIS-based optical design of `SK(s, d, k)`.
@@ -165,7 +165,14 @@ mod tests {
 
     #[test]
     fn verification_sweep() {
-        for (s, d, k) in [(1, 2, 2), (2, 2, 2), (3, 2, 2), (2, 3, 2), (2, 2, 3), (4, 2, 2)] {
+        for (s, d, k) in [
+            (1, 2, 2),
+            (2, 2, 2),
+            (3, 2, 2),
+            (2, 3, 2),
+            (2, 2, 3),
+            (4, 2, 2),
+        ] {
             StackKautzDesign::new(s, d, k)
                 .verify()
                 .unwrap_or_else(|e| panic!("SK({s},{d},{k}) design failed: {e}"));
@@ -176,7 +183,11 @@ mod tests {
     fn expected_inventory_matches_actual_for_other_sizes() {
         for (s, d, k) in [(2, 2, 2), (3, 2, 3), (2, 3, 2)] {
             let design = StackKautzDesign::new(s, d, k);
-            assert_eq!(design.inventory(), design.expected_inventory(), "SK({s},{d},{k})");
+            assert_eq!(
+                design.inventory(),
+                design.expected_inventory(),
+                "SK({s},{d},{k})"
+            );
         }
     }
 

@@ -53,10 +53,16 @@ impl fmt::Display for VerificationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerificationError::ProcessorCountMismatch { design, target } => {
-                write!(f, "processor count mismatch: design has {design}, target has {target}")
+                write!(
+                    f,
+                    "processor count mismatch: design has {design}, target has {target}"
+                )
             }
             VerificationError::CouplerCountMismatch { design, target } => {
-                write!(f, "coupler count mismatch: design has {design}, target has {target}")
+                write!(
+                    f,
+                    "coupler count mismatch: design has {design}, target has {target}"
+                )
             }
             VerificationError::AdjacencyMismatch { detail } => {
                 write!(f, "adjacency mismatch: {detail}")
@@ -65,7 +71,10 @@ impl fmt::Display for VerificationError {
                 write!(f, "hyperarc mismatch: {detail}")
             }
             VerificationError::IncompleteWiring { dangling, sample } => {
-                write!(f, "incomplete wiring: {dangling} dangling ports (e.g. {sample:?})")
+                write!(
+                    f,
+                    "incomplete wiring: {dangling} dangling ports (e.g. {sample:?})"
+                )
             }
         }
     }
@@ -109,7 +118,12 @@ pub fn verify_point_to_point(
             target: target.node_count(),
         });
     }
-    let induced = design.induced_digraph();
+    let induced =
+        design
+            .try_induced_digraph()
+            .map_err(|e| VerificationError::AdjacencyMismatch {
+                detail: e.to_string(),
+            })?;
     for u in 0..target.node_count() {
         let got = induced.out_neighbors(u);
         let want = target.out_neighbors(u);
@@ -223,10 +237,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = VerificationError::ProcessorCountMismatch { design: 4, target: 8 };
+        let e = VerificationError::ProcessorCountMismatch {
+            design: 4,
+            target: 8,
+        };
         assert!(e.to_string().contains("4"));
         assert!(e.to_string().contains("8"));
-        let e2 = VerificationError::AdjacencyMismatch { detail: "node 3".into() };
+        let e2 = VerificationError::AdjacencyMismatch {
+            detail: "node 3".into(),
+        };
         assert!(e2.to_string().contains("node 3"));
     }
 

@@ -23,7 +23,11 @@ pub fn bfs_distances(g: &Digraph, source: NodeId) -> Vec<u32> {
 /// This is the inner loop of diameter computation over all sources, so it is
 /// written to touch each arc at most once.
 pub fn bfs_distances_into(g: &Digraph, source: NodeId, dist: &mut [u32]) {
-    assert_eq!(dist.len(), g.node_count(), "distance buffer has wrong length");
+    assert_eq!(
+        dist.len(),
+        g.node_count(),
+        "distance buffer has wrong length"
+    );
     assert!(source < g.node_count(), "source out of range");
     for d in dist.iter_mut() {
         *d = UNREACHABLE;

@@ -102,16 +102,16 @@ mod tests {
         assert!(!is_strongly_connected(&g));
         let comp = strongly_connected_components(&g);
         // Three singleton components.
-        assert_eq!(comp.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            comp.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 
     #[test]
     fn two_cycles_joined_one_way() {
         // Cycle {0,1,2} -> cycle {3,4} via arc 2->3; not strongly connected.
-        let g = Digraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
-        );
+        let g = Digraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]);
         assert!(!is_strongly_connected(&g));
         let comp = strongly_connected_components(&g);
         assert_eq!(comp[0], comp[1]);

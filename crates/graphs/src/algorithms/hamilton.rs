@@ -18,10 +18,7 @@ pub const DEFAULT_MAX_STEPS: u64 = 50_000_000;
 ///
 /// Returns `Ok(Some(cycle))` if one is found, `Ok(None)` if the search proves
 /// there is none, and `Err(steps)` if the work bound was exhausted first.
-pub fn hamiltonian_cycle_bounded(
-    g: &Digraph,
-    max_steps: u64,
-) -> Result<Option<Vec<NodeId>>, u64> {
+pub fn hamiltonian_cycle_bounded(g: &Digraph, max_steps: u64) -> Result<Option<Vec<NodeId>>, u64> {
     let n = g.node_count();
     if n == 0 {
         return Ok(None);

@@ -31,7 +31,10 @@ pub fn shortest_path_avoiding<F>(
 where
     F: Fn(NodeId, NodeId) -> bool,
 {
-    assert!(source < g.node_count() && target < g.node_count(), "endpoint out of range");
+    assert!(
+        source < g.node_count() && target < g.node_count(),
+        "endpoint out of range"
+    );
     if source == target {
         return Some(vec![source]);
     }

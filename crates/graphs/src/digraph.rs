@@ -52,7 +52,10 @@ pub struct DigraphBuilder {
 impl DigraphBuilder {
     /// Creates a builder for a digraph with `n` nodes and no arcs.
     pub fn new(n: usize) -> Self {
-        DigraphBuilder { n, arcs: Vec::new() }
+        DigraphBuilder {
+            n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Creates a builder with `n` nodes and room for `m` arcs.
@@ -97,10 +100,16 @@ impl DigraphBuilder {
     /// Fallible variant of [`DigraphBuilder::add_arc`].
     pub fn try_add_arc(&mut self, source: NodeId, target: NodeId) -> Result<&mut Self, GraphError> {
         if source >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: source, n: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: source,
+                n: self.n,
+            });
         }
         if target >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: target, n: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: target,
+                n: self.n,
+            });
         }
         self.arcs.push(Arc::new(source, target));
         Ok(self)
@@ -135,7 +144,10 @@ impl Digraph {
     /// Builds a digraph with `n` nodes from a list of arcs.
     pub fn from_arcs(n: usize, arcs: &[Arc]) -> Self {
         for a in arcs {
-            assert!(a.source < n && a.target < n, "arc {a:?} out of range (n = {n})");
+            assert!(
+                a.source < n && a.target < n,
+                "arc {a:?} out of range (n = {n})"
+            );
         }
         let m = arcs.len();
 
@@ -220,10 +232,10 @@ impl Digraph {
 
     /// The arc with a given identifier (insertion order).
     pub fn arc(&self, id: usize) -> Result<Arc, GraphError> {
-        self.arcs
-            .get(id)
-            .copied()
-            .ok_or(GraphError::ArcOutOfRange { arc: id, m: self.arcs.len() })
+        self.arcs.get(id).copied().ok_or(GraphError::ArcOutOfRange {
+            arc: id,
+            m: self.arcs.len(),
+        })
     }
 
     /// Out-neighbours of `u`, in the order their arcs were inserted.
@@ -469,7 +481,10 @@ mod tests {
     fn arc_lookup_and_errors() {
         let g = Digraph::from_edges(3, &[(0, 1), (1, 2)]);
         assert_eq!(g.arc(1).unwrap(), Arc::new(1, 2));
-        assert!(matches!(g.arc(5), Err(GraphError::ArcOutOfRange { arc: 5, m: 2 })));
+        assert!(matches!(
+            g.arc(5),
+            Err(GraphError::ArcOutOfRange { arc: 5, m: 2 })
+        ));
     }
 
     #[test]

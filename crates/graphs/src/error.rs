@@ -51,7 +51,10 @@ impl fmt::Display for GraphError {
                 write!(f, "arc {arc} out of range for graph with {m} arcs")
             }
             GraphError::HyperArcOutOfRange { arc, m } => {
-                write!(f, "hyperarc {arc} out of range for hypergraph with {m} hyperarcs")
+                write!(
+                    f,
+                    "hyperarc {arc} out of range for hypergraph with {m} hyperarcs"
+                )
             }
             GraphError::InvalidParameter { reason } => {
                 write!(f, "invalid parameter: {reason}")

@@ -72,7 +72,10 @@ pub struct Hypergraph {
 impl Hypergraph {
     /// Creates an empty hypergraph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Hypergraph { n, arcs: Vec::new() }
+        Hypergraph {
+            n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -235,9 +238,12 @@ mod tests {
     #[test]
     fn incidence_queries() {
         let mut h = Hypergraph::new(6);
-        h.add_hyperarc(HyperArc::new(vec![0, 1], vec![2, 3])).unwrap();
-        h.add_hyperarc(HyperArc::new(vec![2, 3], vec![4, 5])).unwrap();
-        h.add_hyperarc(HyperArc::new(vec![4, 5], vec![0, 1])).unwrap();
+        h.add_hyperarc(HyperArc::new(vec![0, 1], vec![2, 3]))
+            .unwrap();
+        h.add_hyperarc(HyperArc::new(vec![2, 3], vec![4, 5]))
+            .unwrap();
+        h.add_hyperarc(HyperArc::new(vec![4, 5], vec![0, 1]))
+            .unwrap();
         assert_eq!(h.out_hyperarcs(2), vec![1]);
         assert_eq!(h.in_hyperarcs(2), vec![0]);
         // The flattened 3-stage ring has diameter 3 at the node level.
@@ -255,14 +261,17 @@ mod tests {
     #[test]
     fn same_hyperarcs_is_order_insensitive() {
         let mut h1 = Hypergraph::new(4);
-        h1.add_hyperarc(HyperArc::new(vec![0, 1], vec![2, 3])).unwrap();
+        h1.add_hyperarc(HyperArc::new(vec![0, 1], vec![2, 3]))
+            .unwrap();
         h1.add_hyperarc(HyperArc::new(vec![2], vec![0])).unwrap();
         let mut h2 = Hypergraph::new(4);
         h2.add_hyperarc(HyperArc::new(vec![2], vec![0])).unwrap();
-        h2.add_hyperarc(HyperArc::new(vec![1, 0], vec![3, 2])).unwrap();
+        h2.add_hyperarc(HyperArc::new(vec![1, 0], vec![3, 2]))
+            .unwrap();
         assert!(h1.same_hyperarcs(&h2));
         let mut h3 = Hypergraph::new(4);
-        h3.add_hyperarc(HyperArc::new(vec![0, 1], vec![2, 3])).unwrap();
+        h3.add_hyperarc(HyperArc::new(vec![0, 1], vec![2, 3]))
+            .unwrap();
         h3.add_hyperarc(HyperArc::new(vec![3], vec![0])).unwrap();
         assert!(!h1.same_hyperarcs(&h3));
     }

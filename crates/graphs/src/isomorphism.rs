@@ -25,7 +25,10 @@ pub fn relabel(g: &Digraph, mapping: &[NodeId]) -> Digraph {
     let mut seen = vec![false; n];
     for &image in mapping {
         assert!(image < n, "mapping image {image} out of range");
-        assert!(!seen[image], "mapping is not injective (image {image} repeated)");
+        assert!(
+            !seen[image],
+            "mapping is not injective (image {image} repeated)"
+        );
         seen[image] = true;
     }
     let arcs: Vec<Arc> = g
@@ -118,7 +121,13 @@ pub fn find_isomorphism(a: &Digraph, b: &Digraph) -> Option<Vec<NodeId>> {
     let mut mapping: Vec<Option<NodeId>> = vec![None; n];
     let mut used = vec![false; n];
 
-    fn consistent(a: &Digraph, b: &Digraph, mapping: &[Option<NodeId>], u: NodeId, img: NodeId) -> bool {
+    fn consistent(
+        a: &Digraph,
+        b: &Digraph,
+        mapping: &[Option<NodeId>],
+        u: NodeId,
+        img: NodeId,
+    ) -> bool {
         // All already-mapped neighbours must have their adjacency preserved in
         // both directions with correct multiplicities.
         for (x, &mx) in mapping.iter().enumerate() {

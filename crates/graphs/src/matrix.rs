@@ -17,7 +17,10 @@ pub struct AdjacencyMatrix {
 impl AdjacencyMatrix {
     /// The zero matrix of dimension `n`.
     pub fn zeros(n: usize) -> Self {
-        AdjacencyMatrix { n, data: vec![0; n * n] }
+        AdjacencyMatrix {
+            n,
+            data: vec![0; n * n],
+        }
     }
 
     /// The identity matrix of dimension `n`.

@@ -102,7 +102,10 @@ impl StackGraph {
     /// Converts a [`StackNode`] back to its flat identifier.
     pub fn to_flat(&self, node: StackNode) -> NodeId {
         assert!(node.index < self.stacking_factor, "index out of range");
-        assert!(node.group < self.quotient.node_count(), "group out of range");
+        assert!(
+            node.group < self.quotient.node_count(),
+            "group out of range"
+        );
         node.group * self.stacking_factor + node.index
     }
 

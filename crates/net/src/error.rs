@@ -1,0 +1,169 @@
+//! Typed errors of the facade.
+
+use otis_core::VerificationError;
+use std::fmt;
+
+/// Why a spec string could not be turned into a [`crate::NetworkSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The input does not match `FAMILY(arg, ...)`.
+    Syntax {
+        /// The offending input.
+        input: String,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The family mnemonic is not one of the supported ones.
+    UnknownFamily {
+        /// The offending input.
+        input: String,
+        /// The unrecognised mnemonic.
+        family: String,
+    },
+    /// The family exists but was given the wrong number of arguments.
+    Arity {
+        /// The offending input.
+        input: String,
+        /// The family mnemonic.
+        family: String,
+        /// Human-readable expected signature.
+        expected: &'static str,
+        /// Number of arguments received.
+        got: usize,
+    },
+    /// A parameter violates the family's bounds (e.g. a zero degree).
+    ParameterOutOfRange {
+        /// The rendered spec.
+        spec: String,
+        /// Which bound was violated.
+        reason: &'static str,
+    },
+    /// The spec describes a network above [`crate::spec::MAX_NODES`]
+    /// processors (or one whose size overflows `usize`).
+    TooLarge {
+        /// The rendered spec.
+        spec: String,
+        /// The cap that was exceeded.
+        max_nodes: usize,
+    },
+    /// The spec describes a network above [`crate::spec::MAX_LINKS`] arcs or
+    /// couplers (dense families hit this long before the node cap).
+    TooManyLinks {
+        /// The rendered spec.
+        spec: String,
+        /// The cap that was exceeded.
+        max_links: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax { input, reason } => {
+                write!(f, "cannot parse network spec '{input}': {reason}")
+            }
+            SpecError::UnknownFamily { input, family } => write!(
+                f,
+                "unknown network family '{family}' in '{input}' \
+                 (supported: K, DB, KG, II, POPS, SK, SII)"
+            ),
+            SpecError::Arity { input, family, expected, got } => write!(
+                f,
+                "wrong number of arguments for {family} in '{input}': expected {expected}, got {got}"
+            ),
+            SpecError::ParameterOutOfRange { spec, reason } => {
+                write!(f, "parameter out of range in {spec}: {reason}")
+            }
+            SpecError::TooLarge { spec, max_nodes } => {
+                write!(f, "{spec} is too large: the facade caps networks at {max_nodes} processors")
+            }
+            SpecError::TooManyLinks { spec, max_links } => {
+                write!(
+                    f,
+                    "{spec} is too dense: the facade caps networks at {max_links} links/couplers"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Any failure surfaced by the [`crate::Network`] facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// The spec string or parameters were invalid.
+    Spec(SpecError),
+    /// The optical design exists but failed its end-to-end verification.
+    Verification(VerificationError),
+    /// A family without an optical design failed its structural self-check
+    /// (closed-form node count, regularity, connectivity, diameter).
+    Structure {
+        /// The network's name.
+        network: String,
+        /// What did not hold.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Spec(e) => write!(f, "{e}"),
+            NetworkError::Verification(e) => write!(f, "design verification failed: {e}"),
+            NetworkError::Structure { network, detail } => {
+                write!(f, "structural check of {network} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Spec(e) => Some(e),
+            NetworkError::Verification(e) => Some(e),
+            NetworkError::Structure { .. } => None,
+        }
+    }
+}
+
+impl From<SpecError> for NetworkError {
+    fn from(e: SpecError) -> Self {
+        NetworkError::Spec(e)
+    }
+}
+
+impl From<VerificationError> for NetworkError {
+    fn from(e: VerificationError) -> Self {
+        NetworkError::Verification(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SpecError::UnknownFamily {
+            input: "ZZ(1)".into(),
+            family: "ZZ".into(),
+        };
+        assert!(e.to_string().contains("ZZ"));
+        assert!(e.to_string().contains("supported"));
+        let n: NetworkError = e.into();
+        assert!(n.to_string().contains("ZZ"));
+        let v: NetworkError = VerificationError::ProcessorCountMismatch {
+            design: 1,
+            target: 2,
+        }
+        .into();
+        assert!(v.to_string().contains("verification failed"));
+        let s = NetworkError::Structure {
+            network: "DB(2,3)".into(),
+            detail: "oops".into(),
+        };
+        assert!(s.to_string().contains("DB(2,3)"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Per-family implementations of the [`crate::family::NetworkFamily`] trait.
+
+pub(crate) mod multi_ops;
+pub(crate) mod point_to_point;
+
+use crate::family::NetworkFamily;
+use crate::spec::NetworkSpec;
+
+/// Builds the family object of a (validated) spec.
+pub(crate) fn build(spec: &NetworkSpec) -> Box<dyn NetworkFamily> {
+    match *spec {
+        NetworkSpec::Complete { n } => Box::new(point_to_point::CompleteNetwork::new(n)),
+        NetworkSpec::DeBruijn { d, k } => Box::new(point_to_point::DeBruijnNetwork::new(d, k)),
+        NetworkSpec::Kautz { d, k } => Box::new(point_to_point::KautzNetwork::new(d, k)),
+        NetworkSpec::ImaseItoh { d, n } => Box::new(point_to_point::ImaseItohNetwork::new(d, n)),
+        NetworkSpec::Pops { t, g } => Box::new(multi_ops::PopsNetwork::new(t, g)),
+        NetworkSpec::StackKautz { s, d, k } => Box::new(multi_ops::StackKautzNetwork::new(s, d, k)),
+        NetworkSpec::StackImaseItoh { s, d, n } => {
+            Box::new(multi_ops::StackImaseItohNetwork::new(s, d, n))
+        }
+    }
+}

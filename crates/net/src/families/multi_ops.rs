@@ -1,0 +1,238 @@
+//! Facade implementations for the multi-OPS (stack-graph) families:
+//! `POPS(t, g)`, stack-Kautz `SK(s, d, k)` and stack-Imase–Itoh
+//! `SII(s, d, n)`.
+
+use crate::design::NetworkDesign;
+use crate::error::NetworkError;
+use crate::family::NetworkFamily;
+use crate::route::{RouteOracle, StackOracle};
+use crate::sim_options::SimOptions;
+use crate::spec::NetworkSpec;
+use crate::topology::NetworkTopology;
+use otis_core::{PopsDesign, StackImaseItohDesign, StackKautzDesign, VerificationReport};
+use otis_graphs::StackGraph;
+use otis_optics::HardwareInventory;
+use otis_routing::StackRouter;
+use otis_sim::{MultiOpsSim, MultiOpsSimConfig, SimMetrics, TrafficPattern};
+use otis_topologies::{Pops, StackImaseItoh, StackKautz};
+use std::sync::OnceLock;
+
+/// Runs the slotted multi-OPS simulator over a stack-graph network.
+fn simulate_multi_ops(
+    stack: &StackGraph,
+    traffic: &TrafficPattern,
+    options: &SimOptions,
+) -> SimMetrics {
+    MultiOpsSim::new(
+        stack.clone(),
+        MultiOpsSimConfig {
+            slots: options.slots,
+            seed: options.seed,
+            policy: options.policy,
+            queue_limit: options.queue_limit,
+        },
+    )
+    .run(traffic)
+}
+
+/// The `POPS(t, g)` network behind the facade.
+#[derive(Debug)]
+pub(crate) struct PopsNetwork {
+    spec: NetworkSpec,
+    t: usize,
+    g: usize,
+    pops: Pops,
+    design: OnceLock<PopsDesign>,
+}
+
+impl PopsNetwork {
+    pub(crate) fn new(t: usize, g: usize) -> Self {
+        PopsNetwork {
+            spec: NetworkSpec::Pops { t, g },
+            t,
+            g,
+            pops: Pops::new(t, g),
+            design: OnceLock::new(),
+        }
+    }
+
+    /// The optical design, built once and cached.
+    fn built_design(&self) -> &PopsDesign {
+        self.design.get_or_init(|| PopsDesign::new(self.t, self.g))
+    }
+}
+
+impl NetworkFamily for PopsNetwork {
+    fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    fn topology(&self) -> NetworkTopology<'_> {
+        NetworkTopology::MultiOps(self.pops.stack_graph())
+    }
+
+    fn predicted_diameter(&self) -> Option<u32> {
+        Some(if self.pops.node_count() > 1 { 1 } else { 0 })
+    }
+
+    fn design(&self) -> Option<NetworkDesign> {
+        Some(NetworkDesign::MultiOps(
+            self.built_design().design().clone(),
+        ))
+    }
+
+    fn predicted_inventory(&self) -> Option<HardwareInventory> {
+        None
+    }
+
+    fn verify(&self) -> Result<VerificationReport, NetworkError> {
+        Ok(self.built_design().verify()?)
+    }
+
+    fn router(&self) -> Box<dyn RouteOracle> {
+        Box::new(StackOracle {
+            router: StackRouter::new(self.pops.stack_graph().clone()),
+        })
+    }
+
+    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        simulate_multi_ops(self.pops.stack_graph(), traffic, options)
+    }
+}
+
+/// The stack-Kautz network `SK(s, d, k)` behind the facade.
+#[derive(Debug)]
+pub(crate) struct StackKautzNetwork {
+    spec: NetworkSpec,
+    s: usize,
+    d: usize,
+    k: usize,
+    sk: StackKautz,
+    design: OnceLock<StackKautzDesign>,
+}
+
+impl StackKautzNetwork {
+    pub(crate) fn new(s: usize, d: usize, k: usize) -> Self {
+        StackKautzNetwork {
+            spec: NetworkSpec::StackKautz { s, d, k },
+            s,
+            d,
+            k,
+            sk: StackKautz::new(s, d, k),
+            design: OnceLock::new(),
+        }
+    }
+
+    /// The optical design, built once and cached.
+    fn built_design(&self) -> &StackKautzDesign {
+        self.design
+            .get_or_init(|| StackKautzDesign::new(self.s, self.d, self.k))
+    }
+}
+
+impl NetworkFamily for StackKautzNetwork {
+    fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    fn topology(&self) -> NetworkTopology<'_> {
+        NetworkTopology::MultiOps(self.sk.stack_graph())
+    }
+
+    fn predicted_diameter(&self) -> Option<u32> {
+        u32::try_from(self.k).ok()
+    }
+
+    fn design(&self) -> Option<NetworkDesign> {
+        Some(NetworkDesign::MultiOps(
+            self.built_design().design().clone(),
+        ))
+    }
+
+    fn predicted_inventory(&self) -> Option<HardwareInventory> {
+        Some(self.built_design().expected_inventory())
+    }
+
+    fn verify(&self) -> Result<VerificationReport, NetworkError> {
+        Ok(self.built_design().verify()?)
+    }
+
+    fn router(&self) -> Box<dyn RouteOracle> {
+        Box::new(StackOracle {
+            router: StackRouter::new(self.sk.stack_graph().clone()),
+        })
+    }
+
+    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        simulate_multi_ops(self.sk.stack_graph(), traffic, options)
+    }
+}
+
+/// The stack-Imase–Itoh network `SII(s, d, n)` behind the facade.
+#[derive(Debug)]
+pub(crate) struct StackImaseItohNetwork {
+    spec: NetworkSpec,
+    s: usize,
+    d: usize,
+    n: usize,
+    sii: StackImaseItoh,
+    design: OnceLock<StackImaseItohDesign>,
+}
+
+impl StackImaseItohNetwork {
+    pub(crate) fn new(s: usize, d: usize, n: usize) -> Self {
+        StackImaseItohNetwork {
+            spec: NetworkSpec::StackImaseItoh { s, d, n },
+            s,
+            d,
+            n,
+            sii: StackImaseItoh::new(s, d, n),
+            design: OnceLock::new(),
+        }
+    }
+
+    /// The optical design, built once and cached.
+    fn built_design(&self) -> &StackImaseItohDesign {
+        self.design
+            .get_or_init(|| StackImaseItohDesign::new(self.s, self.d, self.n))
+    }
+}
+
+impl NetworkFamily for StackImaseItohNetwork {
+    fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    fn topology(&self) -> NetworkTopology<'_> {
+        NetworkTopology::MultiOps(self.sii.stack_graph())
+    }
+
+    fn predicted_diameter(&self) -> Option<u32> {
+        // ⌈log_d n⌉ is only an upper bound on the quotient diameter.
+        None
+    }
+
+    fn design(&self) -> Option<NetworkDesign> {
+        Some(NetworkDesign::MultiOps(
+            self.built_design().design().clone(),
+        ))
+    }
+
+    fn predicted_inventory(&self) -> Option<HardwareInventory> {
+        None
+    }
+
+    fn verify(&self) -> Result<VerificationReport, NetworkError> {
+        Ok(self.built_design().verify()?)
+    }
+
+    fn router(&self) -> Box<dyn RouteOracle> {
+        Box::new(StackOracle {
+            router: StackRouter::new(self.sii.stack_graph().clone()),
+        })
+    }
+
+    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        simulate_multi_ops(self.sii.stack_graph(), traffic, options)
+    }
+}

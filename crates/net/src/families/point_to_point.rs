@@ -1,0 +1,300 @@
+//! Facade implementations for the point-to-point digraph families:
+//! Kautz `KG(d, k)`, Imase–Itoh `II(d, n)`, de Bruijn `DB(d, k)` and the
+//! complete digraph `K(n)`.
+
+use crate::design::NetworkDesign;
+use crate::error::NetworkError;
+use crate::family::{structural_report, NetworkFamily};
+use crate::route::{ImaseItohOracle, KautzOracle, RouteOracle, TableOracle};
+use crate::sim_options::SimOptions;
+use crate::spec::NetworkSpec;
+use crate::topology::NetworkTopology;
+use otis_core::{ImaseItohDesign, KautzDesign, VerificationReport};
+use otis_graphs::Digraph;
+use otis_optics::HardwareInventory;
+use otis_routing::RoutingTable;
+use otis_sim::{HotPotatoSim, HotPotatoSimConfig, SimMetrics, TrafficPattern};
+use otis_topologies::{complete_digraph, de_bruijn, imase_itoh, kautz};
+use std::sync::OnceLock;
+
+/// Runs the deflection-routing (hot-potato) simulator over a point-to-point
+/// digraph — the single-OPS baseline of the paper's comparisons.
+fn simulate_hot_potato(
+    graph: &Digraph,
+    traffic: &TrafficPattern,
+    options: &SimOptions,
+) -> SimMetrics {
+    HotPotatoSim::new(
+        graph.clone(),
+        HotPotatoSimConfig {
+            slots: options.slots,
+            seed: options.seed,
+            max_hops: options.max_hops,
+        },
+    )
+    .run(traffic)
+}
+
+/// The Kautz graph `KG(d, k)` behind the facade.
+#[derive(Debug)]
+pub(crate) struct KautzNetwork {
+    spec: NetworkSpec,
+    d: usize,
+    k: usize,
+    graph: Digraph,
+    design: OnceLock<KautzDesign>,
+}
+
+impl KautzNetwork {
+    pub(crate) fn new(d: usize, k: usize) -> Self {
+        KautzNetwork {
+            spec: NetworkSpec::Kautz { d, k },
+            d,
+            k,
+            graph: kautz(d, k),
+            design: OnceLock::new(),
+        }
+    }
+
+    /// The optical design, built once and cached.
+    fn built_design(&self) -> &KautzDesign {
+        self.design.get_or_init(|| KautzDesign::new(self.d, self.k))
+    }
+}
+
+impl NetworkFamily for KautzNetwork {
+    fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    fn topology(&self) -> NetworkTopology<'_> {
+        NetworkTopology::PointToPoint(&self.graph)
+    }
+
+    fn predicted_diameter(&self) -> Option<u32> {
+        u32::try_from(self.k).ok()
+    }
+
+    fn design(&self) -> Option<NetworkDesign> {
+        Some(NetworkDesign::PointToPoint(
+            self.built_design().imase_itoh_design().design().clone(),
+        ))
+    }
+
+    fn predicted_inventory(&self) -> Option<HardwareInventory> {
+        None
+    }
+
+    fn verify(&self) -> Result<VerificationReport, NetworkError> {
+        Ok(self.built_design().verify()?)
+    }
+
+    fn router(&self) -> Box<dyn RouteOracle> {
+        Box::new(KautzOracle {
+            d: self.d,
+            k: self.k,
+            n: self.graph.node_count(),
+        })
+    }
+
+    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        simulate_hot_potato(&self.graph, traffic, options)
+    }
+}
+
+/// The Imase–Itoh graph `II(d, n)` behind the facade.
+#[derive(Debug)]
+pub(crate) struct ImaseItohNetwork {
+    spec: NetworkSpec,
+    d: usize,
+    n: usize,
+    graph: Digraph,
+    design: OnceLock<ImaseItohDesign>,
+}
+
+impl ImaseItohNetwork {
+    pub(crate) fn new(d: usize, n: usize) -> Self {
+        ImaseItohNetwork {
+            spec: NetworkSpec::ImaseItoh { d, n },
+            d,
+            n,
+            graph: imase_itoh(d, n),
+            design: OnceLock::new(),
+        }
+    }
+
+    /// The optical design, built once and cached.
+    fn built_design(&self) -> &ImaseItohDesign {
+        self.design
+            .get_or_init(|| ImaseItohDesign::new(self.d, self.n))
+    }
+}
+
+impl NetworkFamily for ImaseItohNetwork {
+    fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    fn topology(&self) -> NetworkTopology<'_> {
+        NetworkTopology::PointToPoint(&self.graph)
+    }
+
+    fn predicted_diameter(&self) -> Option<u32> {
+        // ⌈log_d n⌉ is only an upper bound, not the exact diameter.
+        None
+    }
+
+    fn design(&self) -> Option<NetworkDesign> {
+        Some(NetworkDesign::PointToPoint(
+            self.built_design().design().clone(),
+        ))
+    }
+
+    fn predicted_inventory(&self) -> Option<HardwareInventory> {
+        None
+    }
+
+    fn verify(&self) -> Result<VerificationReport, NetworkError> {
+        Ok(self.built_design().verify()?)
+    }
+
+    fn router(&self) -> Box<dyn RouteOracle> {
+        Box::new(ImaseItohOracle {
+            d: self.d,
+            n: self.n,
+        })
+    }
+
+    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        simulate_hot_potato(&self.graph, traffic, options)
+    }
+}
+
+/// The de Bruijn graph `DB(d, k)` behind the facade.  No OTIS design in the
+/// paper — verification is structural, routing is BFS-table based.
+#[derive(Debug)]
+pub(crate) struct DeBruijnNetwork {
+    spec: NetworkSpec,
+    d: usize,
+    k: usize,
+    graph: Digraph,
+    table: OnceLock<RoutingTable>,
+}
+
+impl DeBruijnNetwork {
+    pub(crate) fn new(d: usize, k: usize) -> Self {
+        DeBruijnNetwork {
+            spec: NetworkSpec::DeBruijn { d, k },
+            d,
+            k,
+            graph: de_bruijn(d, k),
+            table: OnceLock::new(),
+        }
+    }
+}
+
+impl NetworkFamily for DeBruijnNetwork {
+    fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    fn topology(&self) -> NetworkTopology<'_> {
+        NetworkTopology::PointToPoint(&self.graph)
+    }
+
+    fn predicted_diameter(&self) -> Option<u32> {
+        // B(1, k) is a single self-loop node; the k closed form needs d >= 2.
+        (self.d >= 2).then(|| u32::try_from(self.k).ok()).flatten()
+    }
+
+    fn design(&self) -> Option<NetworkDesign> {
+        None
+    }
+
+    fn predicted_inventory(&self) -> Option<HardwareInventory> {
+        None
+    }
+
+    fn verify(&self) -> Result<VerificationReport, NetworkError> {
+        structural_report(&self.spec, &self.graph, self.d, self.predicted_diameter())
+    }
+
+    fn router(&self) -> Box<dyn RouteOracle> {
+        // The all-pairs BFS table is built once and cached; the oracle gets
+        // its own copy so it can outlive the network handle.
+        Box::new(TableOracle {
+            table: self
+                .table
+                .get_or_init(|| RoutingTable::new(&self.graph))
+                .clone(),
+        })
+    }
+
+    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        simulate_hot_potato(&self.graph, traffic, options)
+    }
+}
+
+/// The complete digraph `K(n)` behind the facade.
+#[derive(Debug)]
+pub(crate) struct CompleteNetwork {
+    spec: NetworkSpec,
+    n: usize,
+    graph: Digraph,
+    table: OnceLock<RoutingTable>,
+}
+
+impl CompleteNetwork {
+    pub(crate) fn new(n: usize) -> Self {
+        CompleteNetwork {
+            spec: NetworkSpec::Complete { n },
+            n,
+            graph: complete_digraph(n),
+            table: OnceLock::new(),
+        }
+    }
+}
+
+impl NetworkFamily for CompleteNetwork {
+    fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    fn topology(&self) -> NetworkTopology<'_> {
+        NetworkTopology::PointToPoint(&self.graph)
+    }
+
+    fn predicted_diameter(&self) -> Option<u32> {
+        Some(if self.n > 1 { 1 } else { 0 })
+    }
+
+    fn design(&self) -> Option<NetworkDesign> {
+        None
+    }
+
+    fn predicted_inventory(&self) -> Option<HardwareInventory> {
+        None
+    }
+
+    fn verify(&self) -> Result<VerificationReport, NetworkError> {
+        structural_report(
+            &self.spec,
+            &self.graph,
+            self.n - 1,
+            self.predicted_diameter(),
+        )
+    }
+
+    fn router(&self) -> Box<dyn RouteOracle> {
+        Box::new(TableOracle {
+            table: self
+                .table
+                .get_or_init(|| RoutingTable::new(&self.graph))
+                .clone(),
+        })
+    }
+
+    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        simulate_hot_potato(&self.graph, traffic, options)
+    }
+}

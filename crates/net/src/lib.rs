@@ -1,0 +1,59 @@
+//! # otis-net
+//!
+//! The unified, spec-driven facade of the OTIS lightwave-network
+//! reproduction.  The paper's argument is inherently *comparative* — POPS
+//! vs. stack-Kautz vs. single-OPS de Bruijn under the same traffic — so any
+//! network must be addressable as a uniform parameterized object.  This
+//! crate provides exactly that:
+//!
+//! * [`NetworkSpec`] — the spec language: `"SK(6,3,2)"`, `"POPS(9,8)"`,
+//!   `"II(4,12)"`, `"KG(3,4)"`, `"DB(2,8)"`, `"SII(2,3,12)"`, `"K(5)"`;
+//! * [`Network`] — the facade: [`Network::topology`], [`Network::design`],
+//!   [`Network::verify`], [`Network::router`] and [`Network::simulate`] give
+//!   every family the same five-layer surface;
+//! * [`scenarios`] — comparison scenarios as *data*: a list of specs plus a
+//!   list of loads (experiment T5 of the reproduction harness).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use otis_net::{Network, SimOptions};
+//!
+//! // The paper's worked example, end to end, from one string.
+//! let sk = Network::from_spec("SK(6,3,2)").unwrap();
+//! let report = sk.verify().unwrap();
+//! assert_eq!(report.processors, 72);
+//! assert_eq!(report.links, 48);
+//!
+//! // Routing and simulation through the same handle.
+//! assert!(sk.router().route(0, 71).unwrap().hop_count() <= 2);
+//! let metrics = Network::from_spec("POPS(9,8)")
+//!     .unwrap()
+//!     .simulate_uniform(0.2, &SimOptions::new(200, 42));
+//! assert!(metrics.delivered > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(clippy::all)]
+
+pub mod design;
+pub mod error;
+mod families;
+pub mod family;
+pub mod network;
+pub mod route;
+pub mod scenarios;
+pub mod sim_options;
+pub mod spec;
+pub mod topology;
+
+pub use design::NetworkDesign;
+pub use error::{NetworkError, SpecError};
+pub use family::NetworkFamily;
+pub use network::Network;
+pub use route::{Route, RouteOracle};
+pub use scenarios::{compare_networks, compare_spec_strs, compare_specs, ComparisonRow};
+pub use sim_options::SimOptions;
+pub use spec::NetworkSpec;
+pub use topology::NetworkTopology;

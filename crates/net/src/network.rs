@@ -1,0 +1,228 @@
+//! The [`Network`] facade: one handle per network, built from a spec.
+
+use crate::design::NetworkDesign;
+use crate::error::NetworkError;
+use crate::families;
+use crate::family::NetworkFamily;
+use crate::route::RouteOracle;
+use crate::sim_options::SimOptions;
+use crate::spec::NetworkSpec;
+use crate::topology::NetworkTopology;
+use otis_core::VerificationReport;
+use otis_optics::HardwareInventory;
+use otis_sim::{SimMetrics, TrafficPattern};
+use otis_topologies::TopologySummary;
+
+/// Any network of the reproduction, behind one uniform API.
+///
+/// A `Network` is built from a spec string (or a parsed [`NetworkSpec`]) and
+/// exposes every layer of the codebase through one surface:
+///
+/// * [`Network::topology`] — the digraph / stack-graph structure;
+/// * [`Network::design`] — the OTIS-based optical design, where the paper
+///   gives one;
+/// * [`Network::verify`] — end-to-end verification (signal tracing against
+///   the target topology, or structural invariants for design-less
+///   families);
+/// * [`Network::router`] — a route oracle unifying the per-family routers;
+/// * [`Network::simulate`] — the slotted simulator matching the family
+///   (multi-OPS arbitration or hot-potato deflection).
+///
+/// ```
+/// use otis_net::Network;
+///
+/// let network = Network::from_spec("SK(6,3,2)").unwrap();
+/// let report = network.verify().unwrap();
+/// assert_eq!(report.processors, 72);
+/// assert_eq!(report.links, 48);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    inner: Box<dyn NetworkFamily>,
+}
+
+impl Network {
+    /// Builds a network from a spec string such as `"SK(6,3,2)"`,
+    /// `"POPS(9,8)"`, `"II(4,12)"`, `"KG(3,4)"`, `"DB(2,8)"`,
+    /// `"SII(2,3,12)"` or `"K(5)"`.
+    pub fn from_spec(spec: &str) -> Result<Self, NetworkError> {
+        Self::new(spec.parse::<NetworkSpec>()?)
+    }
+
+    /// Builds a network from a parsed spec, re-validating its parameters so
+    /// a directly-constructed [`NetworkSpec`] cannot panic the constructors.
+    pub fn new(spec: NetworkSpec) -> Result<Self, NetworkError> {
+        spec.validate()?;
+        Ok(Network {
+            inner: families::build(&spec),
+        })
+    }
+
+    /// The spec this network was built from.
+    pub fn spec(&self) -> &NetworkSpec {
+        self.inner.spec()
+    }
+
+    /// The canonical name, e.g. `"SK(6,3,2)"`.
+    pub fn name(&self) -> String {
+        self.spec().to_string()
+    }
+
+    /// Whether this is a multi-OPS (stack-graph) network.
+    pub fn is_multi_ops(&self) -> bool {
+        self.spec().is_multi_ops()
+    }
+
+    /// The graph-level structure.
+    pub fn topology(&self) -> NetworkTopology<'_> {
+        self.inner.topology()
+    }
+
+    /// Number of processors.
+    pub fn node_count(&self) -> usize {
+        self.topology().node_count()
+    }
+
+    /// Number of point-to-point links or OPS couplers.
+    pub fn link_count(&self) -> usize {
+        self.topology().link_count()
+    }
+
+    /// The closed-form diameter predicted by the paper, when exact.
+    pub fn predicted_diameter(&self) -> Option<u32> {
+        self.inner.predicted_diameter()
+    }
+
+    /// The uniform property summary row (measured diameter, average
+    /// distance, …) used by the reproduction tables.
+    pub fn summary(&self) -> TopologySummary {
+        self.topology()
+            .summary(self.name(), self.predicted_diameter())
+    }
+
+    /// The OTIS-based optical design, for families the paper designs
+    /// (`II`, `KG`, `POPS`, `SK`, `SII`); `None` for comparison-only
+    /// families (`DB`, `K`).
+    pub fn design(&self) -> Option<NetworkDesign> {
+        self.inner.design()
+    }
+
+    /// The closed-form hardware inventory predicted by the paper, where one
+    /// is stated (stack-Kautz designs).
+    pub fn predicted_inventory(&self) -> Option<HardwareInventory> {
+        self.inner.predicted_inventory()
+    }
+
+    /// End-to-end verification; see [`Network`] for what is checked per
+    /// family.
+    pub fn verify(&self) -> Result<VerificationReport, NetworkError> {
+        self.inner.verify()
+    }
+
+    /// A route oracle over flat processor identifiers.
+    pub fn router(&self) -> Box<dyn RouteOracle> {
+        self.inner.router()
+    }
+
+    /// Runs a slotted simulation under the given traffic pattern.
+    pub fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        self.inner.simulate(traffic, options)
+    }
+
+    /// Convenience wrapper: uniform traffic at the given load.
+    pub fn simulate_uniform(&self, load: f64, options: &SimOptions) -> SimMetrics {
+        self.simulate(&TrafficPattern::Uniform { load }, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_exposes_every_layer_for_sk() {
+        let net = Network::from_spec("SK(6,3,2)").unwrap();
+        assert_eq!(net.name(), "SK(6,3,2)");
+        assert!(net.is_multi_ops());
+        assert_eq!(net.node_count(), 72);
+        assert_eq!(net.link_count(), 48);
+        assert_eq!(net.predicted_diameter(), Some(2));
+
+        let summary = net.summary();
+        assert_eq!(summary.nodes, 72);
+        assert!(summary.diameter_matches_prediction());
+
+        let report = net.verify().unwrap();
+        assert_eq!(report.processors, 72);
+        assert_eq!(report.links, 48);
+
+        let design = net.design().unwrap();
+        assert_eq!(design.processor_count(), 72);
+        assert_eq!(design.inventory(), net.predicted_inventory().unwrap());
+
+        let router = net.router();
+        let route = router.route(0, 71).unwrap();
+        assert!(route.hop_count() <= 2);
+
+        let metrics = net.simulate_uniform(0.2, &SimOptions::new(200, 7));
+        assert!(metrics.delivered > 0);
+        assert_eq!(
+            metrics.injected,
+            metrics.delivered + metrics.in_flight + metrics.dropped
+        );
+    }
+
+    #[test]
+    fn facade_works_for_point_to_point_families() {
+        for spec in ["KG(2,3)", "II(3,12)", "DB(2,4)", "K(5)"] {
+            let net = Network::from_spec(spec).unwrap();
+            assert!(!net.is_multi_ops(), "{spec}");
+            let report = net.verify().unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(report.processors, net.node_count(), "{spec}");
+            let router = net.router();
+            assert_eq!(router.node_count(), net.node_count(), "{spec}");
+            let route = router.route(0, net.node_count() - 1).unwrap();
+            assert_eq!(
+                route.nodes().last(),
+                Some(&(net.node_count() - 1)),
+                "{spec}"
+            );
+            let metrics = net.simulate_uniform(0.3, &SimOptions::new(150, 3));
+            assert_eq!(
+                metrics.injected,
+                metrics.delivered + metrics.in_flight + metrics.dropped,
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn design_availability_matches_the_paper() {
+        assert!(Network::from_spec("SK(2,2,2)").unwrap().design().is_some());
+        assert!(Network::from_spec("POPS(4,2)").unwrap().design().is_some());
+        assert!(Network::from_spec("SII(2,2,5)").unwrap().design().is_some());
+        assert!(Network::from_spec("KG(2,2)").unwrap().design().is_some());
+        assert!(Network::from_spec("II(2,5)").unwrap().design().is_some());
+        assert!(Network::from_spec("DB(2,3)").unwrap().design().is_none());
+        assert!(Network::from_spec("K(4)").unwrap().design().is_none());
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        assert!(Network::from_spec("nope").is_err());
+        assert!(Network::from_spec("SK(0,2,2)").is_err());
+    }
+
+    #[test]
+    fn pops_simulation_end_to_end() {
+        let net = Network::from_spec("POPS(9,8)").unwrap();
+        assert_eq!(net.node_count(), 72);
+        let metrics = net.simulate(
+            &TrafficPattern::Uniform { load: 0.1 },
+            &SimOptions::new(300, 11),
+        );
+        assert!(metrics.delivered > 0);
+        // Single-hop network: every delivered message took exactly one hop.
+        assert!((metrics.average_hops() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,237 @@
+//! Packaged head-to-head comparison scenarios (experiment T5).
+//!
+//! The motivation of the paper — multi-OPS networks are "more viable and
+//! cost-effective under current optical technology" — rests on comparisons
+//! like the one packaged here: several networks are driven with the same
+//! traffic and their accepted throughput and latency are tabulated across
+//! offered loads.  With the [`crate::Network`] facade, a comparison scenario
+//! is *data*: a list of spec strings plus a list of loads.
+
+use crate::error::NetworkError;
+use crate::network::Network;
+use crate::sim_options::SimOptions;
+use crate::spec::NetworkSpec;
+use otis_sim::{SimMetrics, TrafficPattern};
+
+/// One row of the comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Network name, e.g. `"POPS(9,8)"` (point-to-point baselines are
+    /// suffixed with `" hot-potato"`).
+    pub network: String,
+    /// Number of processors.
+    pub processors: usize,
+    /// Number of couplers (multi-OPS) or links (point-to-point).
+    pub channels: usize,
+    /// Offered load (messages per processor per slot).
+    pub offered_load: f64,
+    /// Accepted throughput (delivered messages per processor per slot).
+    pub throughput: f64,
+    /// Average delivered latency in slots.
+    pub average_latency: f64,
+    /// Average optical hops per delivered message.
+    pub average_hops: f64,
+}
+
+impl ComparisonRow {
+    fn from_metrics(network: impl Into<String>, load: f64, m: &SimMetrics) -> Self {
+        ComparisonRow {
+            network: network.into(),
+            processors: m.processors,
+            channels: m.channels,
+            offered_load: load,
+            throughput: m.throughput(),
+            average_latency: m.average_latency(),
+            average_hops: m.average_hops(),
+        }
+    }
+
+    /// Formats the row for the reproduction harness.
+    pub fn as_table_row(&self) -> String {
+        format!(
+            "{:<16} {:>6} {:>8} {:>8.3} {:>10.4} {:>10.2} {:>8.2}",
+            self.network,
+            self.processors,
+            self.channels,
+            self.offered_load,
+            self.throughput,
+            self.average_latency,
+            self.average_hops
+        )
+    }
+
+    /// Header matching [`ComparisonRow::as_table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<16} {:>6} {:>8} {:>8} {:>10} {:>10} {:>8}",
+            "network", "procs", "channels", "load", "thruput", "latency", "hops"
+        )
+    }
+}
+
+/// Drives every listed network with uniform traffic at every listed load for
+/// `slots` slots each and returns one row per (load, network) pair, loads
+/// outermost — the table shape of experiment T5.
+pub fn compare_specs(
+    specs: &[NetworkSpec],
+    loads: &[f64],
+    slots: u64,
+    seed: u64,
+) -> Result<Vec<ComparisonRow>, NetworkError> {
+    let networks: Vec<Network> = specs
+        .iter()
+        .map(|&spec| Network::new(spec))
+        .collect::<Result<_, _>>()?;
+    let options = SimOptions::new(slots, seed);
+    let mut rows = Vec::with_capacity(loads.len() * networks.len());
+    for &load in loads {
+        let traffic = TrafficPattern::Uniform { load };
+        for network in &networks {
+            let metrics = network.simulate(&traffic, &options);
+            let name = if network.is_multi_ops() {
+                network.name()
+            } else {
+                format!("{} hot-potato", network.name())
+            };
+            rows.push(ComparisonRow::from_metrics(name, load, &metrics));
+        }
+    }
+    Ok(rows)
+}
+
+/// [`compare_specs`] over spec *strings* — the form a CLI or a config file
+/// produces directly.
+pub fn compare_spec_strs(
+    specs: &[&str],
+    loads: &[f64],
+    slots: u64,
+    seed: u64,
+) -> Result<Vec<ComparisonRow>, NetworkError> {
+    let parsed: Vec<NetworkSpec> = specs
+        .iter()
+        .map(|s| s.parse::<NetworkSpec>())
+        .collect::<Result<_, _>>()
+        .map_err(NetworkError::from)?;
+    compare_specs(&parsed, loads, slots, seed)
+}
+
+/// The paper's three-way comparison as data: `SK(s, d, k)`, a POPS with the
+/// same processor count and group size, and a hot-potato de Bruijn of
+/// comparable size and equal degree.
+///
+/// # Panics
+/// Panics when the parameters violate the families' bounds (all must be at
+/// least 1) — matching the panicking constructors this helper predates.
+pub fn compare_networks(
+    s: usize,
+    d: usize,
+    k: usize,
+    loads: &[f64],
+    slots: u64,
+    seed: u64,
+) -> Vec<ComparisonRow> {
+    let specs = three_way_specs(s, d, k);
+    compare_specs(&specs, loads, slots, seed).expect("specs derived from validated parameters")
+}
+
+/// The spec triple behind [`compare_networks`]: the comparison scenario is
+/// nothing but this data.
+pub fn three_way_specs(s: usize, d: usize, k: usize) -> [NetworkSpec; 3] {
+    let sk = NetworkSpec::StackKautz { s, d, k };
+    let groups = sk
+        .node_count()
+        .map(|n| n / s)
+        .expect("stack-Kautz parameters in range");
+    let n = s * groups;
+    // The point-to-point baseline: a de Bruijn graph with at least as many
+    // nodes and the same degree d.  At d = 1 a de Bruijn graph of any k has
+    // a single node, so the complete digraph stands in as the baseline.
+    let baseline = if d >= 2 {
+        let mut db_k = 1usize;
+        while d.pow(db_k as u32) < n {
+            db_k += 1;
+        }
+        NetworkSpec::DeBruijn { d, k: db_k }
+    } else {
+        NetworkSpec::Complete { n }
+    };
+    [sk, NetworkSpec::Pops { t: s, g: groups }, baseline]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_three_rows_per_load() {
+        let rows = compare_networks(2, 2, 2, &[0.1, 0.5], 300, 7);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.processors > 0);
+            assert!(row.throughput >= 0.0);
+            assert!(!row.as_table_row().is_empty());
+        }
+        assert!(ComparisonRow::table_header().contains("thruput"));
+    }
+
+    #[test]
+    fn pops_has_lower_hops_than_stack_kautz() {
+        // Single-hop vs multi-hop: POPS average hops ≈ 1, SK > 1 at any load.
+        let rows = compare_networks(2, 2, 2, &[0.2], 2000, 3);
+        let sk = rows.iter().find(|r| r.network.starts_with("SK")).unwrap();
+        let pops = rows.iter().find(|r| r.network.starts_with("POPS")).unwrap();
+        assert!((pops.average_hops - 1.0).abs() < 1e-6);
+        assert!(sk.average_hops >= pops.average_hops);
+    }
+
+    #[test]
+    fn pops_needs_more_couplers_than_stack_kautz() {
+        // The hardware-scalability argument: for the same N and group size,
+        // POPS needs g² couplers while SK needs g·(d+1).
+        let rows = compare_networks(2, 2, 2, &[0.1], 100, 1);
+        let sk = rows.iter().find(|r| r.network.starts_with("SK")).unwrap();
+        let pops = rows.iter().find(|r| r.network.starts_with("POPS")).unwrap();
+        assert!(pops.channels > sk.channels);
+    }
+
+    #[test]
+    fn throughput_grows_with_load_until_saturation() {
+        let rows = compare_networks(2, 2, 2, &[0.05, 0.8], 1500, 11);
+        let sk_light = &rows[0];
+        let sk_heavy = &rows[3];
+        assert!(sk_heavy.throughput >= sk_light.throughput * 0.9);
+    }
+
+    #[test]
+    fn arbitrary_spec_lists_are_data() {
+        let rows = compare_spec_strs(&["POPS(4,2)", "SII(2,2,5)", "K(8)"], &[0.2], 200, 5).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].network.starts_with("POPS"));
+        assert!(rows[1].network.starts_with("SII"));
+        assert!(rows[2].network.contains("hot-potato"));
+        assert!(compare_spec_strs(&["nope"], &[0.2], 10, 1).is_err());
+    }
+
+    #[test]
+    fn three_way_specs_are_size_matched() {
+        let [sk, pops, db] = three_way_specs(4, 2, 2);
+        assert_eq!(sk.node_count(), pops.node_count());
+        assert!(db.node_count().unwrap() >= sk.node_count().unwrap());
+    }
+
+    #[test]
+    fn degree_one_gets_a_complete_baseline() {
+        // d = 1 would loop forever searching for a de Bruijn size (1^k never
+        // grows); the complete digraph stands in as the baseline instead.
+        let [sk, pops, baseline] = three_way_specs(2, 1, 2);
+        assert_eq!(sk.node_count(), pops.node_count());
+        assert_eq!(
+            baseline,
+            NetworkSpec::Complete {
+                n: sk.node_count().unwrap()
+            }
+        );
+        let rows = compare_networks(2, 1, 2, &[0.2], 100, 1);
+        assert_eq!(rows.len(), 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! Family-independent simulation options.
+
+use otis_sim::ArbitrationPolicy;
+
+/// Options of one [`crate::Network::simulate`] run, covering both simulator
+/// back-ends (the multi-OPS slotted simulator and the hot-potato baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Number of slots to simulate.
+    pub slots: u64,
+    /// Random seed (traffic, random arbitration, deflection tie-breaks).
+    pub seed: u64,
+    /// Per-coupler arbitration policy (multi-OPS networks only).
+    pub policy: ArbitrationPolicy,
+    /// Back-pressure queue limit per coupler, `0` = unlimited (multi-OPS
+    /// networks only).
+    pub queue_limit: usize,
+    /// Livelock guard for deflection routing, `0` = disabled (point-to-point
+    /// networks only).
+    pub max_hops: u32,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            slots: 1000,
+            seed: 1,
+            policy: ArbitrationPolicy::OldestFirst,
+            queue_limit: 0,
+            max_hops: 64,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options with the given slot count and seed, defaults elsewhere.
+    pub fn new(slots: u64, seed: u64) -> Self {
+        SimOptions {
+            slots,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_simulators() {
+        let o = SimOptions::default();
+        assert_eq!(o.slots, 1000);
+        assert_eq!(o.policy, ArbitrationPolicy::OldestFirst);
+        assert_eq!(o.queue_limit, 0);
+        assert_eq!(o.max_hops, 64);
+        let custom = SimOptions::new(500, 42);
+        assert_eq!(custom.slots, 500);
+        assert_eq!(custom.seed, 42);
+        assert_eq!(custom.policy, o.policy);
+    }
+}

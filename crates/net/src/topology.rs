@@ -1,0 +1,104 @@
+//! The unified view of a network's graph-level structure.
+
+use otis_graphs::{Digraph, StackGraph};
+use otis_topologies::TopologySummary;
+
+/// A borrowed view of a network's topology: point-to-point networks are
+/// digraphs, multi-OPS networks are stack-graphs.
+#[derive(Debug, Clone, Copy)]
+pub enum NetworkTopology<'a> {
+    /// A point-to-point digraph network (one arc = one optical link).
+    PointToPoint(&'a Digraph),
+    /// A multi-OPS network modelled by a stack-graph (one hyperarc = one OPS
+    /// coupler).
+    MultiOps(&'a StackGraph),
+}
+
+impl<'a> NetworkTopology<'a> {
+    /// Number of processors.
+    pub fn node_count(&self) -> usize {
+        match self {
+            NetworkTopology::PointToPoint(g) => g.node_count(),
+            NetworkTopology::MultiOps(sg) => sg.node_count(),
+        }
+    }
+
+    /// Number of links (arcs) or OPS couplers (hyperarcs).
+    pub fn link_count(&self) -> usize {
+        match self {
+            NetworkTopology::PointToPoint(g) => g.arc_count(),
+            NetworkTopology::MultiOps(sg) => sg.hyperarc_count(),
+        }
+    }
+
+    /// The underlying digraph of a point-to-point network.
+    pub fn digraph(&self) -> Option<&'a Digraph> {
+        match self {
+            NetworkTopology::PointToPoint(g) => Some(g),
+            NetworkTopology::MultiOps(_) => None,
+        }
+    }
+
+    /// The underlying stack-graph of a multi-OPS network.
+    pub fn stack_graph(&self) -> Option<&'a StackGraph> {
+        match self {
+            NetworkTopology::PointToPoint(_) => None,
+            NetworkTopology::MultiOps(sg) => Some(sg),
+        }
+    }
+
+    /// An owned one-hop digraph on processors: the digraph itself for
+    /// point-to-point networks, the flattened stack-graph for multi-OPS ones.
+    pub fn one_hop_digraph(&self) -> Digraph {
+        match self {
+            NetworkTopology::PointToPoint(g) => (*g).clone(),
+            NetworkTopology::MultiOps(sg) => sg.flatten(),
+        }
+    }
+
+    /// The uniform property summary row used by the reproduction tables.
+    pub fn summary(
+        &self,
+        name: impl Into<String>,
+        predicted_diameter: Option<u32>,
+    ) -> TopologySummary {
+        match self {
+            NetworkTopology::PointToPoint(g) => {
+                TopologySummary::of_digraph(name, g, predicted_diameter)
+            }
+            NetworkTopology::MultiOps(sg) => {
+                TopologySummary::of_stack_graph(name, sg, predicted_diameter)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_topologies::{kautz, Pops};
+
+    #[test]
+    fn point_to_point_accessors() {
+        let g = kautz(2, 2);
+        let t = NetworkTopology::PointToPoint(&g);
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.link_count(), 12);
+        assert!(t.digraph().is_some());
+        assert!(t.stack_graph().is_none());
+        assert_eq!(t.one_hop_digraph().arc_count(), 12);
+        assert_eq!(t.summary("KG(2,2)", Some(2)).nodes, 6);
+    }
+
+    #[test]
+    fn multi_ops_accessors() {
+        let pops = Pops::new(4, 2);
+        let t = NetworkTopology::MultiOps(pops.stack_graph());
+        assert_eq!(t.node_count(), 8);
+        assert_eq!(t.link_count(), 4);
+        assert!(t.digraph().is_none());
+        assert!(t.stack_graph().is_some());
+        assert_eq!(t.one_hop_digraph().node_count(), 8);
+        assert_eq!(t.summary("POPS(4,2)", Some(1)).links, 4);
+    }
+}

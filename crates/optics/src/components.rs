@@ -144,7 +144,10 @@ pub struct Component {
 impl Component {
     /// Creates a labelled component.
     pub fn new(kind: ComponentKind, label: impl Into<String>) -> Self {
-        Component { kind, label: label.into() }
+        Component {
+            kind,
+            label: label.into(),
+        }
     }
 }
 
@@ -158,7 +161,10 @@ mod tests {
         assert_eq!(ComponentKind::Transmitter.output_count(), 1);
         assert_eq!(ComponentKind::Receiver.input_count(), 1);
         assert_eq!(ComponentKind::Receiver.output_count(), 0);
-        let otis = ComponentKind::Otis { groups: 3, group_size: 6 };
+        let otis = ComponentKind::Otis {
+            groups: 3,
+            group_size: 6,
+        };
         assert_eq!(otis.input_count(), 18);
         assert_eq!(otis.output_count(), 18);
         assert_eq!(ComponentKind::Multiplexer { inputs: 6 }.input_count(), 6);
@@ -170,7 +176,10 @@ mod tests {
 
     #[test]
     fn otis_propagation_follows_transpose() {
-        let kind = ComponentKind::Otis { groups: 3, group_size: 6 };
+        let kind = ComponentKind::Otis {
+            groups: 3,
+            group_size: 6,
+        };
         let otis = Otis::new(3, 6);
         for input in 0..18 {
             let out = kind.propagate(input);
@@ -224,10 +233,17 @@ mod tests {
     #[test]
     fn short_names() {
         assert_eq!(
-            ComponentKind::Otis { groups: 6, group_size: 4 }.short_name(),
+            ComponentKind::Otis {
+                groups: 6,
+                group_size: 4
+            }
+            .short_name(),
             "OTIS(6,4)"
         );
-        assert_eq!(ComponentKind::OpsCoupler { degree: 6 }.short_name(), "OPS(6)");
+        assert_eq!(
+            ComponentKind::OpsCoupler { degree: 6 }.short_name(),
+            "OPS(6)"
+        );
         assert_eq!(ComponentKind::Fiber.short_name(), "fiber");
     }
 

@@ -185,7 +185,12 @@ impl fmt::Display for HardwareInventory {
         if self.receivers > 0 {
             writeln!(f, "  {:>6} x receiver", self.receivers)?;
         }
-        writeln!(f, "  total parts: {}, lenses inside OTIS units: {}", self.total_parts(), self.lens_count())
+        writeln!(
+            f,
+            "  total parts: {}, lenses inside OTIS units: {}",
+            self.total_parts(),
+            self.lens_count()
+        )
     }
 }
 

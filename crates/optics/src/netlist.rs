@@ -215,8 +215,14 @@ mod tests {
         let (n, tx, coupler, rx0, _) = tiny();
         assert_eq!(n.component_count(), 5);
         assert_eq!(n.connection_count(), 4);
-        assert_eq!(n.destination(PortRef::new(tx, 0)), Some(PortRef::new(coupler, 0)));
-        assert_eq!(n.driver(PortRef::new(rx0, 0)), Some(PortRef::new(coupler, 0)));
+        assert_eq!(
+            n.destination(PortRef::new(tx, 0)),
+            Some(PortRef::new(coupler, 0))
+        );
+        assert_eq!(
+            n.driver(PortRef::new(rx0, 0)),
+            Some(PortRef::new(coupler, 0))
+        );
         assert_eq!(n.transmitters().len(), 2);
         assert_eq!(n.receivers().len(), 2);
         assert!(n.is_fully_wired());

@@ -50,8 +50,16 @@ impl Otis {
     /// The output pair is a *receiver* position: receiver group in `0..T`,
     /// offset within the group in `0..G`.
     pub fn map_pair(&self, i: usize, j: usize) -> (usize, usize) {
-        assert!(i < self.groups, "transmitter group {i} out of range (G = {})", self.groups);
-        assert!(j < self.group_size, "transmitter offset {j} out of range (T = {})", self.group_size);
+        assert!(
+            i < self.groups,
+            "transmitter group {i} out of range (G = {})",
+            self.groups
+        );
+        assert!(
+            j < self.group_size,
+            "transmitter offset {j} out of range (T = {})",
+            self.group_size
+        );
         (self.group_size - 1 - j, self.groups - 1 - i)
     }
 
@@ -59,20 +67,34 @@ impl Otis {
     /// `0..T`, offset `q` in `0..G`), returns the transmitter `(i, j)` imaged
     /// onto it.
     pub fn inverse_pair(&self, p: usize, q: usize) -> (usize, usize) {
-        assert!(p < self.group_size, "receiver group {p} out of range (T = {})", self.group_size);
-        assert!(q < self.groups, "receiver offset {q} out of range (G = {})", self.groups);
+        assert!(
+            p < self.group_size,
+            "receiver group {p} out of range (T = {})",
+            self.group_size
+        );
+        assert!(
+            q < self.groups,
+            "receiver offset {q} out of range (G = {})",
+            self.groups
+        );
         (self.groups - 1 - q, self.group_size - 1 - p)
     }
 
     /// Flat transmitter index of `(i, j)`: `i·T + j`.
     pub fn tx_index(&self, i: usize, j: usize) -> usize {
-        assert!(i < self.groups && j < self.group_size, "transmitter position out of range");
+        assert!(
+            i < self.groups && j < self.group_size,
+            "transmitter position out of range"
+        );
         i * self.group_size + j
     }
 
     /// Flat receiver index of `(p, q)`: `p·G + q`.
     pub fn rx_index(&self, p: usize, q: usize) -> usize {
-        assert!(p < self.group_size && q < self.groups, "receiver position out of range");
+        assert!(
+            p < self.group_size && q < self.groups,
+            "receiver position out of range"
+        );
         p * self.groups + q
     }
 
@@ -99,7 +121,9 @@ impl Otis {
     /// The full permutation table: entry `tx` holds the receiver index that
     /// transmitter `tx` is imaged onto.
     pub fn permutation(&self) -> Vec<usize> {
-        (0..self.port_count()).map(|tx| self.map_index(tx)).collect()
+        (0..self.port_count())
+            .map(|tx| self.map_index(tx))
+            .collect()
     }
 
     /// The `OTIS(T, G)` system obtained by swapping the roles of the two

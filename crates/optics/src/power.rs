@@ -140,8 +140,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn loss_constants_are_positive() {
-        for &c in &[OTIS_LOSS_DB, MULTIPLEXER_LOSS_DB, SPLITTER_EXCESS_LOSS_DB, FIBER_LOSS_DB] {
+        for &c in &[
+            OTIS_LOSS_DB,
+            MULTIPLEXER_LOSS_DB,
+            SPLITTER_EXCESS_LOSS_DB,
+            FIBER_LOSS_DB,
+        ] {
             assert!(c > 0.0);
         }
         assert!(DEFAULT_RECEIVER_SENSITIVITY_DBM < DEFAULT_LAUNCH_POWER_DBM);

@@ -38,7 +38,10 @@ pub struct TraceResult {
 /// Panics if `transmitter` is not a transmitter component.
 pub fn trace_from_transmitter(netlist: &Netlist, transmitter: ComponentId) -> Vec<TraceResult> {
     assert!(
-        matches!(netlist.component(transmitter).kind, ComponentKind::Transmitter),
+        matches!(
+            netlist.component(transmitter).kind,
+            ComponentKind::Transmitter
+        ),
         "component {transmitter} is not a transmitter"
     );
     let mut results: std::collections::BTreeMap<ComponentId, TraceResult> =
@@ -143,9 +146,19 @@ mod tests {
     #[test]
     fn otis_trace_is_point_to_point() {
         let mut n = Netlist::new();
-        let otis = n.add(ComponentKind::Otis { groups: 2, group_size: 3 }, "otis");
-        let txs: Vec<_> = (0..6).map(|i| n.add(ComponentKind::Transmitter, format!("tx{i}"))).collect();
-        let rxs: Vec<_> = (0..6).map(|i| n.add(ComponentKind::Receiver, format!("rx{i}"))).collect();
+        let otis = n.add(
+            ComponentKind::Otis {
+                groups: 2,
+                group_size: 3,
+            },
+            "otis",
+        );
+        let txs: Vec<_> = (0..6)
+            .map(|i| n.add(ComponentKind::Transmitter, format!("tx{i}")))
+            .collect();
+        let rxs: Vec<_> = (0..6)
+            .map(|i| n.add(ComponentKind::Receiver, format!("rx{i}")))
+            .collect();
         for (i, &tx) in txs.iter().enumerate() {
             n.connect(PortRef::new(tx, 0), PortRef::new(otis, i));
         }

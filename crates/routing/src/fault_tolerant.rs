@@ -183,7 +183,9 @@ mod tests {
         let path = fault_tolerant_route(&g, arc.source, arc.target, &faults)
             .expect("KG(2,2) is 2-connected, one arc fault cannot disconnect it");
         assert!(is_valid_path(&g, &path));
-        assert!(!path.windows(2).any(|w| (w[0], w[1]) == (arc.source, arc.target)));
+        assert!(!path
+            .windows(2)
+            .any(|w| (w[0], w[1]) == (arc.source, arc.target)));
     }
 
     #[test]

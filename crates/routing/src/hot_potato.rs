@@ -60,7 +60,11 @@ impl HotPotatoRouter {
     /// port, or `None` when every port is taken (the caller must then drop or
     /// buffer, depending on its model).
     pub fn choose_port(&self, node: NodeId, dst: NodeId, port_free: &[bool]) -> Option<usize> {
-        assert_eq!(port_free.len(), self.graph.out_degree(node), "port mask length mismatch");
+        assert_eq!(
+            port_free.len(),
+            self.graph.out_degree(node),
+            "port mask length mismatch"
+        );
         self.ranked_ports(node, dst)
             .into_iter()
             .find(|&p| port_free[p])
@@ -76,7 +80,11 @@ impl HotPotatoRouter {
         port_free: &[bool],
         rng: &mut R,
     ) -> Option<usize> {
-        assert_eq!(port_free.len(), self.graph.out_degree(node), "port mask length mismatch");
+        assert_eq!(
+            port_free.len(),
+            self.graph.out_degree(node),
+            "port mask length mismatch"
+        );
         let neighbors = self.graph.out_neighbors(node);
         let mut best: Option<(u32, Vec<usize>)> = None;
         for (port, &next) in neighbors.iter().enumerate() {
@@ -104,7 +112,10 @@ impl HotPotatoRouter {
     /// decreases the distance) towards `dst`.
     pub fn is_progress_port(&self, node: NodeId, dst: NodeId, port: usize) -> bool {
         let next = self.graph.out_neighbors(node)[port];
-        match (self.table.distance(node, dst), self.table.distance(next, dst)) {
+        match (
+            self.table.distance(node, dst),
+            self.table.distance(next, dst),
+        ) {
             (Some(here), Some(there)) => there < here,
             _ => false,
         }
@@ -197,7 +208,10 @@ mod tests {
                 let ranked = router.ranked_ports(src, dst);
                 // The top-ranked port always makes progress in a de Bruijn
                 // graph (there is always a shortest-path port).
-                assert!(router.is_progress_port(src, dst, ranked[0]) || g.has_arc(src, dst) == false && router.distance(src, dst) == Some(0));
+                assert!(
+                    router.is_progress_port(src, dst, ranked[0])
+                        || !g.has_arc(src, dst) && router.distance(src, dst) == Some(0)
+                );
             }
         }
     }

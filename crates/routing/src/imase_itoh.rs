@@ -128,9 +128,9 @@ mod tests {
             let g = imase_itoh(d, n);
             for u in 0..n {
                 let dist = bfs_distances(&g, u);
-                for v in 0..n {
+                for (v, &bfs) in dist.iter().enumerate() {
                     let (m, _) = imase_itoh_route_digits(d, n, u, v);
-                    assert_eq!(m as u32, dist[v], "II({d},{n}) distance {u}->{v}");
+                    assert_eq!(m as u32, bfs, "II({d},{n}) distance {u}->{v}");
                 }
             }
         }
@@ -143,7 +143,10 @@ mod tests {
             for u in 0..n {
                 for v in 0..n {
                     let path = imase_itoh_route(d, n, u, v);
-                    assert!(is_valid_path(&g, &path), "II({d},{n}) route {u}->{v}: {path:?}");
+                    assert!(
+                        is_valid_path(&g, &path),
+                        "II({d},{n}) route {u}->{v}: {path:?}"
+                    );
                     assert_eq!(path[0], u);
                     assert_eq!(*path.last().unwrap(), v);
                 }
@@ -165,11 +168,11 @@ mod tests {
         let g = imase_itoh(d, n);
         for u in 0..n {
             let dist = bfs_distances(&g, u);
-            for v in 0..n {
-                if dist[v] == u32::MAX {
+            for (v, &bfs) in dist.iter().enumerate() {
+                if bfs == u32::MAX {
                     continue;
                 }
-                assert_eq!(imase_itoh_distance(d, n, u, v) as u32, dist[v]);
+                assert_eq!(imase_itoh_distance(d, n, u, v) as u32, bfs);
             }
         }
     }

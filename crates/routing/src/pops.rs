@@ -153,7 +153,10 @@ mod tests {
         let dst = p.processor(1, 3);
         assert_eq!(router.unicast_coupler(src, dst), p.coupler_index(0, 1));
         let same_group = p.processor(0, 0);
-        assert_eq!(router.unicast_coupler(src, same_group), p.coupler_index(0, 0));
+        assert_eq!(
+            router.unicast_coupler(src, same_group),
+            p.coupler_index(0, 0)
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl StackRouter {
     /// routing table).
     pub fn new(stack: StackGraph) -> Self {
         let quotient_table = RoutingTable::new(stack.quotient());
-        StackRouter { stack, quotient_table }
+        StackRouter {
+            stack,
+            quotient_table,
+        }
     }
 
     /// The stack-graph this router serves.
@@ -78,7 +81,11 @@ impl StackRouter {
         let src_sn = self.stack.to_stack_node(src);
         let dst_sn = self.stack.to_stack_node(dst);
         if src == dst {
-            return Some(StackRoute { source: src, destination: dst, hops: Vec::new() });
+            return Some(StackRoute {
+                source: src,
+                destination: dst,
+                hops: Vec::new(),
+            });
         }
 
         // Same group, different processor: one hop over the group's loop
@@ -123,16 +130,21 @@ impl StackRouter {
                 .find(|&id| quotient.arc(id).unwrap().target == to)
                 .expect("group path follows quotient arcs");
             let receiver_group = to;
-            let receiver = self
-                .stack
-                .to_flat(otis_graphs::StackNode::new(dst_sn.index.min(s - 1), receiver_group));
+            let receiver = self.stack.to_flat(otis_graphs::StackNode::new(
+                dst_sn.index.min(s - 1),
+                receiver_group,
+            ));
             hops.push(StackHop { coupler, receiver });
         }
         // The last hop must deliver to the actual destination processor.
         if let Some(last) = hops.last_mut() {
             last.receiver = dst;
         }
-        Some(StackRoute { source: src, destination: dst, hops })
+        Some(StackRoute {
+            source: src,
+            destination: dst,
+            hops,
+        })
     }
 
     /// The number of optical hops of the route from `src` to `dst`, or `None`
@@ -215,7 +227,11 @@ mod tests {
         let b = sk.processor(3, 2);
         let route = router.route(a, b).unwrap();
         assert_eq!(route.len(), 1);
-        let arc = sk.stack_graph().quotient().arc(route.hops[0].coupler).unwrap();
+        let arc = sk
+            .stack_graph()
+            .quotient()
+            .arc(route.hops[0].coupler)
+            .unwrap();
         assert!(arc.is_loop());
     }
 
@@ -243,6 +259,9 @@ mod tests {
                 worst = worst.max(router.route(src, dst).unwrap().len());
             }
         }
-        assert_eq!(worst, 3, "SK(2,2,3) routes must peak at the quotient diameter");
+        assert_eq!(
+            worst, 3,
+            "SK(2,2,3) routes must peak at the quotient diameter"
+        );
     }
 }

@@ -56,7 +56,7 @@ impl ArbitrationPolicy {
                     } else {
                         proc_id + usize::MAX / 2 - pivot.min(usize::MAX / 2)
                     };
-                    if best.map_or(true, |(bk, _)| key < bk) {
+                    if best.is_none_or(|(bk, _)| key < bk) {
                         best = Some((key, i));
                     }
                 }
@@ -88,7 +88,9 @@ mod tests {
     fn oldest_first_prefers_smallest_creation_slot() {
         let mut rng = StdRng::seed_from_u64(0);
         let candidates = vec![(3, 10), (7, 4), (1, 9)];
-        let winner = ArbitrationPolicy::OldestFirst.pick(&candidates, None, &mut rng).unwrap();
+        let winner = ArbitrationPolicy::OldestFirst
+            .pick(&candidates, None, &mut rng)
+            .unwrap();
         assert_eq!(winner, 1);
     }
 
@@ -97,13 +99,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let candidates = vec![(0, 5), (2, 5), (5, 5)];
         // No previous winner: lowest id wins.
-        let w0 = ArbitrationPolicy::RoundRobin.pick(&candidates, None, &mut rng).unwrap();
+        let w0 = ArbitrationPolicy::RoundRobin
+            .pick(&candidates, None, &mut rng)
+            .unwrap();
         assert_eq!(candidates[w0].0, 0);
         // Previous winner 0: the next id (2) wins.
-        let w1 = ArbitrationPolicy::RoundRobin.pick(&candidates, Some(0), &mut rng).unwrap();
+        let w1 = ArbitrationPolicy::RoundRobin
+            .pick(&candidates, Some(0), &mut rng)
+            .unwrap();
         assert_eq!(candidates[w1].0, 2);
         // Previous winner 5 (the largest): wrap around to 0.
-        let w2 = ArbitrationPolicy::RoundRobin.pick(&candidates, Some(5), &mut rng).unwrap();
+        let w2 = ArbitrationPolicy::RoundRobin
+            .pick(&candidates, Some(5), &mut rng)
+            .unwrap();
         assert_eq!(candidates[w2].0, 0);
     }
 
@@ -112,7 +120,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let candidates = vec![(0, 1), (1, 1), (2, 1), (3, 1)];
         for _ in 0..100 {
-            let w = ArbitrationPolicy::Random.pick(&candidates, None, &mut rng).unwrap();
+            let w = ArbitrationPolicy::Random
+                .pick(&candidates, None, &mut rng)
+                .unwrap();
             assert!(w < candidates.len());
         }
     }
@@ -123,7 +133,11 @@ mod tests {
         let candidates = vec![(0, 1), (1, 1), (2, 1)];
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
-            seen.insert(ArbitrationPolicy::Random.pick(&candidates, None, &mut rng).unwrap());
+            seen.insert(
+                ArbitrationPolicy::Random
+                    .pick(&candidates, None, &mut rng)
+                    .unwrap(),
+            );
         }
         assert_eq!(seen.len(), 3);
     }

@@ -30,7 +30,11 @@ pub struct HotPotatoSimConfig {
 
 impl Default for HotPotatoSimConfig {
     fn default() -> Self {
-        HotPotatoSimConfig { slots: 1000, seed: 1, max_hops: 64 }
+        HotPotatoSimConfig {
+            slots: 1000,
+            seed: 1,
+            max_hops: 64,
+        }
     }
 }
 
@@ -92,10 +96,12 @@ impl HotPotatoSim {
                 transit.sort_by_key(|m| m.created_slot);
 
                 for mut msg in transit {
-                    match self
-                        .router
-                        .choose_port_randomized(node, msg.destination, &port_free, &mut rng)
-                    {
+                    match self.router.choose_port_randomized(
+                        node,
+                        msg.destination,
+                        &port_free,
+                        &mut rng,
+                    ) {
                         Some(port) => {
                             port_free[port] = false;
                             msg.hops += 1;
@@ -115,9 +121,9 @@ impl HotPotatoSim {
                 // Injection only if a port is still free (hot-potato
                 // admission control).
                 if let Some(dst) = injections[node] {
-                    if let Some(port) =
-                        self.router
-                            .choose_port_randomized(node, dst, &port_free, &mut rng)
+                    if let Some(port) = self
+                        .router
+                        .choose_port_randomized(node, dst, &port_free, &mut rng)
                     {
                         port_free[port] = false;
                         let mut msg = Message::new(next_id, node, dst, slot);
@@ -148,7 +154,10 @@ mod tests {
     fn run_de_bruijn(load: f64, slots: u64) -> SimMetrics {
         let sim = HotPotatoSim::new(
             de_bruijn(2, 3),
-            HotPotatoSimConfig { slots, ..Default::default() },
+            HotPotatoSimConfig {
+                slots,
+                ..Default::default()
+            },
         );
         sim.run(&TrafficPattern::Uniform { load })
     }
@@ -184,7 +193,10 @@ mod tests {
     fn kautz_hot_potato_works_too() {
         let sim = HotPotatoSim::new(
             kautz(2, 3),
-            HotPotatoSimConfig { slots: 1000, ..Default::default() },
+            HotPotatoSimConfig {
+                slots: 1000,
+                ..Default::default()
+            },
         );
         let m = sim.run(&TrafficPattern::Uniform { load: 0.3 });
         assert!(m.delivered > 0);
@@ -212,7 +224,11 @@ mod tests {
     fn ttl_guard_drops_runaway_messages() {
         let sim = HotPotatoSim::new(
             de_bruijn(2, 2),
-            HotPotatoSimConfig { slots: 2000, max_hops: 2, seed: 3 },
+            HotPotatoSimConfig {
+                slots: 2000,
+                max_hops: 2,
+                seed: 3,
+            },
         );
         let m = sim.run(&TrafficPattern::Uniform { load: 1.0 });
         // With such a tight TTL under saturation some messages must be dropped.

@@ -17,9 +17,11 @@
 //! * [`hot_potato`] simulates the single-OPS point-to-point baseline
 //!   (de Bruijn / Kautz with deflection routing, ref [25]);
 //! * [`traffic`] generates uniform, permutation, hot-spot and broadcast
-//!   workloads; [`metrics`] aggregates latency, throughput and utilisation;
-//!   [`scenarios`] packages the head-to-head comparisons used by the
-//!   benchmark harness (experiment T5).
+//!   workloads; [`metrics`] aggregates latency, throughput and utilisation.
+//!
+//! The packaged head-to-head comparison scenarios (experiment T5) live in the
+//! `otis-net` facade crate (`otis_net::scenarios`), where any network is
+//! addressable by a spec string and a comparison is plain data.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -30,7 +32,6 @@ pub mod hot_potato;
 pub mod message;
 pub mod metrics;
 pub mod multi_ops;
-pub mod scenarios;
 pub mod traffic;
 
 pub use arbitration::ArbitrationPolicy;
@@ -38,5 +39,4 @@ pub use hot_potato::{HotPotatoSim, HotPotatoSimConfig};
 pub use message::Message;
 pub use metrics::SimMetrics;
 pub use multi_ops::{MultiOpsSim, MultiOpsSimConfig};
-pub use scenarios::{compare_networks, ComparisonRow};
 pub use traffic::TrafficPattern;

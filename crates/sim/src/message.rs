@@ -39,7 +39,8 @@ impl Message {
     /// delivered.  A message delivered in the slot after its creation has
     /// latency 1.
     pub fn latency(&self) -> Option<u64> {
-        self.delivered_slot.map(|d| d.saturating_sub(self.created_slot))
+        self.delivered_slot
+            .map(|d| d.saturating_sub(self.created_slot))
     }
 }
 

@@ -106,7 +106,9 @@ impl MultiOpsSim {
             // 1. Injection.
             for (src, dst) in traffic.injections(n, &mut rng).into_iter().enumerate() {
                 let Some(dst) = dst else { continue };
-                let Some(route) = self.router.route(src, dst) else { continue };
+                let Some(route) = self.router.route(src, dst) else {
+                    continue;
+                };
                 if route.is_empty() {
                     continue;
                 }
@@ -177,7 +179,10 @@ mod tests {
         let pops = Pops::new(4, 2);
         let sim = MultiOpsSim::new(
             pops.stack_graph().clone(),
-            MultiOpsSimConfig { slots, ..Default::default() },
+            MultiOpsSimConfig {
+                slots,
+                ..Default::default()
+            },
         );
         sim.run(&TrafficPattern::Uniform { load })
     }
@@ -195,7 +200,11 @@ mod tests {
         // delivered in the slot it was injected (single-hop network).
         let m = pops_sim(0.01, 4000);
         assert!(m.delivered > 0);
-        assert!((m.average_latency() - 1.0).abs() < 0.2, "latency {}", m.average_latency());
+        assert!(
+            (m.average_latency() - 1.0).abs() < 0.2,
+            "latency {}",
+            m.average_latency()
+        );
         assert!((m.average_hops() - 1.0).abs() < 1e-9);
     }
 
@@ -204,7 +213,10 @@ mod tests {
         let sk = StackKautz::new(3, 2, 2);
         let sim = MultiOpsSim::new(
             sk.stack_graph().clone(),
-            MultiOpsSimConfig { slots: 2000, ..Default::default() },
+            MultiOpsSimConfig {
+                slots: 2000,
+                ..Default::default()
+            },
         );
         let m = sim.run(&TrafficPattern::Uniform { load: 0.05 });
         assert!(m.delivered > 0);
@@ -218,7 +230,11 @@ mod tests {
         // delivered per slot, i.e. 0.5 per processor per slot.
         let m = pops_sim(1.0, 1000);
         assert!(m.throughput() <= 0.5 + 1e-9);
-        assert!(m.throughput() > 0.3, "saturated throughput {}", m.throughput());
+        assert!(
+            m.throughput() > 0.3,
+            "saturated throughput {}",
+            m.throughput()
+        );
         assert!(m.channel_utilization() > 0.8);
     }
 
@@ -234,12 +250,20 @@ mod tests {
         let pops = Pops::new(4, 2);
         let unlimited = MultiOpsSim::new(
             pops.stack_graph().clone(),
-            MultiOpsSimConfig { slots: 500, queue_limit: 0, ..Default::default() },
+            MultiOpsSimConfig {
+                slots: 500,
+                queue_limit: 0,
+                ..Default::default()
+            },
         )
         .run(&TrafficPattern::Uniform { load: 1.0 });
         let limited = MultiOpsSim::new(
             pops.stack_graph().clone(),
-            MultiOpsSimConfig { slots: 500, queue_limit: 2, ..Default::default() },
+            MultiOpsSimConfig {
+                slots: 500,
+                queue_limit: 2,
+                ..Default::default()
+            },
         )
         .run(&TrafficPattern::Uniform { load: 1.0 });
         assert!(limited.injected < unlimited.injected);
@@ -263,7 +287,11 @@ mod tests {
         ] {
             let sim = MultiOpsSim::new(
                 pops.stack_graph().clone(),
-                MultiOpsSimConfig { slots: 300, policy, ..Default::default() },
+                MultiOpsSimConfig {
+                    slots: 300,
+                    policy,
+                    ..Default::default()
+                },
             );
             let m = sim.run(&TrafficPattern::Uniform { load: 0.8 });
             assert!(m.delivered > 0, "{policy:?}");

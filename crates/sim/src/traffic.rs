@@ -68,9 +68,14 @@ impl TrafficPattern {
                     None
                 }
             }
-            TrafficPattern::Hotspot { load, hot_node, hot_fraction } => {
+            TrafficPattern::Hotspot {
+                load,
+                hot_node,
+                hot_fraction,
+            } => {
                 if rng.gen_bool(load.clamp(0.0, 1.0)) {
-                    if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) && hot_node != src && hot_node < n {
+                    if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) && hot_node != src && hot_node < n
+                    {
                         Some(hot_node)
                     } else {
                         Some(random_other(src, n, rng))
@@ -134,19 +139,32 @@ mod tests {
     #[test]
     fn permutation_is_deterministic_in_destination() {
         let mut rng = StdRng::seed_from_u64(3);
-        let pattern = TrafficPattern::Permutation { load: 1.0, offset: 3 };
+        let pattern = TrafficPattern::Permutation {
+            load: 1.0,
+            offset: 3,
+        };
         for (src, dst) in pattern.injections(8, &mut rng).iter().enumerate() {
             assert_eq!(*dst, Some((src + 3) % 8));
         }
         // Offset 0 would self-address; the generator suppresses those.
-        let degenerate = TrafficPattern::Permutation { load: 1.0, offset: 0 };
-        assert!(degenerate.injections(8, &mut rng).iter().all(|d| d.is_none()));
+        let degenerate = TrafficPattern::Permutation {
+            load: 1.0,
+            offset: 0,
+        };
+        assert!(degenerate
+            .injections(8, &mut rng)
+            .iter()
+            .all(|d| d.is_none()));
     }
 
     #[test]
     fn hotspot_skews_towards_hot_node() {
         let mut rng = StdRng::seed_from_u64(4);
-        let pattern = TrafficPattern::Hotspot { load: 1.0, hot_node: 0, hot_fraction: 0.5 };
+        let pattern = TrafficPattern::Hotspot {
+            load: 1.0,
+            hot_node: 0,
+            hot_fraction: 0.5,
+        };
         let n = 20;
         let mut to_hot = 0usize;
         let mut total = 0usize;
@@ -174,7 +192,12 @@ mod tests {
     fn offered_load_accessor() {
         assert_eq!(TrafficPattern::Uniform { load: 0.7 }.offered_load(), 0.7);
         assert_eq!(
-            TrafficPattern::Hotspot { load: 0.2, hot_node: 1, hot_fraction: 0.3 }.offered_load(),
+            TrafficPattern::Hotspot {
+                load: 0.2,
+                hot_node: 1,
+                hot_fraction: 0.3
+            }
+            .offered_load(),
             0.2
         );
     }

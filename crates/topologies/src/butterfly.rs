@@ -26,7 +26,10 @@ pub fn butterfly_index(k: usize, level: usize, row: usize) -> usize {
 
 /// Builds the unwrapped `k`-dimensional butterfly as a symmetric digraph.
 pub fn butterfly(k: usize) -> Digraph {
-    assert!(k >= 1 && k <= 24, "butterfly dimension must be in 1..=24");
+    assert!(
+        (1..=24).contains(&k),
+        "butterfly dimension must be in 1..=24"
+    );
     let rows = 1usize << k;
     let mut b = DigraphBuilder::new(butterfly_node_count(k));
     for level in 0..k {
@@ -46,7 +49,10 @@ pub fn butterfly(k: usize) -> Digraph {
 /// Builds the wrapped `k`-dimensional butterfly (levels `0..k`, level `k`
 /// identified with level `0`), a `2d`-regular digraph on `k·2^k` nodes.
 pub fn wrapped_butterfly(k: usize) -> Digraph {
-    assert!(k >= 2 && k <= 24, "wrapped butterfly dimension must be in 2..=24");
+    assert!(
+        (2..=24).contains(&k),
+        "wrapped butterfly dimension must be in 2..=24"
+    );
     let rows = 1usize << k;
     let n = k * rows;
     let idx = |level: usize, row: usize| (level % k) * rows + row;

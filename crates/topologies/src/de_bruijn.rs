@@ -14,7 +14,10 @@ use otis_graphs::{Digraph, DigraphBuilder};
 
 /// Number of nodes of `B(d, k)`: `d^k`.
 pub fn de_bruijn_node_count(d: usize, k: usize) -> usize {
-    assert!(d >= 1 && k >= 1, "de Bruijn parameters must satisfy d >= 1, k >= 1");
+    assert!(
+        d >= 1 && k >= 1,
+        "de Bruijn parameters must satisfy d >= 1, k >= 1"
+    );
     d.pow(k as u32)
 }
 
@@ -38,8 +41,8 @@ mod tests {
     use super::*;
     use crate::kautz::kautz_node_count;
     use otis_graphs::algorithms::{diameter, is_strongly_connected};
-    use otis_graphs::line_digraph::line_digraph;
     use otis_graphs::are_isomorphic;
+    use otis_graphs::line_digraph::line_digraph;
 
     #[test]
     fn counts_and_regularity() {

@@ -20,7 +20,10 @@ pub fn hypercube_node_count(n: usize) -> usize {
 /// Builds the `n`-dimensional binary hypercube as a symmetric digraph
 /// (each undirected edge becomes two opposite arcs).
 pub fn hypercube(n: usize) -> Digraph {
-    assert!(n <= 30, "hypercube dimension too large for an in-memory digraph");
+    assert!(
+        n <= 30,
+        "hypercube dimension too large for an in-memory digraph"
+    );
     let count = hypercube_node_count(n);
     let mut b = DigraphBuilder::with_capacity(count, count * n);
     for u in 0..count {
@@ -63,8 +66,8 @@ mod tests {
     fn distances_are_hamming() {
         let g = hypercube(5);
         let dist = bfs_distances(&g, 0);
-        for v in 0..g.node_count() {
-            assert_eq!(dist[v], hamming_distance(0, v));
+        for (v, &bfs) in dist.iter().enumerate() {
+            assert_eq!(bfs, hamming_distance(0, v));
         }
     }
 

@@ -76,7 +76,11 @@ pub struct ImaseItoh {
 impl ImaseItoh {
     /// Constructs `II(d, n)`.
     pub fn new(d: usize, n: usize) -> Self {
-        ImaseItoh { d, n, graph: imase_itoh(d, n) }
+        ImaseItoh {
+            d,
+            n,
+            graph: imase_itoh(d, n),
+        }
     }
 
     /// Degree `d`.
@@ -137,7 +141,10 @@ mod tests {
     fn diameter_within_bound() {
         for (d, n) in [(2, 7), (2, 12), (3, 12), (3, 20), (4, 50), (5, 100)] {
             let g = imase_itoh(d, n);
-            assert!(is_strongly_connected(&g), "II({d},{n}) must be strongly connected");
+            assert!(
+                is_strongly_connected(&g),
+                "II({d},{n}) must be strongly connected"
+            );
             let dia = diameter(&g).unwrap();
             let bound = imase_itoh_diameter_bound(d, n);
             assert!(
@@ -154,7 +161,10 @@ mod tests {
             let n = kautz_node_count(d, k);
             let ii = imase_itoh(d, n);
             let kg = kautz(d, k);
-            assert!(are_isomorphic(&ii, &kg), "II({d},{n}) should be KG({d},{k})");
+            assert!(
+                are_isomorphic(&ii, &kg),
+                "II({d},{n}) should be KG({d},{k})"
+            );
         }
     }
 

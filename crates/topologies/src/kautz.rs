@@ -27,7 +27,10 @@ use otis_graphs::{Digraph, DigraphBuilder};
 /// # Panics
 /// Panics if `d == 0` or `k == 0`.
 pub fn kautz_node_count(d: usize, k: usize) -> usize {
-    assert!(d >= 1 && k >= 1, "Kautz parameters must satisfy d >= 1, k >= 1");
+    assert!(
+        d >= 1 && k >= 1,
+        "Kautz parameters must satisfy d >= 1, k >= 1"
+    );
     d.pow((k - 1) as u32) * (d + 1)
 }
 
@@ -61,7 +64,10 @@ pub fn kautz_with_loops(d: usize, k: usize) -> Digraph {
 /// The node numbering differs from [`kautz`] (it follows arc-creation order
 /// of the intermediate line digraphs) but the result is isomorphic.
 pub fn kautz_by_line_digraph(d: usize, k: usize) -> Digraph {
-    assert!(d >= 1 && k >= 1, "Kautz parameters must satisfy d >= 1, k >= 1");
+    assert!(
+        d >= 1 && k >= 1,
+        "Kautz parameters must satisfy d >= 1, k >= 1"
+    );
     line_digraph_iterated(&complete_digraph(d + 1), k - 1)
 }
 
@@ -77,7 +83,11 @@ pub struct Kautz {
 impl Kautz {
     /// Constructs `KG(d, k)` (word construction).
     pub fn new(d: usize, k: usize) -> Self {
-        Kautz { d, k, graph: kautz(d, k) }
+        Kautz {
+            d,
+            k,
+            graph: kautz(d, k),
+        }
     }
 
     /// Degree `d`.

@@ -21,7 +21,10 @@ pub fn coords_to_index(dims: &[usize], coords: &[usize]) -> usize {
     assert_eq!(dims.len(), coords.len(), "dimension mismatch");
     let mut idx = 0usize;
     for (extent, &c) in dims.iter().zip(coords) {
-        assert!(c < *extent, "coordinate {c} out of range for extent {extent}");
+        assert!(
+            c < *extent,
+            "coordinate {c} out of range for extent {extent}"
+        );
         idx = idx * extent + c;
     }
     idx

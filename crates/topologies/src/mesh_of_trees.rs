@@ -21,7 +21,10 @@ pub fn mesh_of_trees_node_count(n: usize) -> usize {
 
 /// Builds the `n × n` mesh-of-trees; `n` must be a power of two and ≥ 2.
 pub fn mesh_of_trees(n: usize) -> Digraph {
-    assert!(n >= 2 && n.is_power_of_two(), "mesh-of-trees requires n a power of two, n >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "mesh-of-trees requires n a power of two, n >= 2"
+    );
     let leaves = n * n;
     let internal_per_tree = n - 1;
     let row_base = leaves;
@@ -36,20 +39,21 @@ pub fn mesh_of_trees(n: usize) -> Digraph {
     // internal node j (1-based, 1..n-1) has children 2j and 2j+1 among
     // internal nodes when 2j <= n-1, otherwise the children are leaves
     // 2j - n and 2j + 1 - n (0-based leaf positions).
-    let connect_tree = |tree_base: usize, leaf_of: &dyn Fn(usize) -> usize, b: &mut DigraphBuilder| {
-        for j in 1..n {
-            let parent = tree_base + (j - 1);
-            for child in [2 * j, 2 * j + 1] {
-                let child_node = if child < n {
-                    tree_base + (child - 1)
-                } else {
-                    leaf_of(child - n)
-                };
-                b.add_arc(parent, child_node);
-                b.add_arc(child_node, parent);
+    let connect_tree =
+        |tree_base: usize, leaf_of: &dyn Fn(usize) -> usize, b: &mut DigraphBuilder| {
+            for j in 1..n {
+                let parent = tree_base + (j - 1);
+                for child in [2 * j, 2 * j + 1] {
+                    let child_node = if child < n {
+                        tree_base + (child - 1)
+                    } else {
+                        leaf_of(child - n)
+                    };
+                    b.add_arc(parent, child_node);
+                    b.add_arc(child_node, parent);
+                }
             }
-        }
-    };
+        };
 
     for row in 0..n {
         let tree_base = row_base + row * internal_per_tree;

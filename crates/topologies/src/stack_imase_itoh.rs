@@ -25,7 +25,10 @@ impl StackImaseItoh {
     /// Builds `SII(s, d, n)`; all parameters must be at least 1.
     pub fn new(s: usize, d: usize, n: usize) -> Self {
         assert!(s >= 1, "stacking factor s must be >= 1");
-        assert!(d >= 1 && n >= 1, "Imase-Itoh parameters must satisfy d >= 1, n >= 1");
+        assert!(
+            d >= 1 && n >= 1,
+            "Imase-Itoh parameters must satisfy d >= 1, n >= 1"
+        );
         let quotient = imase_itoh(d, n).with_loops();
         let stack = StackGraph::new(s, quotient).expect("s >= 1 was checked");
         StackImaseItoh {

@@ -34,7 +34,10 @@ impl StackKautz {
     /// Builds `SK(s, d, k)`; all three parameters must be at least 1.
     pub fn new(s: usize, d: usize, k: usize) -> Self {
         assert!(s >= 1, "stacking factor s must be >= 1");
-        assert!(d >= 1 && k >= 1, "Kautz parameters must satisfy d >= 1, k >= 1");
+        assert!(
+            d >= 1 && k >= 1,
+            "Kautz parameters must satisfy d >= 1, k >= 1"
+        );
         let quotient = kautz_with_loops(d, k);
         let stack = StackGraph::new(s, quotient).expect("s >= 1 was checked");
         StackKautz {

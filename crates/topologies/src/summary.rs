@@ -31,7 +31,11 @@ pub struct TopologySummary {
 
 impl TopologySummary {
     /// Summarises a point-to-point digraph.
-    pub fn of_digraph(name: impl Into<String>, g: &Digraph, predicted_diameter: Option<u32>) -> Self {
+    pub fn of_digraph(
+        name: impl Into<String>,
+        g: &Digraph,
+        predicted_diameter: Option<u32>,
+    ) -> Self {
         TopologySummary {
             name: name.into(),
             nodes: g.node_count(),

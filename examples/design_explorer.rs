@@ -2,18 +2,18 @@
 //! need as the machine grows?
 //!
 //! The paper's §4/§5 argue that OTIS-based multi-OPS designs scale well in
-//! discrete optical parts.  This example sweeps machine sizes and prints, for
-//! the POPS and stack-Kautz designs of comparable processor counts, the
-//! coupler / OTIS / lens / transceiver budget and the worst-case optical loss
-//! along with whether the link still closes with the default power budget.
+//! discrete optical parts.  This example sweeps machine sizes — a list of
+//! spec strings, thanks to the `Network` facade — and prints, for the POPS
+//! and stack-Kautz designs of comparable processor counts, the coupler /
+//! OTIS / lens / transceiver budget and the worst-case optical loss along
+//! with whether the link still closes with the default power budget.
 //!
 //! ```text
 //! cargo run --example design_explorer
 //! ```
 
-use otis_lightwave::designs::{PopsDesign, StackKautzDesign};
+use otis_lightwave::net::Network;
 use otis_lightwave::optics::PowerBudget;
-use otis_lightwave::topologies::kautz_node_count;
 
 fn main() {
     println!(
@@ -21,23 +21,35 @@ fn main() {
         "design", "procs", "couplers", "OTIS", "lenses", "tx+rx", "loss (dB)", "closes?"
     );
 
-    // POPS designs: groups of 8 processors, growing group counts.
-    for g in [2usize, 4, 8, 12] {
-        let design = PopsDesign::new(8, g);
-        design.verify().expect("POPS design verifies");
-        report(&format!("POPS(8,{g})"), 8 * g, &design.inventory(), design.design().worst_case_loss_db());
-    }
-
-    // Stack-Kautz designs: same group size, Kautz group counts.
-    for (d, k) in [(2usize, 2usize), (3, 2), (2, 3), (4, 2)] {
-        let s = 8;
-        let design = StackKautzDesign::new(s, d, k);
-        design.verify().expect("stack-Kautz design verifies");
-        report(
-            &format!("SK({s},{d},{k})"),
-            s * kautz_node_count(d, k),
-            &design.inventory(),
-            design.design().worst_case_loss_db(),
+    // POPS designs with groups of 8 processors, then stack-Kautz designs
+    // with the same group size at Kautz group counts.
+    let specs = [
+        "POPS(8,2)",
+        "POPS(8,4)",
+        "POPS(8,8)",
+        "POPS(8,12)",
+        "SK(8,2,2)",
+        "SK(8,3,2)",
+        "SK(8,2,3)",
+        "SK(8,4,2)",
+    ];
+    for spec in specs {
+        let network = Network::from_spec(spec).expect("valid spec");
+        network.verify().expect("design verifies");
+        let design = network.design().expect("these families have designs");
+        let inv = design.inventory();
+        let loss = design.worst_case_loss_db();
+        let budget = PowerBudget::with_path_loss(loss);
+        println!(
+            "{:<14} {:>7} {:>9} {:>6} {:>8} {:>9} {:>10.2} {:>8}",
+            network.name(),
+            network.node_count(),
+            inv.multiplexer_count(),
+            inv.otis_units(),
+            inv.lens_count(),
+            inv.transmitter_count() + inv.receiver_count(),
+            loss,
+            budget.is_feasible()
         );
     }
 
@@ -46,19 +58,4 @@ fn main() {
         "Note how the POPS coupler count grows with g² while the stack-Kautz grows with g·(d+1);"
     );
     println!("the price is the multi-hop diameter k instead of the POPS single hop.");
-}
-
-fn report(name: &str, processors: usize, inv: &otis_lightwave::optics::HardwareInventory, loss: f64) {
-    let budget = PowerBudget::with_path_loss(loss);
-    println!(
-        "{:<14} {:>7} {:>9} {:>6} {:>8} {:>9} {:>10.2} {:>8}",
-        name,
-        processors,
-        inv.multiplexer_count(),
-        inv.otis_units(),
-        inv.lens_count(),
-        inv.transmitter_count() + inv.receiver_count(),
-        loss,
-        budget.is_feasible()
-    );
 }

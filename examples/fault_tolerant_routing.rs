@@ -1,18 +1,26 @@
 //! Fault-tolerant routing on the Kautz quotient (§2.5 of the paper):
 //! with up to d − 1 failed nodes, a route of length at most k + 2 survives.
 //!
+//! The graph under test comes from the `Network` facade; the fault machinery
+//! is the `routing` layer working on it directly.
+//!
 //! ```text
 //! cargo run --example fault_tolerant_routing
 //! ```
 
+use otis_lightwave::net::Network;
 use otis_lightwave::routing::fault_tolerant::validate_kautz_fault_bound;
 use otis_lightwave::routing::{fault_tolerant_route, FaultSet};
-use otis_lightwave::topologies::kautz;
 
 fn main() {
     let (d, k) = (3usize, 2usize);
-    let g = kautz(d, k);
-    println!("KG({d},{k}): {} nodes, degree {d}, diameter {k}", g.node_count());
+    let network = Network::from_spec("KG(3,2)").expect("valid spec");
+    let g = network.topology().digraph().expect("KG is point-to-point");
+    println!(
+        "{}: {} nodes, degree {d}, diameter {k}",
+        network.name(),
+        g.node_count()
+    );
 
     // A concrete scenario: fail two nodes (d - 1 = 2) and route around them.
     let mut faults = FaultSet::new();
@@ -20,7 +28,7 @@ fn main() {
     faults.fail_node(9);
     println!("failed nodes: 4 and 9");
     for (src, dst) in [(0usize, 5usize), (2, 11), (7, 3)] {
-        match fault_tolerant_route(&g, src, dst, &faults) {
+        match fault_tolerant_route(g, src, dst, &faults) {
             Some(path) => println!(
                 "  {src} -> {dst}: {} hops via {:?} (bound k+2 = {})",
                 path.len() - 1,
@@ -39,7 +47,7 @@ fn main() {
             patterns.push(vec![a, b]);
         }
     }
-    let report = validate_kautz_fault_bound(&g, d, k, &patterns);
+    let report = validate_kautz_fault_bound(g, d, k, &patterns);
     println!(
         "exhaustive check: {} cases, worst surviving route {} hops (bound {}), disconnected {} -> claim holds: {}",
         report.cases, report.worst_length, report.bound, report.disconnected, report.holds()

@@ -2,17 +2,24 @@
 //! the single-hop multi-OPS POPS, the multi-hop multi-OPS stack-Kautz, and a
 //! single-OPS point-to-point de Bruijn network with hot-potato routing.
 //!
+//! With the `Network` facade the scenario is *data*: edit the spec list or
+//! the load list below and the whole comparison follows.
+//!
 //! ```text
 //! cargo run --release --example network_comparison
 //! ```
 
-use otis_lightwave::sim::{compare_networks, ComparisonRow};
+use otis_lightwave::net::{compare_spec_strs, ComparisonRow};
 
 fn main() {
+    // Size-matched trio: 24 processors each (DB(2,5) has 32, the closest
+    // power of two), equal degree between SK and DB.
+    let specs = ["SK(4,2,2)", "POPS(4,6)", "DB(2,5)"];
     let loads = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
     println!("Uniform traffic, 2000 slots per point, OldestFirst arbitration.");
     println!("{}", ComparisonRow::table_header());
-    for row in compare_networks(4, 2, 2, &loads, 2000, 2024) {
+    let rows = compare_spec_strs(&specs, &loads, 2000, 2024).expect("specs are valid");
+    for row in rows {
         println!("{}", row.as_table_row());
     }
     println!();

@@ -5,6 +5,10 @@
 //! workspace crates under short module names so examples and downstream users
 //! can depend on a single crate:
 //!
+//! * [`net`] — **the recommended entry point**: the spec-driven [`Network`]
+//!   facade, one uniform API from a spec string (`"SK(6,3,2)"`,
+//!   `"POPS(9,8)"`, `"II(4,12)"`, `"KG(3,4)"`, `"DB(2,8)"`, …) to topology,
+//!   optical design, verification, routing and simulation;
 //! * [`graphs`] — digraphs, hypergraphs, stack-graphs and their algorithms;
 //! * [`topologies`] — Kautz, Imase–Itoh, de Bruijn, POPS, stack-Kautz, …;
 //! * [`optics`] — OTIS, OPS couplers, multiplexers, beam-splitters, netlists,
@@ -17,22 +21,50 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use otis_lightwave::designs::StackKautzDesign;
+//! Any network of the paper is one spec string away; the facade exposes
+//! every layer of the reproduction through a single handle:
 //!
-//! // Build the paper's worked example SK(6, 3, 2) and verify it optically.
-//! let design = StackKautzDesign::new(6, 3, 2);
-//! let report = design.verify().expect("the design realizes the stack-Kautz network");
+//! ```
+//! use otis_lightwave::net::{Network, SimOptions};
+//!
+//! // The paper's worked example SK(6,3,2), verified optically end-to-end
+//! // (the OTIS design is built and traced signal by signal).
+//! let sk = Network::from_spec("SK(6,3,2)").unwrap();
+//! let report = sk.verify().expect("the design realizes the stack-Kautz network");
 //! assert_eq!(report.processors, 72);
 //! assert_eq!(report.links, 48);
+//!
+//! // Shortest-path routing is inherited from the Kautz quotient ...
+//! let route = sk.router().route(0, 71).unwrap();
+//! assert!(route.hop_count() <= 2);
+//!
+//! // ... and the same handle drives the slotted simulator.
+//! let metrics = sk.simulate_uniform(0.2, &SimOptions::new(300, 42));
+//! assert!(metrics.delivered > 0);
+//!
+//! // Comparison scenarios are data: a list of specs plus a list of loads.
+//! let rows = otis_lightwave::net::compare_spec_strs(
+//!     &["SK(2,2,2)", "POPS(2,6)", "DB(2,4)"],
+//!     &[0.1, 0.5],
+//!     200,
+//!     7,
+//! )
+//! .unwrap();
+//! assert_eq!(rows.len(), 6);
 //! ```
+//!
+//! The per-layer crates remain available for work below the facade (custom
+//! netlists, new topology families, new routers).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub use otis_core as designs;
 pub use otis_graphs as graphs;
+pub use otis_net as net;
 pub use otis_optics as optics;
 pub use otis_routing as routing;
 pub use otis_sim as sim;
 pub use otis_topologies as topologies;
+
+pub use otis_net::{Network, NetworkSpec};

@@ -4,9 +4,7 @@
 use otis_lightwave::designs::{ImaseItohDesign, KautzDesign, PopsDesign, StackKautzDesign};
 use otis_lightwave::graphs::algorithms::diameter;
 use otis_lightwave::routing::{PopsRouter, StackRouter};
-use otis_lightwave::sim::{
-    ArbitrationPolicy, MultiOpsSim, MultiOpsSimConfig, TrafficPattern,
-};
+use otis_lightwave::sim::{ArbitrationPolicy, MultiOpsSim, MultiOpsSimConfig, TrafficPattern};
 use otis_lightwave::topologies::{kautz, kautz_node_count, Pops, StackKautz};
 
 /// The paper's headline pipeline: build SK(6,3,2) as a graph, build its
@@ -43,11 +41,17 @@ fn stack_kautz_full_pipeline() {
     // Simulation layer: traffic flows and is conserved.
     let metrics = MultiOpsSim::new(
         sk.stack_graph().clone(),
-        MultiOpsSimConfig { slots: 500, ..Default::default() },
+        MultiOpsSimConfig {
+            slots: 500,
+            ..Default::default()
+        },
     )
     .run(&TrafficPattern::Uniform { load: 0.2 });
     assert!(metrics.delivered > 0);
-    assert_eq!(metrics.injected, metrics.delivered + metrics.in_flight + metrics.dropped);
+    assert_eq!(
+        metrics.injected,
+        metrics.delivered + metrics.in_flight + metrics.dropped
+    );
     assert!(metrics.average_hops() <= 2.0 + 1e-9);
 }
 

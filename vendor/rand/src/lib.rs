@@ -1,0 +1,158 @@
+//! Offline, dependency-free subset of the `rand` crate API.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors the *exact* surface it consumes — [`Rng::gen_range`]
+//! over `usize` ranges, [`Rng::gen_bool`], and a seedable [`rngs::StdRng`] —
+//! implemented over the xoshiro256++ generator (Blackman & Vigna) seeded via
+//! SplitMix64.  Everything is deterministic given a seed, which is all the
+//! simulators rely on; no cryptographic or statistical parity with the real
+//! `rand::rngs::StdRng` stream is claimed.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open `usize` range.  Panics on an empty
+    /// range, matching the real crate.
+    fn gen_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift rejection-free mapping is fine for simulation use;
+        // the bias is < span / 2^64.
+        let hi = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        range.start + hi as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+        }
+        // Every value of a small range is eventually hit.
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_edge_cases_and_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn sample<R: Rng>(rng: &mut R) -> usize {
+            rng.gen_range(0..10)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = sample(&mut rng);
+    }
+}
