@@ -1,0 +1,172 @@
+//! Command-line front end of the parallel scenario engine.
+//!
+//! Runs a `(spec × load × seed × fault pattern)` grid across worker threads
+//! and prints one table row per cell, in deterministic grid order:
+//!
+//! ```text
+//! cargo run -p otis-bench --bin scenarios -- \
+//!     --specs "SK(4,2,2),POPS(4,6),DB(2,5)" \
+//!     --loads 0.05,0.2,0.5,0.9 \
+//!     --slots 2000 --seeds 42 --faults 1 --threads 8
+//! ```
+//!
+//! `--faults N` sweeps nested fault patterns `{}`, `{0}`, `{0,1}`, …,
+//! `{0..N-1}`: fault ids name quotient groups for multi-OPS networks and
+//! processors for point-to-point networks.  Results are independent of
+//! `--threads`; the flag only changes wall-clock time.
+
+use otis_net::{run_grid, FaultSet, NetworkSpec, ScenarioGrid, ScenarioRow, SimOptions};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage: scenarios [--specs S1,S2,...] [--loads L1,L2,...] [--seeds N1,N2,...]
+                 [--slots N] [--faults N] [--threads N]
+
+  --specs    comma-separated network specs        (default SK(4,2,2),POPS(4,6),DB(2,5))
+  --loads    comma-separated offered loads        (default 0.05,0.2,0.5,0.9)
+  --seeds    comma-separated random seeds         (default 42)
+  --slots    slots simulated per cell             (default 2000)
+  --faults   sweep 0..=N nested node faults       (default 0; ids are quotient
+             groups for multi-OPS networks, processors for point-to-point)
+  --threads  worker threads                       (default: available parallelism)";
+
+struct Args {
+    specs: Vec<NetworkSpec>,
+    loads: Vec<f64>,
+    seeds: Vec<u64>,
+    slots: u64,
+    faults: usize,
+    threads: usize,
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .map(|item| {
+            item.trim()
+                .parse::<T>()
+                .map_err(|_| format!("{flag}: cannot parse '{}'", item.trim()))
+        })
+        .collect()
+}
+
+/// Splits a spec list on the commas *between* specs, not the ones inside
+/// their parentheses: `"SK(4,2,2),POPS(4,6)"` → `["SK(4,2,2)", "POPS(4,6)"]`.
+fn parse_specs(value: &str) -> Result<Vec<NetworkSpec>, String> {
+    let mut specs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in value.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                specs.push(&value[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    specs.push(&value[start..]);
+    specs
+        .into_iter()
+        .map(|s| s.trim().parse::<NetworkSpec>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        specs: parse_specs("SK(4,2,2),POPS(4,6),DB(2,5)").expect("default specs parse"),
+        loads: vec![0.05, 0.2, 0.5, 0.9],
+        seeds: vec![42],
+        slots: 2000,
+        faults: 0,
+        threads: otis_net::default_thread_count(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Ok(None);
+        }
+        let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+        match flag.as_str() {
+            "--specs" => args.specs = parse_specs(value)?,
+            "--loads" => args.loads = parse_list(flag, value)?,
+            "--seeds" => args.seeds = parse_list(flag, value)?,
+            "--slots" => {
+                args.slots = value
+                    .parse()
+                    .map_err(|_| format!("--slots: cannot parse '{value}'"))?
+            }
+            "--faults" => {
+                args.faults = value
+                    .parse()
+                    .map_err(|_| format!("--faults: cannot parse '{value}'"))?
+            }
+            "--threads" => {
+                args.threads = value
+                    .parse()
+                    .map_err(|_| format!("--threads: cannot parse '{value}'"))?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("scenarios: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let grid = ScenarioGrid {
+        specs: args.specs,
+        loads: args.loads,
+        seeds: args.seeds,
+        fault_sets: (0..=args.faults)
+            .map(|count| FaultSet::from_nodes(0..count))
+            .collect(),
+        options: SimOptions {
+            slots: args.slots,
+            ..SimOptions::default()
+        },
+    };
+    println!(
+        "# {} cells ({} specs x {} loads x {} seeds x {} fault patterns), {} slots each, {} threads",
+        grid.cell_count(),
+        grid.specs.len(),
+        grid.loads.len(),
+        grid.seeds.len(),
+        grid.fault_sets.len(),
+        grid.options.slots,
+        args.threads
+    );
+    let started = Instant::now();
+    let rows = match run_grid(&grid, args.threads) {
+        Ok(rows) => rows,
+        Err(error) => {
+            eprintln!("scenarios: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", ScenarioRow::table_header());
+    for row in &rows {
+        println!("{}", row.as_table_row());
+    }
+    println!(
+        "# {} rows in {:.2}s wall-clock",
+        rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -6,6 +6,23 @@
 //!   in-text table of the paper — run
 //!   `cargo run -p otis-bench --bin reproduce -- all`, or a single experiment
 //!   id such as `fig10` (see [`reproduce::available_experiments`]).
+//! * The `scenarios` binary is the CLI front end of the parallel scenario
+//!   engine (`otis_net::engine`): it expands a
+//!   `(spec × load × seed × fault pattern)` grid, runs every cell across
+//!   worker threads and prints one row per cell in deterministic grid order.
+//!   Flags (all optional):
+//!
+//!   | flag        | meaning                                         | default |
+//!   |-------------|--------------------------------------------------|---------|
+//!   | `--specs`   | comma-separated network specs                    | `SK(4,2,2),POPS(4,6),DB(2,5)` |
+//!   | `--loads`   | comma-separated offered loads                    | `0.05,0.2,0.5,0.9` |
+//!   | `--seeds`   | comma-separated random seeds                     | `42` |
+//!   | `--slots`   | slots simulated per cell                         | `2000` |
+//!   | `--faults`  | sweep 0..=N nested node faults (quotient groups for multi-OPS, processors for point-to-point) | `0` |
+//!   | `--threads` | worker threads (results are thread-count independent) | available parallelism |
+//!
+//!   Example:
+//!   `cargo run --release -p otis-bench --bin scenarios -- --loads 0.2,0.5 --faults 1`
 //! * The Criterion benches under `benches/` measure the performance of the
 //!   building blocks: topology construction, diameter computation, routing,
 //!   OTIS design construction + verification, and simulation throughput.

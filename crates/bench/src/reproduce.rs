@@ -15,12 +15,16 @@
 
 use otis_graphs::algorithms::{is_eulerian, is_hamiltonian};
 use otis_graphs::{are_isomorphic, line_digraph, StackGraph};
-use otis_net::{compare_specs, ComparisonRow, Network, NetworkSpec};
+use otis_net::{
+    compare_specs, default_thread_count, run_grid, ComparisonRow, Network, NetworkSpec,
+    ScenarioGrid, ScenarioRow,
+};
 use otis_optics::components::ComponentKind;
 use otis_optics::electrical::InterconnectModel;
 use otis_optics::power::{splitting_loss_db, PowerBudget};
 use otis_optics::Otis;
 use otis_routing::fault_tolerant::validate_kautz_fault_bound;
+use otis_routing::node_fault_patterns_up_to;
 use otis_topologies::imase_itoh::imase_itoh_diameter_bound;
 use otis_topologies::{complete_digraph_with_loops, kautz_node_count, moore_bound};
 use std::fmt::Write as _;
@@ -860,6 +864,41 @@ fn table_sim() -> String {
     writeln!(
         out,
         "deflects under load, inflating hop counts and latency first."
+    )
+    .unwrap();
+
+    // Fault-injection sweep through the same engine (§2.5 at system level):
+    // SK(4,2,2) has the Kautz quotient KG(2,2) — d = 2, k = 2, 6 groups —
+    // so every single-group fault is within the d − 1 survivability claim
+    // and delivered routes must stay within k + 2 hops.
+    let (d, k, groups) = (2usize, 2usize, 6usize);
+    let grid = ScenarioGrid::new(vec!["SK(4,2,2)".parse().expect("experiment spec is valid")])
+        .loads(&[0.2])
+        .seeds(&[42])
+        .fault_sets(node_fault_patterns_up_to(groups, d - 1))
+        .slots(2000);
+    let rows = run_grid(&grid, default_thread_count()).expect("experiment specs are valid");
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "fault sweep on SK(4,2,2) (quotient KG(2,2), every fault pattern of size <= d-1 = {}):",
+        d - 1
+    )
+    .unwrap();
+    writeln!(out, "{}", ScenarioRow::table_header()).unwrap();
+    for row in &rows {
+        writeln!(out, "{}", row.as_table_row()).unwrap();
+    }
+    let worst = rows.iter().map(|r| r.metrics.max_hops).max().unwrap_or(0);
+    let all_delivering = rows.iter().all(|r| r.metrics.delivered > 0);
+    let holds = worst as usize <= k + 2 && all_delivering;
+    writeln!(
+        out,
+        "worst delivered route: {} hops (bound k+2 = {}), every cell delivering: {} -> {}",
+        worst,
+        k + 2,
+        all_delivering,
+        if holds { "claim holds" } else { "FAILED" }
     )
     .unwrap();
     out

@@ -1,0 +1,352 @@
+//! The parallel scenario engine: declarative `(spec × load × seed × fault
+//! pattern)` grids executed across scoped worker threads.
+//!
+//! Every workload scenario of the reproduction — the T5 comparison tables,
+//! load/latency frontier scans, the `d − 1` fault-injection sweeps of §2.5 —
+//! is a cartesian grid of independent simulation cells.  A [`ScenarioGrid`]
+//! names that grid as data; [`run_grid`] executes its cells across
+//! `std::thread::scope` workers (the [`crate::Network`] facade is
+//! `Send + Sync`) and returns one [`ScenarioRow`] per cell **in grid order**,
+//! byte-identical regardless of the worker count: each cell seeds its own
+//! RNG, so parallel execution cannot perturb results.
+//!
+//! Grid order is loads outermost, then specs, then seeds, then fault sets —
+//! matching the table shape of experiment T5, so
+//! [`crate::scenarios::compare_specs`] is a one-seed, no-fault grid.
+
+use crate::error::NetworkError;
+use crate::network::Network;
+use crate::scenarios::fmt_stat;
+use crate::sim_options::SimOptions;
+use crate::spec::NetworkSpec;
+use otis_routing::FaultSet;
+use otis_sim::{SimMetrics, TrafficPattern};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A declarative grid of simulation scenarios: every combination of spec,
+/// offered load, seed and fault pattern becomes one independent cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    /// The networks under test.
+    pub specs: Vec<NetworkSpec>,
+    /// Offered loads (uniform traffic), outermost grid axis.
+    pub loads: Vec<f64>,
+    /// Random seeds; each cell's simulation is seeded independently.
+    pub seeds: Vec<u64>,
+    /// Fault patterns to inject; `[FaultSet::new()]` for intact runs.  For
+    /// multi-OPS networks fault node ids name quotient groups, for
+    /// point-to-point networks they name processors (see
+    /// [`SimOptions::faults`]).
+    pub fault_sets: Vec<FaultSet>,
+    /// Shared simulation options (slots, arbitration, queue limit, TTL).
+    /// The `seed` and `faults` fields are overwritten per cell.
+    pub options: SimOptions,
+}
+
+impl ScenarioGrid {
+    /// A grid over the given specs with one default seed, no faults, no
+    /// loads yet (zero cells until [`ScenarioGrid::loads`] is set).
+    pub fn new(specs: Vec<NetworkSpec>) -> Self {
+        let options = SimOptions::default();
+        ScenarioGrid {
+            specs,
+            loads: Vec::new(),
+            seeds: vec![options.seed],
+            fault_sets: vec![FaultSet::new()],
+            options,
+        }
+    }
+
+    /// Sets the offered loads.
+    pub fn loads(mut self, loads: &[f64]) -> Self {
+        self.loads = loads.to_vec();
+        self
+    }
+
+    /// Sets the seeds.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Sets the fault patterns to sweep.
+    pub fn fault_sets(mut self, fault_sets: Vec<FaultSet>) -> Self {
+        self.fault_sets = fault_sets;
+        self
+    }
+
+    /// Sets the slot count.
+    pub fn slots(mut self, slots: u64) -> Self {
+        self.options.slots = slots;
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn cell_count(&self) -> usize {
+        self.specs.len() * self.loads.len() * self.seeds.len() * self.fault_sets.len()
+    }
+
+    /// Executes the grid; see [`run_grid`].
+    pub fn run(&self, threads: usize) -> Result<Vec<ScenarioRow>, NetworkError> {
+        run_grid(self, threads)
+    }
+}
+
+/// The result of one grid cell: the cell's coordinates plus the full
+/// simulation metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// The network simulated.
+    pub spec: NetworkSpec,
+    /// Offered load (messages per processor per slot).
+    pub offered_load: f64,
+    /// The seed this cell ran under.
+    pub seed: u64,
+    /// Number of injected faults (nodes plus arcs).
+    pub fault_count: usize,
+    /// The exact fault pattern of this cell.
+    pub faults: FaultSet,
+    /// The simulation metrics.
+    pub metrics: SimMetrics,
+}
+
+impl ScenarioRow {
+    /// Formats the row for the `scenarios` CLI and the reproduction harness.
+    /// Undefined averages (zero deliveries) render as `-`.
+    pub fn as_table_row(&self) -> String {
+        format!(
+            "{:<16} {:>6} {:>8.3} {:>6} {:>6} {:>10.4} {} {} {:>8} {:>8}",
+            self.spec.to_string(),
+            self.metrics.processors,
+            self.offered_load,
+            self.seed,
+            self.fault_count,
+            self.metrics.throughput(),
+            fmt_stat(self.metrics.average_latency(), 10, 2),
+            fmt_stat(self.metrics.average_hops(), 8, 2),
+            self.metrics.max_hops,
+            self.metrics.delivered,
+        )
+    }
+
+    /// Header matching [`ScenarioRow::as_table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<16} {:>6} {:>8} {:>6} {:>6} {:>10} {:>10} {:>8} {:>8} {:>8}",
+            "network",
+            "procs",
+            "load",
+            "seed",
+            "faults",
+            "thruput",
+            "latency",
+            "hops",
+            "maxhops",
+            "delivrd"
+        )
+    }
+}
+
+/// One cell's coordinates into the grid's axes.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    spec: usize,
+    load: f64,
+    seed: u64,
+    fault_set: usize,
+}
+
+/// The number of worker threads [`crate::scenarios`] uses when the caller
+/// does not choose one: the machine's available parallelism.
+pub fn default_thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Executes every cell of the grid across `threads` scoped workers (clamped
+/// to at least 1 and at most the cell count) and returns the rows in grid
+/// order — loads outermost, then specs, then seeds, then fault sets.
+///
+/// Results are independent of the thread count: cells are self-contained
+/// (own RNG seed, own simulator instance) and each is written to its own
+/// pre-assigned slot.  Workers pull cells from a shared atomic counter, so
+/// uneven cell costs balance automatically.
+pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>, NetworkError> {
+    let networks: Vec<Network> = grid
+        .specs
+        .iter()
+        .map(|&spec| Network::new(spec))
+        .collect::<Result<_, _>>()?;
+
+    let mut cells: Vec<Cell> = Vec::with_capacity(grid.cell_count());
+    for &load in &grid.loads {
+        for spec in 0..grid.specs.len() {
+            for &seed in &grid.seeds {
+                for fault_set in 0..grid.fault_sets.len() {
+                    cells.push(Cell {
+                        spec,
+                        load,
+                        seed,
+                        fault_set,
+                    });
+                }
+            }
+        }
+    }
+
+    let slots: Vec<OnceLock<ScenarioRow>> = (0..cells.len()).map(|_| OnceLock::new()).collect();
+    let workers = threads.max(1).min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(index) else { break };
+                let row = run_cell(&networks[cell.spec], grid, cell);
+                slots[index]
+                    .set(row)
+                    .expect("each cell is claimed by exactly one worker");
+            });
+        }
+    });
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every claimed cell completed"))
+        .collect())
+}
+
+fn run_cell(network: &Network, grid: &ScenarioGrid, cell: &Cell) -> ScenarioRow {
+    let faults = grid.fault_sets[cell.fault_set].clone();
+    let options = SimOptions {
+        seed: cell.seed,
+        faults: faults.clone(),
+        ..grid.options.clone()
+    };
+    let metrics = network.simulate(&TrafficPattern::Uniform { load: cell.load }, &options);
+    ScenarioRow {
+        spec: *network.spec(),
+        offered_load: cell.load,
+        seed: cell.seed,
+        fault_count: faults.len(),
+        faults,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_routing::node_fault_patterns_up_to;
+
+    fn small_grid() -> ScenarioGrid {
+        let specs = ["SK(2,2,2)", "POPS(3,4)", "DB(2,4)"]
+            .iter()
+            .map(|s| s.parse::<NetworkSpec>().unwrap())
+            .collect();
+        ScenarioGrid::new(specs)
+            .loads(&[0.1, 0.5])
+            .seeds(&[7, 11])
+            .slots(120)
+    }
+
+    #[test]
+    fn rows_are_identical_for_one_and_many_threads() {
+        let grid = small_grid();
+        let serial = run_grid(&grid, 1).unwrap();
+        let parallel = run_grid(&grid, 8).unwrap();
+        assert_eq!(serial.len(), grid.cell_count());
+        assert_eq!(serial, parallel);
+        // Oversubscription is also harmless.
+        assert_eq!(serial, run_grid(&grid, 1000).unwrap());
+        assert_eq!(serial, grid.run(0).unwrap());
+    }
+
+    #[test]
+    fn rows_come_back_in_grid_order() {
+        let grid = small_grid();
+        let rows = run_grid(&grid, 4).unwrap();
+        let mut expected = Vec::new();
+        for &load in &grid.loads {
+            for &spec in &grid.specs {
+                for &seed in &grid.seeds {
+                    expected.push((load, spec, seed));
+                }
+            }
+        }
+        let got: Vec<_> = rows
+            .iter()
+            .map(|r| (r.offered_load, r.spec, r.seed))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_axes_yield_empty_results() {
+        let grid = ScenarioGrid::new(vec!["K(4)".parse().unwrap()]);
+        assert_eq!(grid.cell_count(), 0);
+        assert!(run_grid(&grid, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_specs_surface_as_typed_errors() {
+        let grid =
+            ScenarioGrid::new(vec![NetworkSpec::StackKautz { s: 0, d: 2, k: 2 }]).loads(&[0.1]);
+        assert!(run_grid(&grid, 2).is_err());
+    }
+
+    #[test]
+    fn fault_sweep_confirms_the_k_plus_2_bound_on_a_small_kautz_instance() {
+        // SK(2,2,2): quotient KG(2,2) with 6 groups, degree d = 2, diameter
+        // k = 2.  Sweep every fault pattern of size 0..=d−1 (all 6 single-
+        // group faults plus the intact baseline) through the engine and
+        // check the §2.5 claim empirically: every delivered message used at
+        // most k + 2 optical hops, and traffic still flows.
+        let (d, k) = (2usize, 2usize);
+        let groups = 6;
+        let grid = ScenarioGrid::new(vec!["SK(2,2,2)".parse().unwrap()])
+            .loads(&[0.3])
+            .seeds(&[5])
+            .fault_sets(node_fault_patterns_up_to(groups, d - 1))
+            .slots(400);
+        assert_eq!(grid.cell_count(), 1 + groups);
+        let rows = run_grid(&grid, 4).unwrap();
+        for row in &rows {
+            assert!(row.metrics.delivered > 0, "{row:?}");
+            assert!(
+                row.metrics.max_hops as usize <= k + 2,
+                "fault pattern {:?} produced a {}-hop route (bound k+2 = {})",
+                row.faults.sorted_nodes(),
+                row.metrics.max_hops,
+                k + 2
+            );
+            assert_eq!(
+                row.metrics.injected,
+                row.metrics.delivered + row.metrics.in_flight + row.metrics.dropped
+            );
+        }
+        // Faulty cells accept less traffic than the intact baseline.
+        let intact = &rows[0];
+        assert!(intact.faults.is_empty());
+        for row in &rows[1..] {
+            assert!(row.metrics.injected < intact.metrics.injected);
+        }
+    }
+
+    #[test]
+    fn table_rendering_handles_zero_deliveries() {
+        let grid = ScenarioGrid::new(vec!["POPS(2,2)".parse().unwrap()])
+            .loads(&[0.0])
+            .slots(50);
+        let rows = run_grid(&grid, 1).unwrap();
+        assert_eq!(rows[0].metrics.delivered, 0);
+        let rendered = rows[0].as_table_row();
+        assert!(!rendered.contains("NaN"), "{rendered}");
+        assert!(rendered.contains('-'), "{rendered}");
+        assert_eq!(
+            ScenarioRow::table_header().split_whitespace().count(),
+            rendered.split_whitespace().count()
+        );
+    }
+}

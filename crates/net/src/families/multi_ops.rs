@@ -17,13 +17,15 @@ use otis_sim::{MultiOpsSim, MultiOpsSimConfig, SimMetrics, TrafficPattern};
 use otis_topologies::{Pops, StackImaseItoh, StackKautz};
 use std::sync::OnceLock;
 
-/// Runs the slotted multi-OPS simulator over a stack-graph network.
+/// Runs the slotted multi-OPS simulator over a stack-graph network, routing
+/// around any faults carried by the options (quotient-level semantics, see
+/// [`SimOptions::faults`]).
 fn simulate_multi_ops(
     stack: &StackGraph,
     traffic: &TrafficPattern,
     options: &SimOptions,
 ) -> SimMetrics {
-    MultiOpsSim::new(
+    MultiOpsSim::with_faults(
         stack.clone(),
         MultiOpsSimConfig {
             slots: options.slots,
@@ -31,6 +33,7 @@ fn simulate_multi_ops(
             policy: options.policy,
             queue_limit: options.queue_limit,
         },
+        options.faults.clone(),
     )
     .run(traffic)
 }

@@ -18,19 +18,21 @@ use otis_topologies::{complete_digraph, de_bruijn, imase_itoh, kautz};
 use std::sync::OnceLock;
 
 /// Runs the deflection-routing (hot-potato) simulator over a point-to-point
-/// digraph — the single-OPS baseline of the paper's comparisons.
+/// digraph — the single-OPS baseline of the paper's comparisons — routing
+/// around any faults carried by the options.
 fn simulate_hot_potato(
     graph: &Digraph,
     traffic: &TrafficPattern,
     options: &SimOptions,
 ) -> SimMetrics {
-    HotPotatoSim::new(
+    HotPotatoSim::with_faults(
         graph.clone(),
         HotPotatoSimConfig {
             slots: options.slots,
             seed: options.seed,
             max_hops: options.max_hops,
         },
+        options.faults.clone(),
     )
     .run(traffic)
 }

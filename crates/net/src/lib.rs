@@ -12,7 +12,12 @@
 //!   [`Network::verify`], [`Network::router`] and [`Network::simulate`] give
 //!   every family the same five-layer surface;
 //! * [`scenarios`] — comparison scenarios as *data*: a list of specs plus a
-//!   list of loads (experiment T5 of the reproduction harness).
+//!   list of loads (experiment T5 of the reproduction harness);
+//! * [`engine`] — the parallel scenario engine: declarative
+//!   `(spec × load × seed × fault pattern)` grids executed across scoped
+//!   worker threads with deterministic, thread-count-independent results.
+//!   Fault injection is plumbed through [`SimOptions::faults`] using
+//!   [`FaultSet`] from the routing layer.
 //!
 //! ## Quick example
 //!
@@ -38,6 +43,7 @@
 #![warn(clippy::all)]
 
 pub mod design;
+pub mod engine;
 pub mod error;
 mod families;
 pub mod family;
@@ -49,11 +55,16 @@ pub mod spec;
 pub mod topology;
 
 pub use design::NetworkDesign;
+pub use engine::{default_thread_count, run_grid, ScenarioGrid, ScenarioRow};
 pub use error::{NetworkError, SpecError};
 pub use family::NetworkFamily;
 pub use network::Network;
+pub use otis_routing::FaultSet;
 pub use route::{Route, RouteOracle};
-pub use scenarios::{compare_networks, compare_spec_strs, compare_specs, ComparisonRow};
+pub use scenarios::{
+    compare_networks, compare_spec_strs, compare_specs, frontier_scan, saturation_point,
+    ComparisonRow, FrontierPoint,
+};
 pub use sim_options::SimOptions;
 pub use spec::NetworkSpec;
 pub use topology::NetworkTopology;

@@ -5,13 +5,27 @@
 //! like the one packaged here: several networks are driven with the same
 //! traffic and their accepted throughput and latency are tabulated across
 //! offered loads.  With the [`crate::Network`] facade, a comparison scenario
-//! is *data*: a list of spec strings plus a list of loads.
+//! is *data*: a list of spec strings plus a list of loads.  Execution goes
+//! through the parallel [`crate::engine`] — a comparison is a one-seed,
+//! no-fault [`ScenarioGrid`], and richer scenarios (fault sweeps, frontier
+//! scans, multi-seed grids) are the same grid with more axes filled in.
 
-use crate::error::NetworkError;
-use crate::network::Network;
+use crate::engine::{default_thread_count, run_grid, ScenarioGrid};
+use crate::error::{NetworkError, SpecError};
 use crate::sim_options::SimOptions;
 use crate::spec::NetworkSpec;
-use otis_sim::{SimMetrics, TrafficPattern};
+use otis_routing::FaultSet;
+use otis_sim::SimMetrics;
+
+/// Formats a statistic for a fixed-width table column, rendering undefined
+/// values (`NaN`, e.g. an average over zero deliveries) as `-`.
+pub(crate) fn fmt_stat(value: f64, width: usize, precision: usize) -> String {
+    if value.is_nan() {
+        format!("{:>width$}", "-")
+    } else {
+        format!("{value:>width$.precision$}")
+    }
+}
 
 /// One row of the comparison table.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,9 +41,11 @@ pub struct ComparisonRow {
     pub offered_load: f64,
     /// Accepted throughput (delivered messages per processor per slot).
     pub throughput: f64,
-    /// Average delivered latency in slots.
+    /// Average delivered latency in slots (`NaN` when nothing was
+    /// delivered; rendered as `-` by [`ComparisonRow::as_table_row`]).
     pub average_latency: f64,
-    /// Average optical hops per delivered message.
+    /// Average optical hops per delivered message (`NaN` when nothing was
+    /// delivered).
     pub average_hops: f64,
 }
 
@@ -46,17 +62,18 @@ impl ComparisonRow {
         }
     }
 
-    /// Formats the row for the reproduction harness.
+    /// Formats the row for the reproduction harness.  Undefined averages
+    /// (zero deliveries, e.g. at load 0.0) render as `-`, never `NaN`.
     pub fn as_table_row(&self) -> String {
         format!(
-            "{:<16} {:>6} {:>8} {:>8.3} {:>10.4} {:>10.2} {:>8.2}",
+            "{:<16} {:>6} {:>8} {:>8.3} {:>10.4} {} {}",
             self.network,
             self.processors,
             self.channels,
             self.offered_load,
             self.throughput,
-            self.average_latency,
-            self.average_hops
+            fmt_stat(self.average_latency, 10, 2),
+            fmt_stat(self.average_hops, 8, 2)
         )
     }
 
@@ -72,31 +89,34 @@ impl ComparisonRow {
 /// Drives every listed network with uniform traffic at every listed load for
 /// `slots` slots each and returns one row per (load, network) pair, loads
 /// outermost — the table shape of experiment T5.
+///
+/// Execution is delegated to the parallel [`crate::engine`]; results are
+/// identical to a serial loop because every cell is independently seeded.
 pub fn compare_specs(
     specs: &[NetworkSpec],
     loads: &[f64],
     slots: u64,
     seed: u64,
 ) -> Result<Vec<ComparisonRow>, NetworkError> {
-    let networks: Vec<Network> = specs
-        .iter()
-        .map(|&spec| Network::new(spec))
-        .collect::<Result<_, _>>()?;
-    let options = SimOptions::new(slots, seed);
-    let mut rows = Vec::with_capacity(loads.len() * networks.len());
-    for &load in loads {
-        let traffic = TrafficPattern::Uniform { load };
-        for network in &networks {
-            let metrics = network.simulate(&traffic, &options);
-            let name = if network.is_multi_ops() {
-                network.name()
+    let grid = ScenarioGrid {
+        specs: specs.to_vec(),
+        loads: loads.to_vec(),
+        seeds: vec![seed],
+        fault_sets: vec![FaultSet::new()],
+        options: SimOptions::new(slots, seed),
+    };
+    let rows = run_grid(&grid, default_thread_count())?;
+    Ok(rows
+        .into_iter()
+        .map(|row| {
+            let name = if row.spec.is_multi_ops() {
+                row.spec.to_string()
             } else {
-                format!("{} hot-potato", network.name())
+                format!("{} hot-potato", row.spec)
             };
-            rows.push(ComparisonRow::from_metrics(name, load, &metrics));
-        }
-    }
-    Ok(rows)
+            ComparisonRow::from_metrics(name, row.offered_load, &row.metrics)
+        })
+        .collect())
 }
 
 /// [`compare_specs`] over spec *strings* — the form a CLI or a config file
@@ -115,13 +135,78 @@ pub fn compare_spec_strs(
     compare_specs(&parsed, loads, slots, seed)
 }
 
+/// One point of a load/latency frontier: what a network delivers at one
+/// offered load.  Scanning loads for a fixed network traces its frontier —
+/// throughput climbs until the network saturates, latency diverges after.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The network scanned.
+    pub spec: NetworkSpec,
+    /// Offered load (messages per processor per slot).
+    pub offered_load: f64,
+    /// Accepted throughput (delivered messages per processor per slot).
+    pub throughput: f64,
+    /// Average delivered latency in slots (`NaN` when nothing delivered).
+    pub average_latency: f64,
+    /// Fraction of injected messages delivered (`NaN` when nothing
+    /// injected).
+    pub delivery_ratio: f64,
+}
+
+/// Scans every network across the given loads and returns its frontier
+/// points grouped per network (specs outermost, loads ascending in the
+/// given order) — the load/latency frontier scan of the ROADMAP.
+pub fn frontier_scan(
+    specs: &[NetworkSpec],
+    loads: &[f64],
+    slots: u64,
+    seed: u64,
+) -> Result<Vec<FrontierPoint>, NetworkError> {
+    let grid = ScenarioGrid {
+        specs: specs.to_vec(),
+        loads: loads.to_vec(),
+        seeds: vec![seed],
+        fault_sets: vec![FaultSet::new()],
+        options: SimOptions::new(slots, seed),
+    };
+    let rows = run_grid(&grid, default_thread_count())?;
+    // Regroup per spec so each network's frontier is contiguous; rows carry
+    // their own coordinates, so this is independent of the engine's cell
+    // ordering.  Engine order preserves the load sequence within a spec.
+    let mut points = Vec::with_capacity(rows.len());
+    for &spec in specs {
+        for row in rows.iter().filter(|row| row.spec == spec) {
+            points.push(FrontierPoint {
+                spec: row.spec,
+                offered_load: row.offered_load,
+                throughput: row.metrics.throughput(),
+                average_latency: row.metrics.average_latency(),
+                delivery_ratio: row.metrics.delivery_ratio(),
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// The saturation point of one network's frontier: the first point reaching
+/// at least 95% of the maximum observed throughput.  `None` when the scan is
+/// empty or nothing was delivered anywhere.
+pub fn saturation_point(frontier: &[FrontierPoint]) -> Option<&FrontierPoint> {
+    let max = frontier.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return None;
+    }
+    frontier.iter().find(|p| p.throughput >= 0.95 * max)
+}
+
 /// The paper's three-way comparison as data: `SK(s, d, k)`, a POPS with the
 /// same processor count and group size, and a hot-potato de Bruijn of
 /// comparable size and equal degree.
 ///
 /// # Panics
-/// Panics when the parameters violate the families' bounds (all must be at
-/// least 1) — matching the panicking constructors this helper predates.
+/// Panics when the parameters violate the families' bounds or size caps —
+/// matching the panicking constructors this helper predates.  Use
+/// [`three_way_specs`] for the fallible form.
 pub fn compare_networks(
     s: usize,
     d: usize,
@@ -130,32 +215,45 @@ pub fn compare_networks(
     slots: u64,
     seed: u64,
 ) -> Vec<ComparisonRow> {
-    let specs = three_way_specs(s, d, k);
+    let specs = three_way_specs(s, d, k).expect("parameters within the families' bounds");
     compare_specs(&specs, loads, slots, seed).expect("specs derived from validated parameters")
 }
 
 /// The spec triple behind [`compare_networks`]: the comparison scenario is
-/// nothing but this data.
-pub fn three_way_specs(s: usize, d: usize, k: usize) -> [NetworkSpec; 3] {
+/// nothing but this data.  All arithmetic is checked — parameters that
+/// violate a family's bounds or would overflow the de Bruijn sizing loop
+/// return the spec-validation error instead of panicking or wrapping.
+pub fn three_way_specs(s: usize, d: usize, k: usize) -> Result<[NetworkSpec; 3], SpecError> {
     let sk = NetworkSpec::StackKautz { s, d, k };
-    let groups = sk
+    sk.validate()?;
+    let n = sk
         .node_count()
-        .map(|n| n / s)
-        .expect("stack-Kautz parameters in range");
-    let n = s * groups;
+        .expect("validated specs have a finite node count");
     // The point-to-point baseline: a de Bruijn graph with at least as many
     // nodes and the same degree d.  At d = 1 a de Bruijn graph of any k has
     // a single node, so the complete digraph stands in as the baseline.
     let baseline = if d >= 2 {
         let mut db_k = 1usize;
-        while d.pow(db_k as u32) < n {
-            db_k += 1;
+        loop {
+            match u32::try_from(db_k).ok().and_then(|e| d.checked_pow(e)) {
+                Some(size) if size >= n => break,
+                Some(_) => db_k += 1,
+                None => {
+                    return Err(SpecError::TooLarge {
+                        spec: NetworkSpec::DeBruijn { d, k: db_k }.to_string(),
+                        max_nodes: crate::spec::MAX_NODES,
+                    })
+                }
+            }
         }
-        NetworkSpec::DeBruijn { d, k: db_k }
+        let db = NetworkSpec::DeBruijn { d, k: db_k };
+        db.validate()?;
+        db
     } else {
         NetworkSpec::Complete { n }
     };
-    [sk, NetworkSpec::Pops { t: s, g: groups }, baseline]
+    let groups = n / s;
+    Ok([sk, NetworkSpec::Pops { t: s, g: groups }, baseline])
 }
 
 #[cfg(test)]
@@ -172,6 +270,59 @@ mod tests {
             assert!(!row.as_table_row().is_empty());
         }
         assert!(ComparisonRow::table_header().contains("thruput"));
+    }
+
+    #[test]
+    fn engine_backed_rows_match_a_serial_simulation_loop() {
+        // The acceptance bar of the engine rewrite: byte-identical rows to
+        // the plain serial loop compare_specs used to be.
+        use crate::network::Network;
+        use otis_sim::TrafficPattern;
+        let specs: Vec<NetworkSpec> = ["SK(2,2,2)", "POPS(3,4)", "DB(2,4)"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let loads = [0.1, 0.6];
+        let (slots, seed) = (150, 13);
+        let engine_rows = compare_specs(&specs, &loads, slots, seed).unwrap();
+        let mut serial_rows = Vec::new();
+        let options = SimOptions::new(slots, seed);
+        for &load in &loads {
+            for &spec in &specs {
+                let network = Network::new(spec).unwrap();
+                let metrics = network.simulate(&TrafficPattern::Uniform { load }, &options);
+                let name = if network.is_multi_ops() {
+                    network.name()
+                } else {
+                    format!("{} hot-potato", network.name())
+                };
+                serial_rows.push(ComparisonRow::from_metrics(name, load, &metrics));
+            }
+        }
+        assert_eq!(engine_rows, serial_rows);
+        let engine_table: Vec<String> = engine_rows.iter().map(|r| r.as_table_row()).collect();
+        let serial_table: Vec<String> = serial_rows.iter().map(|r| r.as_table_row()).collect();
+        assert_eq!(engine_table, serial_table);
+    }
+
+    #[test]
+    fn zero_delivery_rows_render_a_placeholder_not_nan() {
+        // Load 0.0 injects nothing, so the latency/hops averages are
+        // undefined; the table must show '-' instead of NaN.
+        let rows = compare_spec_strs(&["POPS(2,2)", "DB(2,3)"], &[0.0], 40, 3).unwrap();
+        for row in &rows {
+            assert!(row.average_latency.is_nan());
+            let rendered = row.as_table_row();
+            assert!(!rendered.contains("NaN"), "{rendered}");
+            assert!(rendered.contains('-'), "{rendered}");
+            // Column count matches the header (the " hot-potato" suffix of
+            // point-to-point baselines adds one whitespace-separated token).
+            let name_tokens = row.network.split_whitespace().count();
+            assert_eq!(
+                rendered.split_whitespace().count() - (name_tokens - 1),
+                ComparisonRow::table_header().split_whitespace().count()
+            );
+        }
     }
 
     #[test]
@@ -214,16 +365,28 @@ mod tests {
 
     #[test]
     fn three_way_specs_are_size_matched() {
-        let [sk, pops, db] = three_way_specs(4, 2, 2);
+        let [sk, pops, db] = three_way_specs(4, 2, 2).unwrap();
         assert_eq!(sk.node_count(), pops.node_count());
         assert!(db.node_count().unwrap() >= sk.node_count().unwrap());
+    }
+
+    #[test]
+    fn three_way_specs_reject_out_of_range_parameters() {
+        // Previously d.pow(db_k) could panic in debug / wrap in release for
+        // oversized parameters; now it is the typed spec-validation error.
+        assert!(three_way_specs(0, 2, 2).is_err());
+        assert!(three_way_specs(2, 0, 2).is_err());
+        // Far beyond the node cap: the stack-Kautz spec itself is too large.
+        assert!(three_way_specs(1 << 20, 9, 12).is_err());
+        let err = three_way_specs(2, 9, 12).unwrap_err();
+        assert!(err.to_string().contains("large"), "{err}");
     }
 
     #[test]
     fn degree_one_gets_a_complete_baseline() {
         // d = 1 would loop forever searching for a de Bruijn size (1^k never
         // grows); the complete digraph stands in as the baseline instead.
-        let [sk, pops, baseline] = three_way_specs(2, 1, 2);
+        let [sk, pops, baseline] = three_way_specs(2, 1, 2).unwrap();
         assert_eq!(sk.node_count(), pops.node_count());
         assert_eq!(
             baseline,
@@ -233,5 +396,28 @@ mod tests {
         );
         let rows = compare_networks(2, 1, 2, &[0.2], 100, 1);
         assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn frontier_scan_groups_points_per_network() {
+        let specs: Vec<NetworkSpec> = ["POPS(3,3)", "SK(2,2,2)"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let loads = [0.05, 0.3, 0.7, 1.0];
+        let points = frontier_scan(&specs, &loads, 400, 9).unwrap();
+        assert_eq!(points.len(), specs.len() * loads.len());
+        // Specs outermost, loads in scan order within each network.
+        for (i, spec) in specs.iter().enumerate() {
+            let slice = &points[i * loads.len()..(i + 1) * loads.len()];
+            assert!(slice.iter().all(|p| p.spec == *spec));
+            let scanned: Vec<f64> = slice.iter().map(|p| p.offered_load).collect();
+            assert_eq!(scanned, loads);
+            // Throughput is monotone up to saturation noise and the
+            // saturation point exists for a loaded network.
+            let sat = saturation_point(slice).expect("traffic was delivered");
+            assert!(sat.throughput > 0.0);
+        }
+        assert!(saturation_point(&[]).is_none());
     }
 }

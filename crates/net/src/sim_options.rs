@@ -1,10 +1,11 @@
 //! Family-independent simulation options.
 
+use otis_routing::FaultSet;
 use otis_sim::ArbitrationPolicy;
 
 /// Options of one [`crate::Network::simulate`] run, covering both simulator
 /// back-ends (the multi-OPS slotted simulator and the hot-potato baseline).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOptions {
     /// Number of slots to simulate.
     pub slots: u64,
@@ -18,6 +19,13 @@ pub struct SimOptions {
     /// Livelock guard for deflection routing, `0` = disabled (point-to-point
     /// networks only).
     pub max_hops: u32,
+    /// Faults both simulators route around (empty = intact network).  For
+    /// point-to-point families the fault set names processors and links; for
+    /// multi-OPS families it names *quotient* groups and couplers — the
+    /// granularity of the paper's §2.5 `d − 1` survivability claim.
+    /// Injections the surviving network cannot serve are refused, not
+    /// counted as injected.
+    pub faults: FaultSet,
 }
 
 impl Default for SimOptions {
@@ -28,6 +36,7 @@ impl Default for SimOptions {
             policy: ArbitrationPolicy::OldestFirst,
             queue_limit: 0,
             max_hops: 64,
+            faults: FaultSet::new(),
         }
     }
 }
@@ -40,6 +49,12 @@ impl SimOptions {
             seed,
             ..Default::default()
         }
+    }
+
+    /// The same options with the given fault set installed.
+    pub fn with_faults(mut self, faults: FaultSet) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -54,9 +69,19 @@ mod tests {
         assert_eq!(o.policy, ArbitrationPolicy::OldestFirst);
         assert_eq!(o.queue_limit, 0);
         assert_eq!(o.max_hops, 64);
+        assert!(o.faults.is_empty());
         let custom = SimOptions::new(500, 42);
         assert_eq!(custom.slots, 500);
         assert_eq!(custom.seed, 42);
         assert_eq!(custom.policy, o.policy);
+    }
+
+    #[test]
+    fn with_faults_installs_the_fault_set() {
+        let mut faults = FaultSet::new();
+        faults.fail_node(3);
+        let o = SimOptions::new(100, 1).with_faults(faults.clone());
+        assert_eq!(o.faults, faults);
+        assert_eq!(o.slots, 100);
     }
 }

@@ -11,11 +11,17 @@
 //!   of size `d − 1` — the empirical validation used by experiment T4.
 
 use otis_graphs::algorithms::shortest_path_avoiding;
-use otis_graphs::{Digraph, NodeId};
+use otis_graphs::{Digraph, DigraphBuilder, NodeId};
 use std::collections::HashSet;
 
 /// A set of failed nodes and failed arcs.
-#[derive(Debug, Clone, Default)]
+///
+/// For point-to-point networks the nodes are processors and the arcs are
+/// links; for multi-OPS (stack-graph) networks the fault domain is the
+/// *quotient*: a failed node is a whole group and a failed arc is the
+/// coupler(s) between two groups — the granularity at which §2.5 states the
+/// `d − 1` survivability bound.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultSet {
     failed_nodes: HashSet<NodeId>,
     failed_arcs: HashSet<(NodeId, NodeId)>,
@@ -25,6 +31,15 @@ impl FaultSet {
     /// An empty fault set.
     pub fn new() -> Self {
         FaultSet::default()
+    }
+
+    /// A fault set with exactly the given failed nodes.
+    pub fn from_nodes(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut faults = FaultSet::new();
+        for node in nodes {
+            faults.fail_node(node);
+        }
+        faults
     }
 
     /// Marks a node as failed (all its incident arcs become unusable).
@@ -61,6 +76,83 @@ impl FaultSet {
             || self.failed_nodes.contains(&from)
             || self.failed_nodes.contains(&to)
     }
+
+    /// The failed nodes in ascending order (stable across runs despite the
+    /// hash-set storage — used for reporting and deterministic output).
+    pub fn sorted_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.failed_nodes.iter().copied().collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// The failed arcs in ascending `(from, to)` order.
+    pub fn sorted_arcs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut arcs: Vec<(NodeId, NodeId)> = self.failed_arcs.iter().copied().collect();
+        arcs.sort_unstable();
+        arcs
+    }
+}
+
+/// The subgraph of `g` that survives the faults: same node set, minus every
+/// arc that [`FaultSet::blocks`] — i.e. failed arcs and all arcs incident to
+/// failed nodes.  Node identifiers are preserved, so routing tables built on
+/// the surviving subgraph are directly comparable with the intact graph.
+pub fn surviving_subgraph(g: &Digraph, faults: &FaultSet) -> Digraph {
+    let mut builder = DigraphBuilder::with_capacity(g.node_count(), g.arc_count());
+    for arc in g.arcs() {
+        if !faults.blocks(arc.source, arc.target) {
+            builder.add_arc(arc.source, arc.target);
+        }
+    }
+    builder.build()
+}
+
+/// Every fault set of exactly `size` failed nodes drawn from `0..n`, in
+/// lexicographic order of the node combination.  `size == 0` yields the
+/// single empty fault set; `size > n` yields nothing.
+///
+/// This is the exhaustive enumeration behind the `d − 1` sweeps of
+/// experiment T4 — small instances only (the count is `C(n, size)`).
+pub fn node_fault_patterns(n: usize, size: usize) -> Vec<FaultSet> {
+    if size > n {
+        return Vec::new();
+    }
+    if size == 0 {
+        return vec![FaultSet::new()];
+    }
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(FaultSet::from_nodes(combo.iter().copied()));
+        // Advance to the next combination: find the rightmost index that can
+        // still move, bump it, and reset everything to its right.
+        let mut i = size;
+        let advanced = loop {
+            if i == 0 {
+                break false;
+            }
+            i -= 1;
+            if combo[i] < n - size + i {
+                combo[i] += 1;
+                for j in i + 1..size {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                break true;
+            }
+        };
+        if !advanced {
+            return out;
+        }
+    }
+}
+
+/// Every fault set of at most `max_size` failed nodes drawn from `0..n`
+/// (including the empty baseline), sizes ascending — the input shape of a
+/// fault-injection sweep from 0 to `d − 1` faults.
+pub fn node_fault_patterns_up_to(n: usize, max_size: usize) -> Vec<FaultSet> {
+    (0..=max_size)
+        .flat_map(|size| node_fault_patterns(n, size))
+        .collect()
 }
 
 /// Finds a shortest path from `src` to `dst` avoiding every fault in
@@ -230,6 +322,52 @@ mod tests {
     fn too_many_faults_rejected() {
         let g = kautz(2, 2);
         validate_kautz_fault_bound(&g, 2, 2, &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn fault_pattern_enumeration_is_exhaustive_and_ordered() {
+        assert_eq!(node_fault_patterns(4, 0), vec![FaultSet::new()]);
+        assert!(node_fault_patterns(3, 4).is_empty());
+        let singles = node_fault_patterns(3, 1);
+        assert_eq!(singles.len(), 3);
+        assert_eq!(singles[0].sorted_nodes(), vec![0]);
+        assert_eq!(singles[2].sorted_nodes(), vec![2]);
+        // C(5, 2) = 10 pairs, lexicographic.
+        let pairs = node_fault_patterns(5, 2);
+        assert_eq!(pairs.len(), 10);
+        assert_eq!(pairs[0].sorted_nodes(), vec![0, 1]);
+        assert_eq!(pairs[9].sorted_nodes(), vec![3, 4]);
+        // Up-to includes the empty baseline plus all smaller sizes.
+        let sweep = node_fault_patterns_up_to(5, 2);
+        assert_eq!(sweep.len(), 1 + 5 + 10);
+        assert!(sweep[0].is_empty());
+    }
+
+    #[test]
+    fn surviving_subgraph_drops_exactly_the_blocked_arcs() {
+        let g = kautz(2, 2);
+        let mut faults = FaultSet::new();
+        faults.fail_node(0);
+        let arc = g
+            .arcs()
+            .iter()
+            .find(|a| a.source != 0 && a.target != 0)
+            .copied()
+            .unwrap();
+        faults.fail_arc(arc.source, arc.target);
+        let survivor = surviving_subgraph(&g, &faults);
+        assert_eq!(survivor.node_count(), g.node_count());
+        assert_eq!(survivor.out_degree(0), 0);
+        assert_eq!(survivor.in_degree(0), 0);
+        assert!(!survivor.has_arc(arc.source, arc.target));
+        let expected = g
+            .arcs()
+            .iter()
+            .filter(|a| !faults.blocks(a.source, a.target))
+            .count();
+        assert_eq!(survivor.arc_count(), expected);
+        // No faults: the graph is unchanged.
+        assert!(surviving_subgraph(&g, &FaultSet::new()).same_arcs(&g));
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub mod pops;
 pub mod stack;
 pub mod table;
 
-pub use fault_tolerant::{fault_tolerant_route, FaultSet};
+pub use fault_tolerant::{
+    fault_tolerant_route, node_fault_patterns, node_fault_patterns_up_to, surviving_subgraph,
+    FaultSet,
+};
 pub use hot_potato::HotPotatoRouter;
 pub use imase_itoh::{imase_itoh_distance, imase_itoh_route};
 pub use kautz::{kautz_route, kautz_route_words};

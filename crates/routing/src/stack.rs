@@ -10,6 +10,7 @@
 //! final hop.  This is exactly why the paper says the stack-Kautz network
 //! "inherits" the Kautz graph's shortest-path routing.
 
+use crate::fault_tolerant::{surviving_subgraph, FaultSet};
 use crate::table::RoutingTable;
 use otis_graphs::{NodeId, StackGraph};
 
@@ -51,22 +52,43 @@ impl StackRoute {
 pub struct StackRouter {
     stack: StackGraph,
     quotient_table: RoutingTable,
+    faults: FaultSet,
 }
 
 impl StackRouter {
     /// Builds a router for the given stack-graph (precomputes the quotient
     /// routing table).
     pub fn new(stack: StackGraph) -> Self {
-        let quotient_table = RoutingTable::new(stack.quotient());
+        Self::with_faults(stack, FaultSet::new())
+    }
+
+    /// Builds a router that avoids the given faults.  The fault set is
+    /// interpreted over the *quotient*: a failed node is a whole group (its
+    /// processors neither send nor receive) and a failed arc disables the
+    /// coupler(s) from one group to another.  Routes are shortest paths in
+    /// the surviving quotient; [`StackRouter::route`] returns `None` when an
+    /// endpoint's group has failed or the faults disconnect the pair.
+    pub fn with_faults(stack: StackGraph, faults: FaultSet) -> Self {
+        let quotient_table = if faults.is_empty() {
+            RoutingTable::new(stack.quotient())
+        } else {
+            RoutingTable::new(&surviving_subgraph(stack.quotient(), &faults))
+        };
         StackRouter {
             stack,
             quotient_table,
+            faults,
         }
     }
 
     /// The stack-graph this router serves.
     pub fn stack_graph(&self) -> &StackGraph {
         &self.stack
+    }
+
+    /// The quotient-level faults this router avoids (empty by default).
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
     }
 
     /// Routes from processor `src` to processor `dst` (flat identifiers).
@@ -80,6 +102,9 @@ impl StackRouter {
         let s = self.stack.stacking_factor();
         let src_sn = self.stack.to_stack_node(src);
         let dst_sn = self.stack.to_stack_node(dst);
+        if self.faults.node_failed(src_sn.group) || self.faults.node_failed(dst_sn.group) {
+            return None;
+        }
         if src == dst {
             return Some(StackRoute {
                 source: src,
@@ -92,14 +117,20 @@ impl StackRouter {
         // coupler if the quotient has one, otherwise route around.
         let quotient = self.stack.quotient();
         let mut group_path: Vec<NodeId> = if src_sn.group == dst_sn.group {
-            if quotient.has_arc(src_sn.group, src_sn.group) {
+            if quotient.has_arc(src_sn.group, src_sn.group)
+                && !self.faults.blocks(src_sn.group, src_sn.group)
+            {
                 vec![src_sn.group, src_sn.group]
             } else {
-                // No loop coupler: go out and come back via the quotient.
+                // No usable loop coupler: go out and come back via the quotient.
                 let out = self.quotient_table.route(src_sn.group, dst_sn.group)?;
                 if out.len() == 1 {
                     // Route of length 0 but no loop: find a neighbour to bounce off.
-                    let via = *quotient.out_neighbors(src_sn.group).first()?;
+                    let via = quotient
+                        .out_neighbors(src_sn.group)
+                        .iter()
+                        .copied()
+                        .find(|&v| !self.faults.blocks(src_sn.group, v))?;
                     let back = self.quotient_table.route(via, dst_sn.group)?;
                     let mut p = vec![src_sn.group];
                     p.extend(back);
@@ -123,12 +154,14 @@ impl StackRouter {
             let (from, to) = (w[0], w[1]);
             // The coupler is the quotient arc from `from` to `to`; use the
             // first matching arc id (parallel arcs are interchangeable).
+            // Every group-path branch above already avoids fault-blocked
+            // pairs, so any arc matching the target is usable.
             let coupler = quotient
                 .out_arc_ids(from)
                 .iter()
                 .copied()
                 .find(|&id| quotient.arc(id).unwrap().target == to)
-                .expect("group path follows quotient arcs");
+                .expect("group path follows surviving quotient arcs");
             let receiver_group = to;
             let receiver = self.stack.to_flat(otis_graphs::StackNode::new(
                 dst_sn.index.min(s - 1),
@@ -245,6 +278,47 @@ mod tests {
                     router.hop_count(src, dst).unwrap(),
                     router.route(src, dst).unwrap().len()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_group_routes_around_and_respects_k_plus_2() {
+        // SK(2,2,2): quotient KG(2,2) with loops, 6 groups, d = 2 so the
+        // §2.5 claim covers one failed group; surviving routes stay <= k + 2.
+        let sk = StackKautz::new(2, 2, 2);
+        let (d, k) = (2usize, 2usize);
+        for failed_group in 0..sk.stack_graph().group_count() {
+            let router = StackRouter::with_faults(
+                sk.stack_graph().clone(),
+                FaultSet::from_nodes([failed_group]),
+            );
+            for src in 0..sk.node_count() {
+                for dst in 0..sk.node_count() {
+                    let src_group = sk.stack_graph().to_stack_node(src).group;
+                    let dst_group = sk.stack_graph().to_stack_node(dst).group;
+                    let route = router.route(src, dst);
+                    if src_group == failed_group || dst_group == failed_group {
+                        assert_eq!(route, None, "{src}->{dst} touches the failed group");
+                        continue;
+                    }
+                    let route = route.unwrap_or_else(|| {
+                        panic!("{src}->{dst} disconnected by fewer than d = {d} faults")
+                    });
+                    validate_route(&router, &route);
+                    assert!(
+                        route.len() <= k + 2,
+                        "{src}->{dst} took {} hops around group {failed_group}",
+                        route.len()
+                    );
+                    for hop in &route.hops {
+                        assert_ne!(
+                            sk.stack_graph().to_stack_node(hop.receiver).group,
+                            failed_group,
+                            "route passes through the failed group"
+                        );
+                    }
+                }
             }
         }
     }

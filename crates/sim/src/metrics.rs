@@ -22,6 +22,9 @@ pub struct SimMetrics {
     pub max_latency: u64,
     /// Sum of hop counts of delivered messages.
     pub total_hops: u64,
+    /// Largest observed hop count among delivered messages (the empirical
+    /// path-length bound, e.g. `k + 2` under `d − 1` faults).
+    pub max_hops: u32,
     /// Number of coupler/link grants issued (used slots across all couplers).
     pub grants: u64,
     /// Number of couplers or links in the network (for utilisation).
@@ -41,6 +44,7 @@ impl SimMetrics {
             total_latency: 0,
             max_latency: 0,
             total_hops: 0,
+            max_hops: 0,
             grants: 0,
             channels,
         }
@@ -97,6 +101,7 @@ impl SimMetrics {
         self.total_latency += latency;
         self.max_latency = self.max_latency.max(latency);
         self.total_hops += u64::from(hops);
+        self.max_hops = self.max_hops.max(hops);
     }
 }
 
@@ -119,6 +124,7 @@ mod tests {
         assert!((m.channel_utilization() - 0.08).abs() < 1e-12);
         assert!((m.delivery_ratio() - 0.04).abs() < 1e-12);
         assert_eq!(m.max_latency, 6);
+        assert_eq!(m.max_hops, 3);
     }
 
     #[test]

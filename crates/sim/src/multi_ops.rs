@@ -18,7 +18,7 @@ use crate::message::Message;
 use crate::metrics::SimMetrics;
 use crate::traffic::TrafficPattern;
 use otis_graphs::StackGraph;
-use otis_routing::{StackRoute, StackRouter};
+use otis_routing::{FaultSet, StackRoute, StackRouter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -68,8 +68,17 @@ pub struct MultiOpsSim {
 impl MultiOpsSim {
     /// Creates a simulator for the given stack-graph network.
     pub fn new(stack: StackGraph, config: MultiOpsSimConfig) -> Self {
+        Self::with_faults(stack, config, FaultSet::new())
+    }
+
+    /// Creates a simulator that routes around the given faults.  The fault
+    /// set is interpreted over the quotient (see
+    /// [`StackRouter::with_faults`]): failed groups neither send nor receive,
+    /// blocked couplers carry nothing, and injections the surviving quotient
+    /// cannot route are refused (not counted as injected).
+    pub fn with_faults(stack: StackGraph, config: MultiOpsSimConfig, faults: FaultSet) -> Self {
         MultiOpsSim {
-            router: StackRouter::new(stack),
+            router: StackRouter::with_faults(stack, faults),
             config,
         }
     }
@@ -275,6 +284,29 @@ mod tests {
         let a = pops_sim(0.3, 300);
         let b = pops_sim(0.3, 300);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulty_group_traffic_is_refused_and_bound_holds() {
+        // SK(2,2,2): quotient KG(2,2), d = 2 — one failed group is within
+        // the §2.5 survivability claim; delivered routes stay <= k + 2 = 4.
+        let sk = StackKautz::new(2, 2, 2);
+        let config = MultiOpsSimConfig {
+            slots: 600,
+            ..Default::default()
+        };
+        let intact = MultiOpsSim::new(sk.stack_graph().clone(), config)
+            .run(&TrafficPattern::Uniform { load: 0.4 });
+        let faulty =
+            MultiOpsSim::with_faults(sk.stack_graph().clone(), config, FaultSet::from_nodes([2]))
+                .run(&TrafficPattern::Uniform { load: 0.4 });
+        assert!(faulty.delivered > 0);
+        assert_eq!(
+            faulty.injected,
+            faulty.delivered + faulty.in_flight + faulty.dropped
+        );
+        assert!(faulty.injected < intact.injected);
+        assert!(faulty.max_hops <= 4, "max hops {}", faulty.max_hops);
     }
 
     #[test]
