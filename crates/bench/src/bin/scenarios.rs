@@ -1,29 +1,49 @@
 //! Command-line front end of the parallel scenario engine.
 //!
-//! Runs a `(spec × load × seed × fault pattern)` grid across worker threads
-//! and prints one table row per cell, in deterministic grid order:
+//! Runs a `(spec × workload × seed × fault pattern)` grid across worker
+//! threads and prints one table row per cell, in deterministic grid order:
 //!
 //! ```text
 //! cargo run -p otis-bench --bin scenarios -- \
 //!     --specs "SK(4,2,2),POPS(4,6),DB(2,5)" \
-//!     --loads 0.05,0.2,0.5,0.9 \
+//!     --traffic "uniform(0.2),hotspot(0.4,0,0.2),perm(0.5,7)" \
 //!     --slots 2000 --seeds 42 --faults 1 --threads 8
 //! ```
 //!
+//! A whole study can also live in one config file (see
+//! `otis_net::config` for the grammar and `examples/sweep.scn` for a
+//! checked-in example):
+//!
+//! ```text
+//! cargo run -p otis-bench --bin scenarios -- --file examples/sweep.scn
+//! ```
+//!
+//! Flags given *after* `--file` override what the file declares.
 //! `--faults N` sweeps nested fault patterns `{}`, `{0}`, `{0,1}`, …,
 //! `{0..N-1}`: fault ids name quotient groups for multi-OPS networks and
 //! processors for point-to-point networks.  Results are independent of
 //! `--threads`; the flag only changes wall-clock time.
 
-use otis_net::{run_grid, FaultSet, NetworkSpec, ScenarioGrid, ScenarioRow, SimOptions};
+use otis_net::{
+    parse_scenario_config, run_grid, split_top_level, FaultSet, NetworkSpec, ScenarioGrid,
+    ScenarioRow, TrafficSpec,
+};
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: scenarios [--specs S1,S2,...] [--loads L1,L2,...] [--seeds N1,N2,...]
-                 [--slots N] [--faults N] [--threads N]
+const USAGE: &str = "usage: scenarios [--file STUDY.scn] [--specs S1,S2,...] [--traffic W1,W2,...]
+                 [--loads L1,L2,...] [--seeds N1,N2,...] [--slots N]
+                 [--faults N] [--threads N]
 
+  --file     scenario config file declaring the whole study (specs,
+             workloads, seeds, slots, faults, threads); flags given after
+             --file override it
   --specs    comma-separated network specs        (default SK(4,2,2),POPS(4,6),DB(2,5))
-  --loads    comma-separated offered loads        (default 0.05,0.2,0.5,0.9)
+  --traffic  comma-separated workload specs, e.g. uniform(0.3), perm(0.5,7),
+             hotspot(0.4,0,0.2), transpose(0.5), bitrev(0.5)
+  --loads    comma-separated offered loads — sugar for uniform workloads
+             (default 0.05,0.2,0.5,0.9; --traffic and --loads both set the
+             workload axis, last one wins)
   --seeds    comma-separated random seeds         (default 42)
   --slots    slots simulated per cell             (default 2000)
   --faults   sweep 0..=N nested node faults       (default 0; ids are quotient
@@ -31,11 +51,7 @@ const USAGE: &str = "usage: scenarios [--specs S1,S2,...] [--loads L1,L2,...] [-
   --threads  worker threads                       (default: available parallelism)";
 
 struct Args {
-    specs: Vec<NetworkSpec>,
-    loads: Vec<f64>,
-    seeds: Vec<u64>,
-    slots: u64,
-    faults: usize,
+    grid: ScenarioGrid,
     threads: usize,
 }
 
@@ -50,39 +66,30 @@ fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, S
         .collect()
 }
 
-/// Splits a spec list on the commas *between* specs, not the ones inside
-/// their parentheses: `"SK(4,2,2),POPS(4,6)"` → `["SK(4,2,2)", "POPS(4,6)"]`.
+/// Parses a spec list, splitting only on the commas between specs.
 fn parse_specs(value: &str) -> Result<Vec<NetworkSpec>, String> {
-    let mut specs = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0usize;
-    for (i, c) in value.char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => depth = depth.saturating_sub(1),
-            ',' if depth == 0 => {
-                specs.push(&value[start..i]);
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    specs.push(&value[start..]);
-    specs
+    split_top_level(value)
         .into_iter()
-        .map(|s| s.trim().parse::<NetworkSpec>().map_err(|e| e.to_string()))
+        .map(|s| s.parse::<NetworkSpec>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Parses a workload list, splitting only on the commas between workloads:
+/// `"uniform(0.2),hotspot(0.4,0,0.2)"` is two workloads, not five.
+fn parse_workloads(value: &str) -> Result<Vec<TrafficSpec>, String> {
+    split_top_level(value)
+        .into_iter()
+        .map(|w| w.parse::<TrafficSpec>().map_err(|e| e.to_string()))
         .collect()
 }
 
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
-    let mut args = Args {
-        specs: parse_specs("SK(4,2,2),POPS(4,6),DB(2,5)").expect("default specs parse"),
-        loads: vec![0.05, 0.2, 0.5, 0.9],
-        seeds: vec![42],
-        slots: 2000,
-        faults: 0,
-        threads: otis_net::default_thread_count(),
-    };
+    let mut grid =
+        ScenarioGrid::new(parse_specs("SK(4,2,2),POPS(4,6),DB(2,5)").expect("default specs parse"))
+            .loads(&[0.05, 0.2, 0.5, 0.9])
+            .seeds(&[42])
+            .slots(2000);
+    let mut threads = otis_net::default_thread_count();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
@@ -90,28 +97,44 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         }
         let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
         match flag.as_str() {
-            "--specs" => args.specs = parse_specs(value)?,
-            "--loads" => args.loads = parse_list(flag, value)?,
-            "--seeds" => args.seeds = parse_list(flag, value)?,
+            "--file" => {
+                let text = std::fs::read_to_string(value)
+                    .map_err(|e| format!("--file: cannot read '{value}': {e}"))?;
+                let config = parse_scenario_config(&text).map_err(|e| format!("{value}: {e}"))?;
+                // The file replaces the *whole* study — every flag given
+                // before it is discarded, uniformly, so that a flag's fate
+                // never depends on whether the file happens to pin that key.
+                grid = config.grid;
+                threads = config
+                    .threads
+                    .unwrap_or_else(otis_net::default_thread_count);
+            }
+            "--specs" => grid.specs = parse_specs(value)?,
+            "--traffic" => grid.workloads = parse_workloads(value)?,
+            "--loads" => grid = grid.loads(&parse_list::<f64>(flag, value)?),
+            "--seeds" => grid.seeds = parse_list(flag, value)?,
             "--slots" => {
-                args.slots = value
+                grid.options.slots = value
                     .parse()
                     .map_err(|_| format!("--slots: cannot parse '{value}'"))?
             }
             "--faults" => {
-                args.faults = value
+                let faults: usize = value
                     .parse()
-                    .map_err(|_| format!("--faults: cannot parse '{value}'"))?
+                    .map_err(|_| format!("--faults: cannot parse '{value}'"))?;
+                grid.fault_sets = (0..=faults)
+                    .map(|count| FaultSet::from_nodes(0..count))
+                    .collect();
             }
             "--threads" => {
-                args.threads = value
+                threads = value
                     .parse()
                     .map_err(|_| format!("--threads: cannot parse '{value}'"))?
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    Ok(Some(args))
+    Ok(Some(Args { grid, threads }))
 }
 
 fn main() -> ExitCode {
@@ -129,23 +152,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let grid = ScenarioGrid {
-        specs: args.specs,
-        loads: args.loads,
-        seeds: args.seeds,
-        fault_sets: (0..=args.faults)
-            .map(|count| FaultSet::from_nodes(0..count))
-            .collect(),
-        options: SimOptions {
-            slots: args.slots,
-            ..SimOptions::default()
-        },
-    };
+    let grid = args.grid;
     println!(
-        "# {} cells ({} specs x {} loads x {} seeds x {} fault patterns), {} slots each, {} threads",
+        "# {} cells ({} specs x {} workloads x {} seeds x {} fault patterns), {} slots each, {} threads",
         grid.cell_count(),
         grid.specs.len(),
-        grid.loads.len(),
+        grid.workloads.len(),
         grid.seeds.len(),
         grid.fault_sets.len(),
         grid.options.slots,

@@ -8,21 +8,31 @@
 //!   id such as `fig10` (see [`reproduce::available_experiments`]).
 //! * The `scenarios` binary is the CLI front end of the parallel scenario
 //!   engine (`otis_net::engine`): it expands a
-//!   `(spec × load × seed × fault pattern)` grid, runs every cell across
+//!   `(spec × workload × seed × fault pattern)` grid, runs every cell across
 //!   worker threads and prints one row per cell in deterministic grid order.
 //!   Flags (all optional):
 //!
 //!   | flag        | meaning                                         | default |
 //!   |-------------|--------------------------------------------------|---------|
+//!   | `--file`    | scenario config file declaring the whole study; flags given after it override it | — |
 //!   | `--specs`   | comma-separated network specs                    | `SK(4,2,2),POPS(4,6),DB(2,5)` |
-//!   | `--loads`   | comma-separated offered loads                    | `0.05,0.2,0.5,0.9` |
+//!   | `--traffic` | comma-separated workload specs (`uniform(0.3)`, `perm(0.5,7)`, `hotspot(0.4,0,0.2)`, `transpose(0.5)`, `bitrev(0.5)`) | uniform at the default loads |
+//!   | `--loads`   | comma-separated offered loads — sugar for uniform workloads (`--traffic`/`--loads` both set the workload axis, last one wins) | `0.05,0.2,0.5,0.9` |
 //!   | `--seeds`   | comma-separated random seeds                     | `42` |
 //!   | `--slots`   | slots simulated per cell                         | `2000` |
 //!   | `--faults`  | sweep 0..=N nested node faults (quotient groups for multi-OPS, processors for point-to-point) | `0` |
 //!   | `--threads` | worker threads (results are thread-count independent) | available parallelism |
 //!
-//!   Example:
-//!   `cargo run --release -p otis-bench --bin scenarios -- --loads 0.2,0.5 --faults 1`
+//!   Examples:
+//!   `cargo run --release -p otis-bench --bin scenarios -- --traffic "hotspot(0.4,0,0.2)" --faults 1`
+//!   and `cargo run --release -p otis-bench --bin scenarios -- --file examples/sweep.scn`.
+//!
+//!   The config-file format (`otis_net::config`) is line-oriented: one
+//!   `key value` per line, `#` starts a comment, list values are split on
+//!   top-level commas.  Keys: `spec`/`specs`, `workload`/`workloads`,
+//!   `load`/`loads` (uniform sugar), `seed`/`seeds` (list keys append
+//!   across lines) and the scalars `slots`, `faults`, `threads` (once
+//!   each).  `examples/sweep.scn` is a checked-in study that CI smoke-runs.
 //! * The Criterion benches under `benches/` measure the performance of the
 //!   building blocks: topology construction, diameter computation, routing,
 //!   OTIS design construction + verification, and simulation throughput.

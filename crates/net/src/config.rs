@@ -1,0 +1,371 @@
+//! The scenario config-file format: one declarative file describes an
+//! entire `(spec × workload × seed × fault)` study.
+//!
+//! The format is deliberately small and line-oriented (the workspace is
+//! offline — no serde): one `key value` pair per line, `#` starts a comment,
+//! blank lines are ignored.  List values are comma-separated, split on the
+//! commas *between* entries (commas inside parentheses belong to the spec):
+//!
+//! ```text
+//! # examples/sweep.scn — hotspot and permutation study with a fault sweep
+//! specs     SK(4,2,2), POPS(4,6), DB(2,5)
+//! workloads uniform(0.2), perm(0.5,7), hotspot(0.4,0,0.2)
+//! seeds     42
+//! slots     300
+//! faults    1
+//! threads   4
+//! ```
+//!
+//! | key                   | value                                             |
+//! |-----------------------|---------------------------------------------------|
+//! | `spec` / `specs`      | network specs, appended across lines              |
+//! | `workload`/`workloads`| workload specs, appended across lines             |
+//! | `load` / `loads`      | offered loads — sugar for uniform workloads       |
+//! | `seed` / `seeds`      | random seeds, appended across lines               |
+//! | `slots`               | slots simulated per cell (scalar, once)           |
+//! | `faults`              | sweep the nested fault patterns `{}`, `{0}`, …, `{0..N−1}` (scalar, once) |
+//! | `threads`             | worker threads (scalar, once; results are thread-count independent) |
+//!
+//! [`parse_scenario_config`] returns a ready-to-run [`ScenarioGrid`] plus
+//! the optional thread count; every malformed line is a typed
+//! [`ConfigError`] carrying its line number.
+
+use crate::engine::ScenarioGrid;
+use crate::spec::NetworkSpec;
+use crate::traffic_spec::TrafficSpec;
+use otis_routing::FaultSet;
+use std::fmt;
+
+/// A parsed scenario config file: the grid it declares, plus the execution
+/// preferences that are not part of the grid itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// The declared `(spec × workload × seed × fault)` grid.
+    pub grid: ScenarioGrid,
+    /// Worker threads, when the file pins them (`None` = caller's choice).
+    pub threads: Option<usize>,
+}
+
+/// Why a scenario config file could not be parsed.  Every variant carries
+/// the 1-based line number of the offending line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A line has a key but no value.
+    MissingValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key without a value.
+        key: String,
+    },
+    /// A line's key is not one of the supported ones.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognised key.
+        key: String,
+    },
+    /// A scalar key (`slots`, `faults`, `threads`) appeared twice.
+    DuplicateKey {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated key.
+        key: String,
+    },
+    /// A value did not parse; `detail` is the underlying parser's message.
+    Value {
+        /// 1-based line number.
+        line: usize,
+        /// The key whose value failed.
+        key: String,
+        /// The underlying error, rendered.
+        detail: String,
+    },
+    /// The file declares no specs or no workloads — a zero-cell study is
+    /// almost certainly a mistake, so it is refused.
+    EmptyAxis {
+        /// Which axis is empty (`"specs"` or `"workloads"`).
+        axis: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingValue { line, key } => {
+                write!(f, "line {line}: key '{key}' has no value")
+            }
+            ConfigError::UnknownKey { line, key } => write!(
+                f,
+                "line {line}: unknown key '{key}' (supported: spec(s), \
+                 workload(s), load(s), seed(s), slots, faults, threads)"
+            ),
+            ConfigError::DuplicateKey { line, key } => {
+                write!(f, "line {line}: key '{key}' was already set")
+            }
+            ConfigError::Value { line, key, detail } => {
+                write!(f, "line {line}: bad {key} value: {detail}")
+            }
+            ConfigError::EmptyAxis { axis } => {
+                write!(
+                    f,
+                    "the file declares no {axis}: the grid would have zero cells"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Splits a comma-separated list on the commas *between* entries, not the
+/// ones inside parentheses: `"SK(4,2,2), POPS(4,6)"` →
+/// `["SK(4,2,2)", "POPS(4,6)"]`.  Entries come back trimmed.
+pub fn split_top_level(value: &str) -> Vec<&str> {
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in value.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                entries.push(value[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    entries.push(value[start..].trim());
+    entries
+}
+
+/// Parses the scenario config-file format (see the module docs for the
+/// grammar) into a ready-to-run grid.
+pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> {
+    let mut specs: Vec<NetworkSpec> = Vec::new();
+    let mut workloads: Vec<TrafficSpec> = Vec::new();
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut slots: Option<u64> = None;
+    let mut faults: Option<u64> = None;
+    let mut threads: Option<u64> = None;
+
+    for (index, raw) in text.lines().enumerate() {
+        let line = index + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let (key, value) = match content.split_once(char::is_whitespace) {
+            Some((key, value)) if !value.trim().is_empty() => (key, value.trim()),
+            _ => {
+                return Err(ConfigError::MissingValue {
+                    line,
+                    key: content.to_string(),
+                })
+            }
+        };
+        let value_error = |detail: String| ConfigError::Value {
+            line,
+            key: key.to_string(),
+            detail,
+        };
+        // Parses and installs a once-only numeric key (`slots`, `faults`,
+        // `threads`), refusing repeats.
+        let scalar = |slot: &mut Option<u64>, raw: &str| -> Result<(), ConfigError> {
+            if slot.is_some() {
+                return Err(ConfigError::DuplicateKey {
+                    line,
+                    key: key.to_string(),
+                });
+            }
+            let parsed = raw.parse::<u64>().map_err(|_| ConfigError::Value {
+                line,
+                key: key.to_string(),
+                detail: format!("cannot parse '{raw}' as a count"),
+            })?;
+            *slot = Some(parsed);
+            Ok(())
+        };
+        match key.to_ascii_lowercase().as_str() {
+            "spec" | "specs" => {
+                for entry in split_top_level(value) {
+                    specs.push(
+                        entry
+                            .parse::<NetworkSpec>()
+                            .map_err(|e| value_error(e.to_string()))?,
+                    );
+                }
+            }
+            "workload" | "workloads" => {
+                for entry in split_top_level(value) {
+                    workloads.push(
+                        entry
+                            .parse::<TrafficSpec>()
+                            .map_err(|e| value_error(e.to_string()))?,
+                    );
+                }
+            }
+            "load" | "loads" => {
+                for entry in split_top_level(value) {
+                    let load = entry
+                        .parse::<f64>()
+                        .map_err(|_| value_error(format!("cannot parse '{entry}' as a load")))?;
+                    let spec = TrafficSpec::Uniform { load };
+                    spec.validate().map_err(|e| value_error(e.to_string()))?;
+                    workloads.push(spec);
+                }
+            }
+            "seed" | "seeds" => {
+                for entry in split_top_level(value) {
+                    seeds.push(
+                        entry.parse::<u64>().map_err(|_| {
+                            value_error(format!("cannot parse '{entry}' as a seed"))
+                        })?,
+                    );
+                }
+            }
+            "slots" => scalar(&mut slots, value)?,
+            "faults" => scalar(&mut faults, value)?,
+            "threads" => scalar(&mut threads, value)?,
+            other => {
+                return Err(ConfigError::UnknownKey {
+                    line,
+                    key: other.to_string(),
+                })
+            }
+        }
+    }
+
+    if specs.is_empty() {
+        return Err(ConfigError::EmptyAxis { axis: "specs" });
+    }
+    if workloads.is_empty() {
+        return Err(ConfigError::EmptyAxis { axis: "workloads" });
+    }
+
+    let mut grid = ScenarioGrid::new(specs).workloads(workloads);
+    if !seeds.is_empty() {
+        grid.seeds = seeds;
+    }
+    if let Some(slots) = slots {
+        grid.options.slots = slots;
+    }
+    if let Some(faults) = faults {
+        grid.fault_sets = (0..=faults as usize)
+            .map(|count| FaultSet::from_nodes(0..count))
+            .collect();
+    }
+    Ok(ScenarioConfig {
+        grid,
+        threads: threads.map(|t| t as usize),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SWEEP: &str = "\
+# a full study in one file
+specs     SK(4,2,2), POPS(4,6)   # trailing comments are fine
+spec      DB(2,5)
+workloads uniform(0.2), perm(0.5,7)
+workload  hotspot(0.4,0,0.2)
+seeds     42, 43
+slots     300
+faults    1
+threads   4
+";
+
+    #[test]
+    fn parses_a_full_study() {
+        let config = parse_scenario_config(SWEEP).unwrap();
+        assert_eq!(config.threads, Some(4));
+        let grid = &config.grid;
+        assert_eq!(grid.specs.len(), 3);
+        assert_eq!(grid.specs[2], "DB(2,5)".parse().unwrap());
+        assert_eq!(grid.workloads.len(), 3);
+        assert_eq!(grid.workloads[2], "hotspot(0.4,0,0.2)".parse().unwrap());
+        assert_eq!(grid.seeds, vec![42, 43]);
+        assert_eq!(grid.options.slots, 300);
+        // faults 1 sweeps the intact network plus the single fault {0}.
+        assert_eq!(grid.fault_sets.len(), 2);
+        assert!(grid.fault_sets[0].is_empty());
+        assert_eq!(grid.fault_sets[1].sorted_nodes(), vec![0]);
+        assert_eq!(grid.cell_count(), 3 * 3 * 2 * 2);
+        // The declared grid actually runs.
+        let rows = grid.run(2).unwrap();
+        assert_eq!(rows.len(), grid.cell_count());
+    }
+
+    #[test]
+    fn loads_key_is_uniform_sugar() {
+        let config = parse_scenario_config("spec K(8)\nloads 0.1, 0.5\n").unwrap();
+        assert_eq!(
+            config.grid.workloads,
+            vec![
+                TrafficSpec::Uniform { load: 0.1 },
+                TrafficSpec::Uniform { load: 0.5 }
+            ]
+        );
+        assert_eq!(config.threads, None);
+        // Defaults survive when the file does not set them.
+        assert_eq!(config.grid.seeds.len(), 1);
+        assert_eq!(config.grid.fault_sets.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_scenario_config("spec K(8)\nworkload gravity(1)\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Value { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let err = parse_scenario_config("spec\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::MissingValue { line: 1, .. }),
+            "{err}"
+        );
+
+        let err = parse_scenario_config("spec K(8)\nload 0.2\ncolour blue\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::UnknownKey { line: 3, .. }),
+            "{err}"
+        );
+
+        let err = parse_scenario_config("spec K(8)\nload 0.2\nslots 10\nslots 20\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::DuplicateKey { line: 4, .. }),
+            "{err}"
+        );
+
+        // Out-of-range loads are refused with the traffic spec's message.
+        let err = parse_scenario_config("spec K(8)\nload 1.5\n").unwrap_err();
+        assert!(err.to_string().contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn empty_axes_are_refused() {
+        let err = parse_scenario_config("load 0.2\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::EmptyAxis { axis: "specs" }),
+            "{err}"
+        );
+        let err = parse_scenario_config("spec K(8)\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::EmptyAxis { axis: "workloads" }),
+            "{err}"
+        );
+        // A fully-commented file has no axes either.
+        assert!(parse_scenario_config("# nothing\n\n").is_err());
+    }
+
+    #[test]
+    fn split_top_level_respects_parentheses() {
+        assert_eq!(
+            split_top_level("SK(4,2,2), POPS(4,6),DB(2,5)"),
+            vec!["SK(4,2,2)", "POPS(4,6)", "DB(2,5)"]
+        );
+        assert_eq!(split_top_level("uniform(0.2)"), vec!["uniform(0.2)"]);
+        assert_eq!(split_top_level("a, b"), vec!["a", "b"]);
+    }
+}

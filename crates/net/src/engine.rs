@@ -1,5 +1,5 @@
-//! The parallel scenario engine: declarative `(spec × load × seed × fault
-//! pattern)` grids executed across scoped worker threads.
+//! The parallel scenario engine: declarative `(spec × workload × seed ×
+//! fault pattern)` grids executed across scoped worker threads.
 //!
 //! Every workload scenario of the reproduction — the T5 comparison tables,
 //! load/latency frontier scans, the `d − 1` fault-injection sweeps of §2.5 —
@@ -10,8 +10,16 @@
 //! byte-identical regardless of the worker count: each cell seeds its own
 //! RNG, so parallel execution cannot perturb results.
 //!
-//! Grid order is loads outermost, then specs, then seeds, then fault sets —
-//! matching the table shape of experiment T5, so
+//! The workload axis is a list of [`TrafficSpec`]s, so non-uniform traffic —
+//! permutations, hotspots, transpose, bit-reversal — sweeps exactly like an
+//! offered-load scalar used to; [`ScenarioGrid::loads`] remains as sugar
+//! that builds uniform workloads.  Every workload is *bound* to every
+//! network up front ([`TrafficSpec::bind`]), so topology preconditions
+//! (transpose needs a square processor count, bit-reversal a power of two)
+//! surface as typed errors before any cell runs.
+//!
+//! Grid order is workloads outermost, then specs, then seeds, then fault
+//! sets — matching the table shape of experiment T5, so
 //! [`crate::scenarios::compare_specs`] is a one-seed, no-fault grid.
 
 use crate::error::NetworkError;
@@ -19,19 +27,22 @@ use crate::network::Network;
 use crate::scenarios::fmt_stat;
 use crate::sim_options::SimOptions;
 use crate::spec::NetworkSpec;
+use crate::traffic_spec::TrafficSpec;
 use otis_routing::FaultSet;
 use otis_sim::{SimMetrics, TrafficPattern};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// A declarative grid of simulation scenarios: every combination of spec,
-/// offered load, seed and fault pattern becomes one independent cell.
+/// workload, seed and fault pattern becomes one independent cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioGrid {
     /// The networks under test.
     pub specs: Vec<NetworkSpec>,
-    /// Offered loads (uniform traffic), outermost grid axis.
-    pub loads: Vec<f64>,
+    /// The workloads driven through every network, outermost grid axis.
+    /// [`ScenarioGrid::loads`] fills this with uniform traffic from plain
+    /// offered-load scalars.
+    pub workloads: Vec<TrafficSpec>,
     /// Random seeds; each cell's simulation is seeded independently.
     pub seeds: Vec<u64>,
     /// Fault patterns to inject; `[FaultSet::new()]` for intact runs.  For
@@ -46,21 +57,32 @@ pub struct ScenarioGrid {
 
 impl ScenarioGrid {
     /// A grid over the given specs with one default seed, no faults, no
-    /// loads yet (zero cells until [`ScenarioGrid::loads`] is set).
+    /// workloads yet (zero cells until [`ScenarioGrid::workloads`] or
+    /// [`ScenarioGrid::loads`] is set).
     pub fn new(specs: Vec<NetworkSpec>) -> Self {
         let options = SimOptions::default();
         ScenarioGrid {
             specs,
-            loads: Vec::new(),
+            workloads: Vec::new(),
             seeds: vec![options.seed],
             fault_sets: vec![FaultSet::new()],
             options,
         }
     }
 
-    /// Sets the offered loads.
+    /// Sets uniform-traffic workloads at the given offered loads — sugar for
+    /// [`ScenarioGrid::workloads`] with [`TrafficSpec::Uniform`] entries.
     pub fn loads(mut self, loads: &[f64]) -> Self {
-        self.loads = loads.to_vec();
+        self.workloads = loads
+            .iter()
+            .map(|&load| TrafficSpec::Uniform { load })
+            .collect();
+        self
+    }
+
+    /// Sets the workload axis.
+    pub fn workloads(mut self, workloads: Vec<TrafficSpec>) -> Self {
+        self.workloads = workloads;
         self
     }
 
@@ -84,7 +106,7 @@ impl ScenarioGrid {
 
     /// Number of cells the grid expands to.
     pub fn cell_count(&self) -> usize {
-        self.specs.len() * self.loads.len() * self.seeds.len() * self.fault_sets.len()
+        self.specs.len() * self.workloads.len() * self.seeds.len() * self.fault_sets.len()
     }
 
     /// Executes the grid; see [`run_grid`].
@@ -99,7 +121,10 @@ impl ScenarioGrid {
 pub struct ScenarioRow {
     /// The network simulated.
     pub spec: NetworkSpec,
-    /// Offered load (messages per processor per slot).
+    /// The workload driven through it.
+    pub traffic: TrafficSpec,
+    /// Nominal offered load, derived from the workload spec (messages per
+    /// processor per slot).
     pub offered_load: f64,
     /// The seed this cell ran under.
     pub seed: u64,
@@ -116,8 +141,9 @@ impl ScenarioRow {
     /// Undefined averages (zero deliveries) render as `-`.
     pub fn as_table_row(&self) -> String {
         format!(
-            "{:<16} {:>6} {:>8.3} {:>6} {:>6} {:>10.4} {} {} {:>8} {:>8}",
+            "{:<16} {:<20} {:>6} {:>8.3} {:>6} {:>6} {:>10.4} {} {} {:>8} {:>8}",
             self.spec.to_string(),
+            self.traffic.to_string(),
             self.metrics.processors,
             self.offered_load,
             self.seed,
@@ -133,8 +159,9 @@ impl ScenarioRow {
     /// Header matching [`ScenarioRow::as_table_row`].
     pub fn table_header() -> String {
         format!(
-            "{:<16} {:>6} {:>8} {:>6} {:>6} {:>10} {:>10} {:>8} {:>8} {:>8}",
+            "{:<16} {:<20} {:>6} {:>8} {:>6} {:>6} {:>10} {:>10} {:>8} {:>8} {:>8}",
             "network",
+            "traffic",
             "procs",
             "load",
             "seed",
@@ -152,7 +179,7 @@ impl ScenarioRow {
 #[derive(Debug, Clone, Copy)]
 struct Cell {
     spec: usize,
-    load: f64,
+    workload: usize,
     seed: u64,
     fault_set: usize,
 }
@@ -167,7 +194,12 @@ pub fn default_thread_count() -> usize {
 
 /// Executes every cell of the grid across `threads` scoped workers (clamped
 /// to at least 1 and at most the cell count) and returns the rows in grid
-/// order — loads outermost, then specs, then seeds, then fault sets.
+/// order — workloads outermost, then specs, then seeds, then fault sets.
+///
+/// Every workload is bound to every network before execution starts, so an
+/// unbindable combination (transpose traffic on a non-square network, a
+/// hotspot aimed at a node that does not exist) is a typed error for the
+/// whole grid, not a silently-degraded cell.
 ///
 /// Results are independent of the thread count: cells are self-contained
 /// (own RNG seed, own simulator instance) and each is written to its own
@@ -180,14 +212,28 @@ pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>,
         .map(|&spec| Network::new(spec))
         .collect::<Result<_, _>>()?;
 
+    // Bind every workload to every network up front: patterns[w][s] is
+    // workload w ready to drive network s.
+    let patterns: Vec<Vec<TrafficPattern>> = grid
+        .workloads
+        .iter()
+        .map(|workload| {
+            networks
+                .iter()
+                .map(|network| workload.bind(network.node_count()))
+                .collect::<Result<_, _>>()
+        })
+        .collect::<Result<_, _>>()
+        .map_err(NetworkError::from)?;
+
     let mut cells: Vec<Cell> = Vec::with_capacity(grid.cell_count());
-    for &load in &grid.loads {
+    for workload in 0..grid.workloads.len() {
         for spec in 0..grid.specs.len() {
             for &seed in &grid.seeds {
                 for fault_set in 0..grid.fault_sets.len() {
                     cells.push(Cell {
                         spec,
-                        load,
+                        workload,
                         seed,
                         fault_set,
                     });
@@ -204,7 +250,12 @@ pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>,
             scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(index) else { break };
-                let row = run_cell(&networks[cell.spec], grid, cell);
+                let row = run_cell(
+                    &networks[cell.spec],
+                    &patterns[cell.workload][cell.spec],
+                    grid,
+                    cell,
+                );
                 slots[index]
                     .set(row)
                     .expect("each cell is claimed by exactly one worker");
@@ -217,17 +268,24 @@ pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>,
         .collect())
 }
 
-fn run_cell(network: &Network, grid: &ScenarioGrid, cell: &Cell) -> ScenarioRow {
+fn run_cell(
+    network: &Network,
+    pattern: &TrafficPattern,
+    grid: &ScenarioGrid,
+    cell: &Cell,
+) -> ScenarioRow {
     let faults = grid.fault_sets[cell.fault_set].clone();
     let options = SimOptions {
         seed: cell.seed,
         faults: faults.clone(),
         ..grid.options.clone()
     };
-    let metrics = network.simulate(&TrafficPattern::Uniform { load: cell.load }, &options);
+    let traffic = grid.workloads[cell.workload];
+    let metrics = network.simulate(pattern, &options);
     ScenarioRow {
         spec: *network.spec(),
-        offered_load: cell.load,
+        traffic,
+        offered_load: traffic.offered_load(),
         seed: cell.seed,
         fault_count: faults.len(),
         faults,
@@ -268,18 +326,55 @@ mod tests {
         let grid = small_grid();
         let rows = run_grid(&grid, 4).unwrap();
         let mut expected = Vec::new();
-        for &load in &grid.loads {
+        for &workload in &grid.workloads {
             for &spec in &grid.specs {
                 for &seed in &grid.seeds {
-                    expected.push((load, spec, seed));
+                    expected.push((workload, spec, seed));
                 }
             }
         }
-        let got: Vec<_> = rows
-            .iter()
-            .map(|r| (r.offered_load, r.spec, r.seed))
-            .collect();
+        let got: Vec<_> = rows.iter().map(|r| (r.traffic, r.spec, r.seed)).collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn loads_sugar_builds_uniform_workloads() {
+        let grid = small_grid();
+        assert_eq!(
+            grid.workloads,
+            vec![
+                TrafficSpec::Uniform { load: 0.1 },
+                TrafficSpec::Uniform { load: 0.5 }
+            ]
+        );
+        for row in run_grid(&grid, 2).unwrap() {
+            assert_eq!(row.offered_load, row.traffic.offered_load());
+        }
+    }
+
+    #[test]
+    fn mixed_workload_rows_are_thread_count_independent() {
+        // All three specs have 24+ processors; the permutation and hotspot
+        // workloads bind to any size, so this grid mixes patterns freely.
+        let specs = ["SK(2,2,2)", "POPS(3,4)", "DB(2,4)"]
+            .iter()
+            .map(|s| s.parse::<NetworkSpec>().unwrap())
+            .collect();
+        let workloads: Vec<TrafficSpec> = ["uniform(0.3)", "perm(0.5,7)", "hotspot(0.4,0,0.2)"]
+            .iter()
+            .map(|w| w.parse().unwrap())
+            .collect();
+        let grid = ScenarioGrid::new(specs)
+            .workloads(workloads)
+            .seeds(&[3])
+            .slots(150);
+        assert_eq!(grid.cell_count(), 9);
+        let serial = run_grid(&grid, 1).unwrap();
+        assert_eq!(serial, run_grid(&grid, 2).unwrap());
+        assert_eq!(serial, run_grid(&grid, 64).unwrap());
+        for row in &serial {
+            assert!(row.metrics.delivered > 0, "{row:?}");
+        }
     }
 
     #[test]
@@ -294,6 +389,38 @@ mod tests {
         let grid =
             ScenarioGrid::new(vec![NetworkSpec::StackKautz { s: 0, d: 2, k: 2 }]).loads(&[0.1]);
         assert!(run_grid(&grid, 2).is_err());
+    }
+
+    #[test]
+    fn unbindable_workloads_surface_as_typed_errors_before_any_cell_runs() {
+        // SK(2,2,2) has 12 processors: not a square, not a power of two, and
+        // node 12 does not exist.  Each unbindable workload fails the whole
+        // grid with the typed traffic error.
+        let specs = vec!["SK(2,2,2)".parse::<NetworkSpec>().unwrap()];
+        for bad in ["transpose(0.5)", "bitrev(0.5)", "hotspot(0.4,12,0.2)"] {
+            let grid = ScenarioGrid::new(specs.clone())
+                .workloads(vec![bad.parse().unwrap()])
+                .slots(50);
+            let err = run_grid(&grid, 2).unwrap_err();
+            assert!(
+                matches!(err, NetworkError::Traffic(_)),
+                "{bad} should fail to bind: {err}"
+            );
+        }
+        // The same patterns bind fine on networks meeting the precondition:
+        // K(16) is both square and a power of two, and has a node 12.
+        let ok = ScenarioGrid::new(vec!["K(16)".parse().unwrap()])
+            .workloads(vec![
+                "transpose(0.5)".parse().unwrap(),
+                "bitrev(0.5)".parse().unwrap(),
+                "hotspot(0.4,12,0.2)".parse().unwrap(),
+            ])
+            .slots(50);
+        let rows = run_grid(&ok, 2).unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.metrics.delivered > 0, "{row:?}");
+        }
     }
 
     #[test]

@@ -94,6 +94,9 @@ impl std::error::Error for SpecError {}
 pub enum NetworkError {
     /// The spec string or parameters were invalid.
     Spec(SpecError),
+    /// A workload spec was invalid or could not be bound to the network
+    /// (e.g. transpose traffic on a non-square processor count).
+    Traffic(crate::traffic_spec::TrafficError),
     /// The optical design exists but failed its end-to-end verification.
     Verification(VerificationError),
     /// A family without an optical design failed its structural self-check
@@ -110,6 +113,7 @@ impl fmt::Display for NetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetworkError::Spec(e) => write!(f, "{e}"),
+            NetworkError::Traffic(e) => write!(f, "{e}"),
             NetworkError::Verification(e) => write!(f, "design verification failed: {e}"),
             NetworkError::Structure { network, detail } => {
                 write!(f, "structural check of {network} failed: {detail}")
@@ -122,6 +126,7 @@ impl std::error::Error for NetworkError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             NetworkError::Spec(e) => Some(e),
+            NetworkError::Traffic(e) => Some(e),
             NetworkError::Verification(e) => Some(e),
             NetworkError::Structure { .. } => None,
         }
@@ -131,6 +136,12 @@ impl std::error::Error for NetworkError {
 impl From<SpecError> for NetworkError {
     fn from(e: SpecError) -> Self {
         NetworkError::Spec(e)
+    }
+}
+
+impl From<crate::traffic_spec::TrafficError> for NetworkError {
+    fn from(e: crate::traffic_spec::TrafficError) -> Self {
+        NetworkError::Traffic(e)
     }
 }
 

@@ -11,13 +11,20 @@
 //! * [`Network`] — the facade: [`Network::topology`], [`Network::design`],
 //!   [`Network::verify`], [`Network::router`] and [`Network::simulate`] give
 //!   every family the same five-layer surface;
+//! * [`TrafficSpec`] — the workload spec language, mirroring the network
+//!   one: `"uniform(0.3)"`, `"perm(0.5,7)"`, `"hotspot(0.4,0,0.2)"`,
+//!   `"transpose(0.5)"`, `"bitrev(0.5)"`, with typed validation at parse
+//!   time and topology-aware checks at bind time;
 //! * [`scenarios`] — comparison scenarios as *data*: a list of specs plus a
 //!   list of loads (experiment T5 of the reproduction harness);
 //! * [`engine`] — the parallel scenario engine: declarative
-//!   `(spec × load × seed × fault pattern)` grids executed across scoped
+//!   `(spec × workload × seed × fault pattern)` grids executed across scoped
 //!   worker threads with deterministic, thread-count-independent results.
 //!   Fault injection is plumbed through [`SimOptions::faults`] using
-//!   [`FaultSet`] from the routing layer.
+//!   [`FaultSet`] from the routing layer;
+//! * [`config`] — the scenario config-file format: one line-oriented `.scn`
+//!   file declares specs, workloads, seeds, slots, faults and threads for a
+//!   whole study ([`parse_scenario_config`]).
 //!
 //! ## Quick example
 //!
@@ -42,6 +49,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 #![warn(clippy::all)]
 
+pub mod config;
 pub mod design;
 pub mod engine;
 pub mod error;
@@ -53,7 +61,9 @@ pub mod scenarios;
 pub mod sim_options;
 pub mod spec;
 pub mod topology;
+pub mod traffic_spec;
 
+pub use config::{parse_scenario_config, split_top_level, ConfigError, ScenarioConfig};
 pub use design::NetworkDesign;
 pub use engine::{default_thread_count, run_grid, ScenarioGrid, ScenarioRow};
 pub use error::{NetworkError, SpecError};
@@ -68,3 +78,4 @@ pub use scenarios::{
 pub use sim_options::SimOptions;
 pub use spec::NetworkSpec;
 pub use topology::NetworkTopology;
+pub use traffic_spec::{TrafficError, TrafficSpec};

@@ -8,6 +8,7 @@ use crate::route::RouteOracle;
 use crate::sim_options::SimOptions;
 use crate::spec::NetworkSpec;
 use crate::topology::NetworkTopology;
+use crate::traffic_spec::TrafficSpec;
 use otis_core::VerificationReport;
 use otis_optics::HardwareInventory;
 use otis_sim::{SimMetrics, TrafficPattern};
@@ -133,6 +134,20 @@ impl Network {
     pub fn simulate_uniform(&self, load: f64, options: &SimOptions) -> SimMetrics {
         self.simulate(&TrafficPattern::Uniform { load }, options)
     }
+
+    /// Runs a slotted simulation under a parsed workload spec, binding it to
+    /// this network first: value errors (NaN loads) and topology
+    /// preconditions (transpose needs a square processor count, bit-reversal
+    /// a power of two, a hotspot's hot node must exist) are typed refusals,
+    /// never silently-degraded traffic.
+    pub fn simulate_workload(
+        &self,
+        workload: &TrafficSpec,
+        options: &SimOptions,
+    ) -> Result<SimMetrics, NetworkError> {
+        let pattern = workload.bind(self.node_count())?;
+        Ok(self.simulate(&pattern, options))
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +226,22 @@ mod tests {
     fn bad_specs_are_typed_errors() {
         assert!(Network::from_spec("nope").is_err());
         assert!(Network::from_spec("SK(0,2,2)").is_err());
+    }
+
+    #[test]
+    fn simulate_workload_binds_and_refuses() {
+        let net = Network::from_spec("DB(2,5)").unwrap(); // 32 = 2^5 processors
+        let options = SimOptions::new(150, 5);
+        let bitrev: TrafficSpec = "bitrev(0.5)".parse().unwrap();
+        let metrics = net.simulate_workload(&bitrev, &options).unwrap();
+        assert!(metrics.delivered > 0);
+        // 32 is not a perfect square: transpose traffic is a typed refusal.
+        let transpose: TrafficSpec = "transpose(0.5)".parse().unwrap();
+        let err = net.simulate_workload(&transpose, &options).unwrap_err();
+        assert!(matches!(err, NetworkError::Traffic(_)), "{err}");
+        // And the hot node must exist.
+        let hotspot: TrafficSpec = "hotspot(0.4,32,0.2)".parse().unwrap();
+        assert!(net.simulate_workload(&hotspot, &options).is_err());
     }
 
     #[test]

@@ -14,8 +14,18 @@ use crate::engine::{default_thread_count, run_grid, ScenarioGrid};
 use crate::error::{NetworkError, SpecError};
 use crate::sim_options::SimOptions;
 use crate::spec::NetworkSpec;
-use otis_routing::FaultSet;
 use otis_sim::SimMetrics;
+
+/// The one-seed, no-fault grid behind every loads-only scenario
+/// (`compare_specs`, `frontier_scan`): uniform workloads via the
+/// [`ScenarioGrid::loads`] sugar.
+fn uniform_grid(specs: &[NetworkSpec], loads: &[f64], slots: u64, seed: u64) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new(specs.to_vec())
+        .loads(loads)
+        .seeds(&[seed]);
+    grid.options = SimOptions::new(slots, seed);
+    grid
+}
 
 /// Formats a statistic for a fixed-width table column, rendering undefined
 /// values (`NaN`, e.g. an average over zero deliveries) as `-`.
@@ -98,13 +108,7 @@ pub fn compare_specs(
     slots: u64,
     seed: u64,
 ) -> Result<Vec<ComparisonRow>, NetworkError> {
-    let grid = ScenarioGrid {
-        specs: specs.to_vec(),
-        loads: loads.to_vec(),
-        seeds: vec![seed],
-        fault_sets: vec![FaultSet::new()],
-        options: SimOptions::new(slots, seed),
-    };
+    let grid = uniform_grid(specs, loads, slots, seed);
     let rows = run_grid(&grid, default_thread_count())?;
     Ok(rows
         .into_iter()
@@ -162,13 +166,7 @@ pub fn frontier_scan(
     slots: u64,
     seed: u64,
 ) -> Result<Vec<FrontierPoint>, NetworkError> {
-    let grid = ScenarioGrid {
-        specs: specs.to_vec(),
-        loads: loads.to_vec(),
-        seeds: vec![seed],
-        fault_sets: vec![FaultSet::new()],
-        options: SimOptions::new(slots, seed),
-    };
+    let grid = uniform_grid(specs, loads, slots, seed);
     let rows = run_grid(&grid, default_thread_count())?;
     // Regroup per spec so each network's frontier is contiguous; rows carry
     // their own coordinates, so this is independent of the engine's cell

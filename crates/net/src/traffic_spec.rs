@@ -1,0 +1,608 @@
+//! The workload specification language.
+//!
+//! The paper's throughput and latency claims are made under *traffic*, not
+//! just an offered-load scalar, so workloads get the same first-class
+//! treatment as networks: [`TrafficSpec`] is the parsed, validated form of a
+//! short workload string, mirroring [`crate::NetworkSpec`]'s
+//! `FromStr`/`Display` round-trip discipline:
+//!
+//! * `"uniform(0.3)"` — uniform destinations at load 0.3;
+//! * `"perm(0.5,7)"` — the static shift permutation `dst = src + 7 mod N`;
+//! * `"hotspot(0.4,0,0.2)"` — uniform background with 20% of non-hot
+//!   sources' messages aimed at processor 0;
+//! * `"transpose(0.5)"` — matrix transpose on a square grid (`N = m²`);
+//! * `"bitrev(0.5)"` — bit-reversal on a power-of-two network.
+//!
+//! Parsing rejects malformed values with typed [`TrafficError`]s — `NaN` or
+//! negative loads, loads above 1, out-of-range hotspot fractions — so a bad
+//! workload never reaches a simulator.  Topology preconditions (transpose
+//! needs a square processor count, bit-reversal a power of two, a hotspot
+//! needs its hot node to exist) are checked at *bind* time by
+//! [`TrafficSpec::bind`], which turns the spec into an
+//! [`otis_sim::TrafficPattern`] for one concrete network size — refusing
+//! with a typed error instead of silently degrading.
+
+use otis_sim::TrafficPattern;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed, validated workload specification.
+///
+/// Construction through [`FromStr`] guarantees every load is finite and in
+/// `[0, 1]` and every hotspot fraction is in `[0, 1]`; directly-constructed
+/// values are re-checked by [`TrafficSpec::validate`] /
+/// [`TrafficSpec::bind`] before they reach a simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficSpec {
+    /// `uniform(load)` — destinations uniform among the other processors.
+    Uniform {
+        /// Injection probability per processor per slot, in `[0, 1]`.
+        load: f64,
+    },
+    /// `perm(load,offset)` — the static shift permutation
+    /// `dst = (src + offset) mod N`.
+    Permutation {
+        /// Injection probability per processor per slot, in `[0, 1]`.
+        load: f64,
+        /// The shift of the permutation.
+        offset: usize,
+    },
+    /// `hotspot(load,node,fraction)` — uniform background traffic with a
+    /// fraction of every non-hot source's messages aimed at `hot_node` (see
+    /// [`otis_sim::TrafficPattern::Hotspot`] for the exact semantics).
+    Hotspot {
+        /// Injection probability per processor per slot, in `[0, 1]`.
+        load: f64,
+        /// The hot destination; must exist in the bound network.
+        hot_node: usize,
+        /// Probability that a non-hot source's message targets `hot_node`,
+        /// in `[0, 1]`.
+        hot_fraction: f64,
+    },
+    /// `transpose(load)` — matrix transpose on a square processor grid;
+    /// binding requires `N = m²`.
+    Transpose {
+        /// Injection probability per processor per slot, in `[0, 1]`.
+        load: f64,
+    },
+    /// `bitrev(load)` — bit-reversal; binding requires `N = 2^b`.
+    BitReversal {
+        /// Injection probability per processor per slot, in `[0, 1]`.
+        load: f64,
+    },
+}
+
+/// Why a workload string could not be parsed, or a parsed workload could not
+/// be bound to a network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficError {
+    /// The input does not match `pattern(arg, ...)`.
+    Syntax {
+        /// The offending input.
+        input: String,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The pattern mnemonic is not one of the supported ones.
+    UnknownPattern {
+        /// The offending input.
+        input: String,
+        /// The unrecognised mnemonic.
+        pattern: String,
+    },
+    /// The pattern exists but was given the wrong number of arguments.
+    Arity {
+        /// The offending input.
+        input: String,
+        /// The pattern mnemonic.
+        pattern: String,
+        /// Human-readable expected signature.
+        expected: &'static str,
+        /// Number of arguments received.
+        got: usize,
+    },
+    /// A load is `NaN`, infinite, negative or above 1 — it is an injection
+    /// probability and must lie in `[0, 1]`.
+    LoadOutOfRange {
+        /// The rendered workload (or the raw input while parsing).
+        spec: String,
+        /// The offending value, rendered (so `NaN` survives the trip).
+        value: String,
+    },
+    /// A hotspot fraction is `NaN`, infinite, negative or above 1.
+    HotFractionOutOfRange {
+        /// The rendered workload (or the raw input while parsing).
+        spec: String,
+        /// The offending value, rendered.
+        value: String,
+    },
+    /// The hotspot's hot node does not exist in the bound network.
+    HotNodeOutOfRange {
+        /// The rendered workload.
+        spec: String,
+        /// The requested hot node.
+        hot_node: usize,
+        /// The bound network's processor count.
+        nodes: usize,
+    },
+    /// Transpose traffic bound to a network whose processor count is not a
+    /// perfect square.
+    NotSquare {
+        /// The rendered workload.
+        spec: String,
+        /// The bound network's processor count.
+        nodes: usize,
+    },
+    /// Bit-reversal traffic bound to a network whose processor count is not
+    /// a power of two.
+    NotPowerOfTwo {
+        /// The rendered workload.
+        spec: String,
+        /// The bound network's processor count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::Syntax { input, reason } => {
+                write!(f, "cannot parse workload '{input}': {reason}")
+            }
+            TrafficError::UnknownPattern { input, pattern } => write!(
+                f,
+                "unknown traffic pattern '{pattern}' in '{input}' \
+                 (supported: uniform, perm, hotspot, transpose, bitrev)"
+            ),
+            TrafficError::Arity {
+                input,
+                pattern,
+                expected,
+                got,
+            } => write!(
+                f,
+                "wrong number of arguments for {pattern} in '{input}': \
+                 expected {expected}, got {got}"
+            ),
+            TrafficError::LoadOutOfRange { spec, value } => write!(
+                f,
+                "load {value} in '{spec}' is out of range: loads are injection \
+                 probabilities in [0, 1]"
+            ),
+            TrafficError::HotFractionOutOfRange { spec, value } => write!(
+                f,
+                "hotspot fraction {value} in '{spec}' is out of range: \
+                 fractions lie in [0, 1]"
+            ),
+            TrafficError::HotNodeOutOfRange {
+                spec,
+                hot_node,
+                nodes,
+            } => write!(
+                f,
+                "hot node {hot_node} in '{spec}' does not exist: the network \
+                 has {nodes} processors"
+            ),
+            TrafficError::NotSquare { spec, nodes } => write!(
+                f,
+                "'{spec}' needs a square processor count, but the network has \
+                 {nodes} processors"
+            ),
+            TrafficError::NotPowerOfTwo { spec, nodes } => write!(
+                f,
+                "'{spec}' needs a power-of-two processor count, but the \
+                 network has {nodes} processors"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+impl TrafficSpec {
+    /// The pattern mnemonic used in the workload syntax (`"uniform"`,
+    /// `"perm"`, …).
+    pub fn pattern_name(&self) -> &'static str {
+        match self {
+            TrafficSpec::Uniform { .. } => "uniform",
+            TrafficSpec::Permutation { .. } => "perm",
+            TrafficSpec::Hotspot { .. } => "hotspot",
+            TrafficSpec::Transpose { .. } => "transpose",
+            TrafficSpec::BitReversal { .. } => "bitrev",
+        }
+    }
+
+    /// The nominal offered load (messages per processor per slot).
+    pub fn offered_load(&self) -> f64 {
+        match *self {
+            TrafficSpec::Uniform { load }
+            | TrafficSpec::Permutation { load, .. }
+            | TrafficSpec::Hotspot { load, .. }
+            | TrafficSpec::Transpose { load }
+            | TrafficSpec::BitReversal { load } => load,
+        }
+    }
+
+    /// The load that actually enters an `n`-processor network once pattern
+    /// fixed points are accounted for; see
+    /// [`otis_sim::TrafficPattern::effective_load`].
+    pub fn effective_load(&self, n: usize) -> f64 {
+        self.as_pattern().effective_load(n)
+    }
+
+    /// Checks the value ranges that do not depend on a network: loads and
+    /// hotspot fractions must be finite and in `[0, 1]`.  Parsing performs
+    /// these checks already; this re-validates directly-constructed values.
+    pub fn validate(&self) -> Result<(), TrafficError> {
+        let load = self.offered_load();
+        if !(0.0..=1.0).contains(&load) {
+            return Err(TrafficError::LoadOutOfRange {
+                spec: self.to_string(),
+                value: load.to_string(),
+            });
+        }
+        if let TrafficSpec::Hotspot { hot_fraction, .. } = *self {
+            if !(0.0..=1.0).contains(&hot_fraction) {
+                return Err(TrafficError::HotFractionOutOfRange {
+                    spec: self.to_string(),
+                    value: hot_fraction.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Binds the workload to a concrete network of `n` processors, checking
+    /// the topology preconditions the pattern needs: transpose requires
+    /// `n = m²`, bit-reversal requires `n = 2^b`, and a hotspot's hot node
+    /// must exist.  Returns the runnable [`TrafficPattern`] or a typed
+    /// refusal — never a silently-degraded pattern.
+    pub fn bind(&self, n: usize) -> Result<TrafficPattern, TrafficError> {
+        self.validate()?;
+        match *self {
+            TrafficSpec::Hotspot { hot_node, .. } if hot_node >= n => {
+                Err(TrafficError::HotNodeOutOfRange {
+                    spec: self.to_string(),
+                    hot_node,
+                    nodes: n,
+                })
+            }
+            TrafficSpec::Transpose { .. } if n.isqrt().pow(2) != n => {
+                Err(TrafficError::NotSquare {
+                    spec: self.to_string(),
+                    nodes: n,
+                })
+            }
+            TrafficSpec::BitReversal { .. } if !n.is_power_of_two() => {
+                Err(TrafficError::NotPowerOfTwo {
+                    spec: self.to_string(),
+                    nodes: n,
+                })
+            }
+            _ => Ok(self.as_pattern()),
+        }
+    }
+
+    /// The unchecked [`TrafficPattern`] equivalent.  Prefer
+    /// [`TrafficSpec::bind`], which validates against a network size; the
+    /// raw pattern defends itself by injecting nothing where it is
+    /// undefined.
+    pub fn as_pattern(&self) -> TrafficPattern {
+        match *self {
+            TrafficSpec::Uniform { load } => TrafficPattern::Uniform { load },
+            TrafficSpec::Permutation { load, offset } => {
+                TrafficPattern::Permutation { load, offset }
+            }
+            TrafficSpec::Hotspot {
+                load,
+                hot_node,
+                hot_fraction,
+            } => TrafficPattern::Hotspot {
+                load,
+                hot_node,
+                hot_fraction,
+            },
+            TrafficSpec::Transpose { load } => TrafficPattern::Transpose { load },
+            TrafficSpec::BitReversal { load } => TrafficPattern::BitReversal { load },
+        }
+    }
+}
+
+impl fmt::Display for TrafficSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TrafficSpec::Uniform { load } => write!(f, "uniform({load})"),
+            TrafficSpec::Permutation { load, offset } => write!(f, "perm({load},{offset})"),
+            TrafficSpec::Hotspot {
+                load,
+                hot_node,
+                hot_fraction,
+            } => write!(f, "hotspot({load},{hot_node},{hot_fraction})"),
+            TrafficSpec::Transpose { load } => write!(f, "transpose({load})"),
+            TrafficSpec::BitReversal { load } => write!(f, "bitrev({load})"),
+        }
+    }
+}
+
+impl FromStr for TrafficSpec {
+    type Err = TrafficError;
+
+    fn from_str(input: &str) -> Result<Self, Self::Err> {
+        let text = input.trim();
+        let open = text.find('(').ok_or_else(|| TrafficError::Syntax {
+            input: input.to_string(),
+            reason: "expected pattern(arg, ...)",
+        })?;
+        if !text.ends_with(')') {
+            return Err(TrafficError::Syntax {
+                input: input.to_string(),
+                reason: "missing closing parenthesis",
+            });
+        }
+        let pattern = text[..open].trim().to_ascii_lowercase();
+        let args: Vec<&str> = text[open + 1..text.len() - 1]
+            .split(',')
+            .map(str::trim)
+            .collect();
+
+        let load = |raw: &str| -> Result<f64, TrafficError> {
+            let value = raw.parse::<f64>().map_err(|_| TrafficError::Syntax {
+                input: input.to_string(),
+                reason: "loads must be decimal numbers",
+            })?;
+            if (0.0..=1.0).contains(&value) {
+                Ok(value)
+            } else {
+                Err(TrafficError::LoadOutOfRange {
+                    spec: input.trim().to_string(),
+                    value: raw.to_string(),
+                })
+            }
+        };
+        let index = |raw: &str| -> Result<usize, TrafficError> {
+            raw.parse::<usize>().map_err(|_| TrafficError::Syntax {
+                input: input.to_string(),
+                reason: "offsets and node ids must be non-negative integers",
+            })
+        };
+        let arity_error = |expected: &'static str, got: usize| TrafficError::Arity {
+            input: input.to_string(),
+            pattern: pattern.clone(),
+            expected,
+            got,
+        };
+
+        match pattern.as_str() {
+            "uniform" => match args[..] {
+                [l] => Ok(TrafficSpec::Uniform { load: load(l)? }),
+                _ => Err(arity_error("1 argument: uniform(load)", args.len())),
+            },
+            "perm" => match args[..] {
+                [l, o] => Ok(TrafficSpec::Permutation {
+                    load: load(l)?,
+                    offset: index(o)?,
+                }),
+                _ => Err(arity_error("2 arguments: perm(load,offset)", args.len())),
+            },
+            "hotspot" => match args[..] {
+                [l, node, frac] => {
+                    let hot_fraction = frac.parse::<f64>().map_err(|_| TrafficError::Syntax {
+                        input: input.to_string(),
+                        reason: "hotspot fractions must be decimal numbers",
+                    })?;
+                    if !(0.0..=1.0).contains(&hot_fraction) {
+                        return Err(TrafficError::HotFractionOutOfRange {
+                            spec: input.trim().to_string(),
+                            value: frac.to_string(),
+                        });
+                    }
+                    Ok(TrafficSpec::Hotspot {
+                        load: load(l)?,
+                        hot_node: index(node)?,
+                        hot_fraction,
+                    })
+                }
+                _ => Err(arity_error(
+                    "3 arguments: hotspot(load,node,fraction)",
+                    args.len(),
+                )),
+            },
+            "transpose" => match args[..] {
+                [l] => Ok(TrafficSpec::Transpose { load: load(l)? }),
+                _ => Err(arity_error("1 argument: transpose(load)", args.len())),
+            },
+            "bitrev" => match args[..] {
+                [l] => Ok(TrafficSpec::BitReversal { load: load(l)? }),
+                _ => Err(arity_error("1 argument: bitrev(load)", args.len())),
+            },
+            _ => Err(TrafficError::UnknownPattern {
+                input: input.to_string(),
+                pattern,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_pattern() {
+        let cases = [
+            ("uniform(0.3)", TrafficSpec::Uniform { load: 0.3 }),
+            (
+                "perm(0.5,7)",
+                TrafficSpec::Permutation {
+                    load: 0.5,
+                    offset: 7,
+                },
+            ),
+            (
+                "hotspot(0.4,0,0.2)",
+                TrafficSpec::Hotspot {
+                    load: 0.4,
+                    hot_node: 0,
+                    hot_fraction: 0.2,
+                },
+            ),
+            ("transpose(0.5)", TrafficSpec::Transpose { load: 0.5 }),
+            ("bitrev(0.5)", TrafficSpec::BitReversal { load: 0.5 }),
+        ];
+        for (text, expected) in cases {
+            assert_eq!(text.parse::<TrafficSpec>().unwrap(), expected, "{text}");
+            assert_eq!(expected.to_string(), text);
+            assert_eq!(
+                expected.to_string().parse::<TrafficSpec>().unwrap(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn tolerant_syntax() {
+        assert_eq!(
+            "  HOTSPOT( 0.4 , 0 , 0.2 )  "
+                .parse::<TrafficSpec>()
+                .unwrap(),
+            TrafficSpec::Hotspot {
+                load: 0.4,
+                hot_node: 0,
+                hot_fraction: 0.2,
+            }
+        );
+        assert_eq!(
+            "Uniform(1)".parse::<TrafficSpec>().unwrap(),
+            TrafficSpec::Uniform { load: 1.0 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "uniform",
+            "uniform(",
+            "uniform 0.3",
+            "uniform(0.3,1)",
+            "perm(0.3)",
+            "hotspot(0.3,0)",
+            "gravity(0.3)",
+            "perm(0.3,x)",
+            "uniform(zero)",
+        ] {
+            assert!(
+                bad.parse::<TrafficSpec>().is_err(),
+                "{bad} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_values_with_typed_errors() {
+        // NaN, negative and above-1 loads are refused at parse time — the
+        // injection machinery never sees them.
+        for bad in [
+            "uniform(NaN)",
+            "uniform(-0.1)",
+            "uniform(1.5)",
+            "perm(inf,2)",
+        ] {
+            let err = bad.parse::<TrafficSpec>().unwrap_err();
+            assert!(
+                matches!(err, TrafficError::LoadOutOfRange { .. }),
+                "{bad}: {err}"
+            );
+        }
+        let err = "hotspot(0.3,0,1.2)".parse::<TrafficSpec>().unwrap_err();
+        assert!(matches!(err, TrafficError::HotFractionOutOfRange { .. }));
+        let err = "hotspot(0.3,0,NaN)".parse::<TrafficSpec>().unwrap_err();
+        assert!(matches!(err, TrafficError::HotFractionOutOfRange { .. }));
+        // validate() re-checks directly-constructed values.
+        assert!(TrafficSpec::Uniform { load: f64::NAN }.validate().is_err());
+        assert!(TrafficSpec::Hotspot {
+            load: 0.5,
+            hot_node: 0,
+            hot_fraction: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficSpec::Uniform { load: 0.5 }.validate().is_ok());
+    }
+
+    #[test]
+    fn bind_checks_topology_preconditions() {
+        // Transpose needs a square processor count.
+        let transpose = TrafficSpec::Transpose { load: 0.5 };
+        assert!(transpose.bind(16).is_ok());
+        let err = transpose.bind(24).unwrap_err();
+        assert!(
+            matches!(err, TrafficError::NotSquare { nodes: 24, .. }),
+            "{err}"
+        );
+        // Bit-reversal needs a power of two.
+        let bitrev = TrafficSpec::BitReversal { load: 0.5 };
+        assert!(bitrev.bind(32).is_ok());
+        let err = bitrev.bind(24).unwrap_err();
+        assert!(
+            matches!(err, TrafficError::NotPowerOfTwo { nodes: 24, .. }),
+            "{err}"
+        );
+        // The hot node must exist.
+        let hotspot = TrafficSpec::Hotspot {
+            load: 0.4,
+            hot_node: 24,
+            hot_fraction: 0.2,
+        };
+        let err = hotspot.bind(24).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TrafficError::HotNodeOutOfRange {
+                    hot_node: 24,
+                    nodes: 24,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(hotspot.bind(25).is_ok());
+        // Unconstrained patterns bind anywhere.
+        assert!(TrafficSpec::Uniform { load: 0.2 }.bind(7).is_ok());
+        assert!(TrafficSpec::Permutation {
+            load: 0.2,
+            offset: 3
+        }
+        .bind(7)
+        .is_ok());
+    }
+
+    #[test]
+    fn bound_patterns_match_their_spec() {
+        let spec: TrafficSpec = "perm(0.5,7)".parse().unwrap();
+        assert_eq!(
+            spec.bind(10).unwrap(),
+            TrafficPattern::Permutation {
+                load: 0.5,
+                offset: 7
+            }
+        );
+        assert_eq!(spec.offered_load(), 0.5);
+        assert_eq!(spec.pattern_name(), "perm");
+        // effective_load delegates to the pattern's fixed-point accounting.
+        let degenerate: TrafficSpec = "perm(0.5,10)".parse().unwrap();
+        assert_eq!(degenerate.effective_load(10), 0.0);
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let err = "gravity(0.3)".parse::<TrafficSpec>().unwrap_err();
+        assert!(err.to_string().contains("gravity"));
+        assert!(err.to_string().contains("supported"));
+        let err = "uniform(2)".parse::<TrafficSpec>().unwrap_err();
+        assert!(err.to_string().contains("[0, 1]"));
+        let err = TrafficSpec::Transpose { load: 0.5 }.bind(24).unwrap_err();
+        assert!(err.to_string().contains("square"));
+        let err = TrafficSpec::BitReversal { load: 0.5 }.bind(24).unwrap_err();
+        assert!(err.to_string().contains("power-of-two"));
+    }
+}

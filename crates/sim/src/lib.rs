@@ -16,8 +16,12 @@
 //!   sender wins each slot;
 //! * [`hot_potato`] simulates the single-OPS point-to-point baseline
 //!   (de Bruijn / Kautz with deflection routing, ref [25]);
-//! * [`traffic`] generates uniform, permutation, hot-spot and broadcast
-//!   workloads; [`metrics`] aggregates latency, throughput and utilisation.
+//! * [`traffic`] generates uniform, permutation, hot-spot, transpose and
+//!   bit-reversal workloads; [`metrics`] aggregates latency, throughput and
+//!   utilisation.  The parseable workload front door (`"hotspot(0.4,0,0.2)"`
+//!   and friends) is `otis_net::TrafficSpec`, which validates loads and
+//!   topology preconditions before handing a `TrafficPattern` to the
+//!   simulators.
 //!
 //! The packaged head-to-head comparison scenarios (experiment T5) live in the
 //! `otis-net` facade crate (`otis_net::scenarios`), where any network is

@@ -51,6 +51,15 @@
 //! )
 //! .unwrap();
 //! assert_eq!(rows.len(), 6);
+//!
+//! // Workloads are data too: traffic patterns parse from spec strings and
+//! // bind to a network with typed topology checks (DB(2,4) has 2^4
+//! // processors, so bit-reversal traffic is well-defined on it).
+//! use otis_lightwave::net::TrafficSpec;
+//! let bitrev: TrafficSpec = "bitrev(0.5)".parse().unwrap();
+//! let db = Network::from_spec("DB(2,4)").unwrap();
+//! let metrics = db.simulate_workload(&bitrev, &SimOptions::new(200, 7)).unwrap();
+//! assert!(metrics.delivered > 0);
 //! ```
 //!
 //! The per-layer crates remain available for work below the facade (custom
