@@ -1,13 +1,15 @@
 //! Command-line front end of the parallel scenario engine.
 //!
 //! Runs a `(spec × workload × seed × fault pattern)` grid across worker
-//! threads and prints one table row per cell, in deterministic grid order:
+//! threads and **streams** one row per cell, in deterministic grid order, to
+//! stdout or a file, as a table, CSV or JSON Lines:
 //!
 //! ```text
 //! cargo run -p otis-bench --bin scenarios -- \
 //!     --specs "SK(4,2,2),POPS(4,6),DB(2,5)" \
 //!     --traffic "uniform(0.2),hotspot(0.4,0,0.2),perm(0.5,7)" \
-//!     --slots 2000 --seeds 42 --faults 1 --threads 8
+//!     --slots 2000 --seeds 42 --faults 1 --threads 8 \
+//!     --format jsonl --output rows.jsonl
 //! ```
 //!
 //! A whole study can also live in one config file (see
@@ -23,21 +25,29 @@
 //! `{0..N-1}`: fault ids name quotient groups for multi-OPS networks and
 //! processors for point-to-point networks.  Results are independent of
 //! `--threads`; the flag only changes wall-clock time.
+//!
+//! Rows are delivered by `otis_net::engine::run_grid_streaming` while later
+//! cells are still running — peak memory is bounded by the reorder window,
+//! not the cell count, so grids of any size stream to disk.  Run metadata
+//! (cell counts, timing) goes to stderr, keeping stdout machine-clean for
+//! `--format csv` and `--format jsonl`.
 
 use otis_net::{
-    parse_scenario_config, run_grid, split_top_level, FaultSet, NetworkSpec, ScenarioGrid,
-    ScenarioRow, TrafficSpec,
+    parse_scenario_config, run_grid_streaming, split_top_level, FaultSet, NetworkSpec,
+    OutputFormat, ScenarioGrid, TrafficSpec,
 };
+use std::io::{self, BufWriter, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: scenarios [--file STUDY.scn] [--specs S1,S2,...] [--traffic W1,W2,...]
                  [--loads L1,L2,...] [--seeds N1,N2,...] [--slots N]
-                 [--faults N] [--threads N]
+                 [--faults N] [--threads N] [--format table|csv|jsonl]
+                 [--output FILE]
 
   --file     scenario config file declaring the whole study (specs,
-             workloads, seeds, slots, faults, threads); flags given after
-             --file override it
+             workloads, seeds, slots, faults, threads, format, output);
+             flags given after --file override it
   --specs    comma-separated network specs        (default SK(4,2,2),POPS(4,6),DB(2,5))
   --traffic  comma-separated workload specs, e.g. uniform(0.3), perm(0.5,7),
              hotspot(0.4,0,0.2), transpose(0.5), bitrev(0.5)
@@ -48,11 +58,55 @@ const USAGE: &str = "usage: scenarios [--file STUDY.scn] [--specs S1,S2,...] [--
   --slots    slots simulated per cell             (default 2000)
   --faults   sweep 0..=N nested node faults       (default 0; ids are quotient
              groups for multi-OPS networks, processors for point-to-point)
-  --threads  worker threads                       (default: available parallelism)";
+  --threads  worker threads                       (default: available parallelism)
+  --format   result format: table, csv or jsonl   (default table; undefined
+             averages render '-' / empty / null respectively, never NaN)
+  --output   stream results to FILE               (default stdout; rows stream
+             as cells finish — memory stays bounded at any grid size)";
 
 struct Args {
     grid: ScenarioGrid,
     threads: usize,
+    format: OutputFormat,
+    output: Option<String>,
+}
+
+/// A writer that creates (and truncates) its file only on the first write.
+/// The engine's first sink write happens *after* the grid has validated and
+/// bound, so a run that fails up front — a bad spec, an unbindable workload —
+/// leaves an existing `--output` file from a previous run untouched.
+struct LazyFile {
+    path: String,
+    file: Option<BufWriter<std::fs::File>>,
+}
+
+impl LazyFile {
+    fn new(path: String) -> Self {
+        LazyFile { path, file: None }
+    }
+
+    fn open(&mut self) -> io::Result<&mut BufWriter<std::fs::File>> {
+        if self.file.is_none() {
+            let file = std::fs::File::create(&self.path).map_err(|e| {
+                io::Error::new(e.kind(), format!("cannot create '{}': {e}", self.path))
+            })?;
+            self.file = Some(BufWriter::new(file));
+        }
+        Ok(self.file.as_mut().expect("just opened"))
+    }
+}
+
+impl Write for LazyFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.open()?.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match &mut self.file {
+            Some(file) => file.flush(),
+            None => Ok(()),
+        }
+    }
 }
 
 fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String> {
@@ -90,6 +144,8 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             .seeds(&[42])
             .slots(2000);
     let mut threads = otis_net::default_thread_count();
+    let mut format = OutputFormat::Table;
+    let mut output: Option<String> = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
@@ -108,6 +164,8 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 threads = config
                     .threads
                     .unwrap_or_else(otis_net::default_thread_count);
+                format = config.format.unwrap_or_default();
+                output = config.output;
             }
             "--specs" => grid.specs = parse_specs(value)?,
             "--traffic" => grid.workloads = parse_workloads(value)?,
@@ -131,10 +189,21 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|_| format!("--threads: cannot parse '{value}'"))?
             }
+            "--format" => {
+                format = value
+                    .parse::<OutputFormat>()
+                    .map_err(|e| format!("--format: {e}"))?
+            }
+            "--output" => output = Some(value.clone()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    Ok(Some(Args { grid, threads }))
+    Ok(Some(Args {
+        grid,
+        threads,
+        format,
+        output,
+    }))
 }
 
 fn main() -> ExitCode {
@@ -153,32 +222,42 @@ fn main() -> ExitCode {
     };
 
     let grid = args.grid;
-    println!(
-        "# {} cells ({} specs x {} workloads x {} seeds x {} fault patterns), {} slots each, {} threads",
+    // Metadata goes to stderr: stdout carries only the rows, so csv/jsonl
+    // output stays machine-readable when piped.
+    eprintln!(
+        "# {} cells ({} specs x {} workloads x {} seeds x {} fault patterns), {} slots each, {} threads, {} format",
         grid.cell_count(),
         grid.specs.len(),
         grid.workloads.len(),
         grid.seeds.len(),
         grid.fault_sets.len(),
         grid.options.slots,
-        args.threads
+        args.threads,
+        args.format
     );
+    let writer: Box<dyn Write> = match &args.output {
+        Some(path) => Box::new(LazyFile::new(path.clone())),
+        None => Box::new(BufWriter::new(io::stdout())),
+    };
+    let mut sink = args.format.sink(writer);
     let started = Instant::now();
-    let rows = match run_grid(&grid, args.threads) {
-        Ok(rows) => rows,
+    match run_grid_streaming(&grid, args.threads, sink.as_mut()) {
+        Ok(summary) => {
+            eprintln!(
+                "# {} rows in {:.2}s wall-clock (peak reorder buffer: {} rows){}",
+                summary.rows,
+                started.elapsed().as_secs_f64(),
+                summary.peak_buffered,
+                args.output
+                    .as_deref()
+                    .map(|path| format!(", written to {path}"))
+                    .unwrap_or_default()
+            );
+            ExitCode::SUCCESS
+        }
         Err(error) => {
             eprintln!("scenarios: {error}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
-    };
-    println!("{}", ScenarioRow::table_header());
-    for row in &rows {
-        println!("{}", row.as_table_row());
     }
-    println!(
-        "# {} rows in {:.2}s wall-clock",
-        rows.len(),
-        started.elapsed().as_secs_f64()
-    );
-    ExitCode::SUCCESS
 }

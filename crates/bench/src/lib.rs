@@ -9,8 +9,9 @@
 //! * The `scenarios` binary is the CLI front end of the parallel scenario
 //!   engine (`otis_net::engine`): it expands a
 //!   `(spec × workload × seed × fault pattern)` grid, runs every cell across
-//!   worker threads and prints one row per cell in deterministic grid order.
-//!   Flags (all optional):
+//!   worker threads and **streams** one row per cell in deterministic grid
+//!   order (`run_grid_streaming` + a `RowSink`), so peak memory is bounded
+//!   by the reorder window, not the cell count.  Flags (all optional):
 //!
 //!   | flag        | meaning                                         | default |
 //!   |-------------|--------------------------------------------------|---------|
@@ -22,17 +23,24 @@
 //!   | `--slots`   | slots simulated per cell                         | `2000` |
 //!   | `--faults`  | sweep 0..=N nested node faults (quotient groups for multi-OPS, processors for point-to-point) | `0` |
 //!   | `--threads` | worker threads (results are thread-count independent) | available parallelism |
+//!   | `--format`  | result format: `table`, `csv` or `jsonl` (undefined averages render `-` / empty field / `null` respectively, never `NaN`) | `table` |
+//!   | `--output`  | stream results to a file instead of stdout       | stdout |
 //!
-//!   Examples:
+//!   Run metadata (the cell-count banner, wall-clock timing) goes to
+//!   stderr, so `--format csv`/`jsonl` piped or written via `--output`
+//!   stays machine-clean.  Examples:
 //!   `cargo run --release -p otis-bench --bin scenarios -- --traffic "hotspot(0.4,0,0.2)" --faults 1`
-//!   and `cargo run --release -p otis-bench --bin scenarios -- --file examples/sweep.scn`.
+//!   and `cargo run --release -p otis-bench --bin scenarios -- --file examples/sweep.scn --format jsonl --output rows.jsonl`.
 //!
 //!   The config-file format (`otis_net::config`) is line-oriented: one
 //!   `key value` per line, `#` starts a comment, list values are split on
 //!   top-level commas.  Keys: `spec`/`specs`, `workload`/`workloads`,
 //!   `load`/`loads` (uniform sugar), `seed`/`seeds` (list keys append
-//!   across lines) and the scalars `slots`, `faults`, `threads` (once
-//!   each).  `examples/sweep.scn` is a checked-in study that CI smoke-runs.
+//!   across lines) and the scalars `slots`, `faults`, `threads`, `format`
+//!   (`table`/`csv`/`jsonl`) and `output` (a file path), once each.
+//!   `examples/sweep.scn` is a checked-in study that CI smoke-runs; CI also
+//!   asserts that a `--format jsonl --output` fault sweep emits exactly one
+//!   line per grid cell.
 //! * The Criterion benches under `benches/` measure the performance of the
 //!   building blocks: topology construction, diameter computation, routing,
 //!   OTIS design construction + verification, and simulation throughput.

@@ -16,8 +16,8 @@
 use otis_graphs::algorithms::{is_eulerian, is_hamiltonian};
 use otis_graphs::{are_isomorphic, line_digraph, StackGraph};
 use otis_net::{
-    compare_specs, default_thread_count, run_grid, ComparisonRow, Network, NetworkSpec,
-    ScenarioGrid, ScenarioRow, TrafficSpec,
+    compare_specs, default_thread_count, run_grid, run_grid_streaming, ComparisonRow, Network,
+    NetworkSpec, ScenarioGrid, ScenarioRow, TableSink, TrafficSpec,
 };
 use otis_optics::components::ComponentKind;
 use otis_optics::electrical::InterconnectModel;
@@ -878,7 +878,6 @@ fn table_sim() -> String {
         .workloads(workloads)
         .seeds(&[42])
         .slots(2000);
-    let rows = run_grid(&grid, default_thread_count()).expect("experiment specs are valid");
     writeln!(out).unwrap();
     writeln!(
         out,
@@ -891,10 +890,12 @@ fn table_sim() -> String {
     )
     .unwrap();
     writeln!(out, "latency climbs relative to the uniform row:").unwrap();
-    writeln!(out, "{}", ScenarioRow::table_header()).unwrap();
-    for row in &rows {
-        writeln!(out, "{}", row.as_table_row()).unwrap();
-    }
+    // Rendered through the streaming result surface: rows reach the table
+    // sink in grid order while later cells are still simulating.
+    let mut table = TableSink::new(Vec::new());
+    run_grid_streaming(&grid, default_thread_count(), &mut table)
+        .expect("experiment specs are valid");
+    out.push_str(&String::from_utf8(table.into_inner()).expect("table rows are UTF-8"));
 
     // Fault-injection sweep through the same engine (§2.5 at system level):
     // SK(4,2,2) has the Kautz quotient KG(2,2) — d = 2, k = 2, 6 groups —

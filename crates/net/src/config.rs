@@ -25,12 +25,17 @@
 //! | `slots`               | slots simulated per cell (scalar, once)           |
 //! | `faults`              | sweep the nested fault patterns `{}`, `{0}`, …, `{0..N−1}` (scalar, once) |
 //! | `threads`             | worker threads (scalar, once; results are thread-count independent) |
+//! | `format`              | result format: `table`, `csv` or `jsonl` (scalar, once) |
+//! | `output`              | file the results stream to (scalar, once; default stdout) |
 //!
 //! [`parse_scenario_config`] returns a ready-to-run [`ScenarioGrid`] plus
-//! the optional thread count; every malformed line is a typed
-//! [`ConfigError`] carrying its line number.
+//! the optional thread count, output format and output path; every
+//! malformed line is a typed [`ConfigError`] carrying its line number.
+//! Results stream row by row (`otis_net::engine::run_grid_streaming`), so a
+//! study's memory use does not grow with its cell count.
 
 use crate::engine::ScenarioGrid;
+use crate::sink::OutputFormat;
 use crate::spec::NetworkSpec;
 use crate::traffic_spec::TrafficSpec;
 use otis_routing::FaultSet;
@@ -44,6 +49,12 @@ pub struct ScenarioConfig {
     pub grid: ScenarioGrid,
     /// Worker threads, when the file pins them (`None` = caller's choice).
     pub threads: Option<usize>,
+    /// Result format, when the file pins it (`None` = caller's choice,
+    /// normally the table).
+    pub format: Option<OutputFormat>,
+    /// File the results stream to, when the file pins one (`None` = the
+    /// caller's writer, normally stdout).
+    pub output: Option<String>,
 }
 
 /// Why a scenario config file could not be parsed.  Every variant carries
@@ -97,7 +108,8 @@ impl fmt::Display for ConfigError {
             ConfigError::UnknownKey { line, key } => write!(
                 f,
                 "line {line}: unknown key '{key}' (supported: spec(s), \
-                 workload(s), load(s), seed(s), slots, faults, threads)"
+                 workload(s), load(s), seed(s), slots, faults, threads, \
+                 format, output)"
             ),
             ConfigError::DuplicateKey { line, key } => {
                 write!(f, "line {line}: key '{key}' was already set")
@@ -116,6 +128,19 @@ impl fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Installs a once-only value, refusing a repeated key with the line-number
+/// carrying [`ConfigError::DuplicateKey`].
+fn set_once<T>(slot: &mut Option<T>, value: T, line: usize, key: &str) -> Result<(), ConfigError> {
+    if slot.is_some() {
+        return Err(ConfigError::DuplicateKey {
+            line,
+            key: key.to_string(),
+        });
+    }
+    *slot = Some(value);
+    Ok(())
+}
 
 /// Splits a comma-separated list on the commas *between* entries, not the
 /// ones inside parentheses: `"SK(4,2,2), POPS(4,6)"` →
@@ -148,6 +173,8 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
     let mut slots: Option<u64> = None;
     let mut faults: Option<u64> = None;
     let mut threads: Option<u64> = None;
+    let mut format: Option<OutputFormat> = None;
+    let mut output: Option<String> = None;
 
     for (index, raw) in text.lines().enumerate() {
         let line = index + 1;
@@ -172,19 +199,12 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
         // Parses and installs a once-only numeric key (`slots`, `faults`,
         // `threads`), refusing repeats.
         let scalar = |slot: &mut Option<u64>, raw: &str| -> Result<(), ConfigError> {
-            if slot.is_some() {
-                return Err(ConfigError::DuplicateKey {
-                    line,
-                    key: key.to_string(),
-                });
-            }
             let parsed = raw.parse::<u64>().map_err(|_| ConfigError::Value {
                 line,
                 key: key.to_string(),
                 detail: format!("cannot parse '{raw}' as a count"),
             })?;
-            *slot = Some(parsed);
-            Ok(())
+            set_once(slot, parsed, line, key)
         };
         match key.to_ascii_lowercase().as_str() {
             "spec" | "specs" => {
@@ -227,6 +247,13 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
             "slots" => scalar(&mut slots, value)?,
             "faults" => scalar(&mut faults, value)?,
             "threads" => scalar(&mut threads, value)?,
+            "format" => {
+                let parsed = value
+                    .parse::<OutputFormat>()
+                    .map_err(|e| value_error(e.to_string()))?;
+                set_once(&mut format, parsed, line, key)?;
+            }
+            "output" => set_once(&mut output, value.to_string(), line, key)?,
             other => {
                 return Err(ConfigError::UnknownKey {
                     line,
@@ -258,6 +285,8 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
     Ok(ScenarioConfig {
         grid,
         threads: threads.map(|t| t as usize),
+        format,
+        output,
     })
 }
 
@@ -281,6 +310,9 @@ threads   4
     fn parses_a_full_study() {
         let config = parse_scenario_config(SWEEP).unwrap();
         assert_eq!(config.threads, Some(4));
+        // The file pins neither format nor output: the caller chooses.
+        assert_eq!(config.format, None);
+        assert_eq!(config.output, None);
         let grid = &config.grid;
         assert_eq!(grid.specs.len(), 3);
         assert_eq!(grid.specs[2], "DB(2,5)".parse().unwrap());
@@ -341,6 +373,39 @@ threads   4
         // Out-of-range loads are refused with the traffic spec's message.
         let err = parse_scenario_config("spec K(8)\nload 1.5\n").unwrap_err();
         assert!(err.to_string().contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn format_and_output_keys_stream_the_study() {
+        let config = parse_scenario_config(
+            "spec K(8)\nload 0.2\nformat jsonl\noutput rows.jsonl  # a file\n",
+        )
+        .unwrap();
+        assert_eq!(config.format, Some(OutputFormat::JsonLines));
+        assert_eq!(config.output, Some("rows.jsonl".to_string()));
+
+        let config = parse_scenario_config("spec K(8)\nload 0.2\nformat csv\n").unwrap();
+        assert_eq!(config.format, Some(OutputFormat::Csv));
+        assert_eq!(config.output, None);
+
+        // Unknown formats carry the line number and the supported list.
+        let err = parse_scenario_config("spec K(8)\nload 0.2\nformat yaml\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Value { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("jsonl"), "{err}");
+
+        // Scalars stay once-only.
+        let err =
+            parse_scenario_config("spec K(8)\nload 0.2\nformat csv\nformat table\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::DuplicateKey { line: 4, .. }),
+            "{err}"
+        );
+        let err =
+            parse_scenario_config("spec K(8)\nload 0.2\noutput a.csv\noutput b.csv\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::DuplicateKey { line: 4, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -21,17 +21,27 @@
 //! Grid order is workloads outermost, then specs, then seeds, then fault
 //! sets — matching the table shape of experiment T5, so
 //! [`crate::scenarios::compare_specs`] is a one-seed, no-fault grid.
+//!
+//! Results *stream*: [`run_grid_streaming`] hands each completed cell to a
+//! [`RowSink`] in grid order while later cells are still running, through a
+//! small reorder buffer bounded by [`reorder_window`] — memory is
+//! O(threads + window), not O(cells), so a million-cell grid can run to a
+//! CSV or JSON-Lines file without ever materialising its rows.  [`run_grid`]
+//! is the collect-everything convenience: [`run_grid_streaming`] plus a
+//! [`CollectSink`].
 
 use crate::error::NetworkError;
 use crate::network::Network;
 use crate::scenarios::fmt_stat;
 use crate::sim_options::SimOptions;
+use crate::sink::{CollectSink, RowSink};
 use crate::spec::NetworkSpec;
 use crate::traffic_spec::TrafficSpec;
 use otis_routing::FaultSet;
 use otis_sim::{SimMetrics, TrafficPattern};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// A declarative grid of simulation scenarios: every combination of spec,
 /// workload, seed and fault pattern becomes one independent cell.
@@ -104,15 +114,59 @@ impl ScenarioGrid {
         self
     }
 
-    /// Number of cells the grid expands to.
+    /// Number of cells the grid expands to, saturating at `usize::MAX` when
+    /// the axis product overflows (it used to be an unchecked product — a
+    /// debug-mode panic).  The engine refuses to run an overflowing grid
+    /// with the typed [`NetworkError::GridTooLarge`]; see
+    /// [`ScenarioGrid::checked_cell_count`].
     pub fn cell_count(&self) -> usize {
-        self.specs.len() * self.workloads.len() * self.seeds.len() * self.fault_sets.len()
+        self.checked_cell_count().unwrap_or(usize::MAX)
+    }
+
+    /// Checked axis product: `None` when
+    /// `specs × workloads × seeds × fault_sets` overflows `usize`.
+    pub fn checked_cell_count(&self) -> Option<usize> {
+        checked_product([
+            self.specs.len(),
+            self.workloads.len(),
+            self.seeds.len(),
+            self.fault_sets.len(),
+        ])
+    }
+
+    /// The cell at flat `index` in grid order (workloads outermost, then
+    /// specs, then seeds, then fault sets).  Only called for
+    /// `index < cell_count()`, so every axis is non-empty.
+    fn cell_at(&self, index: usize) -> Cell {
+        let faults = self.fault_sets.len();
+        let seeds = self.seeds.len();
+        let specs = self.specs.len();
+        Cell {
+            fault_set: index % faults,
+            seed: self.seeds[(index / faults) % seeds],
+            spec: (index / (faults * seeds)) % specs,
+            workload: index / (faults * seeds * specs),
+        }
     }
 
     /// Executes the grid; see [`run_grid`].
     pub fn run(&self, threads: usize) -> Result<Vec<ScenarioRow>, NetworkError> {
         run_grid(self, threads)
     }
+
+    /// Streams the grid's rows into `sink`; see [`run_grid_streaming`].
+    pub fn run_streaming<S: RowSink + ?Sized>(
+        &self,
+        threads: usize,
+        sink: &mut S,
+    ) -> Result<StreamSummary, NetworkError> {
+        run_grid_streaming(self, threads, sink)
+    }
+}
+
+/// Checked product of the grid's axis lengths.
+fn checked_product(axes: [usize; 4]) -> Option<usize> {
+    axes.iter().try_fold(1usize, |acc, &n| acc.checked_mul(n))
 }
 
 /// The result of one grid cell: the cell's coordinates plus the full
@@ -192,20 +246,61 @@ pub fn default_thread_count() -> usize {
         .unwrap_or(1)
 }
 
+/// The reorder-window bound of [`run_grid_streaming`] for a run with
+/// `threads` requested workers: at most this many completed rows are ever
+/// buffered waiting for an earlier cell to finish.  Twice the worker count
+/// keeps every worker busy (a worker whose cell is far ahead of the delivery
+/// watermark parks until the window catches up) while bounding memory.
+pub fn reorder_window(threads: usize) -> usize {
+    2 * threads.max(1)
+}
+
+/// What a streaming run did: how many rows reached the sink and the largest
+/// number of completed rows the reorder buffer ever held (always at most
+/// [`reorder_window`] of the requested thread count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Rows delivered to the sink, equal to the grid's cell count on a
+    /// completed run.
+    pub rows: usize,
+    /// Peak size of the reorder buffer — the memory high-water mark of the
+    /// run, bounded by the reorder window, not the cell count.
+    pub peak_buffered: usize,
+}
+
 /// Executes every cell of the grid across `threads` scoped workers (clamped
-/// to at least 1 and at most the cell count) and returns the rows in grid
-/// order — workloads outermost, then specs, then seeds, then fault sets.
+/// to at least 1 and at most the cell count), delivering each completed row
+/// to `sink` **in grid order** — workloads outermost, then specs, then
+/// seeds, then fault sets — while later cells are still running.
 ///
 /// Every workload is bound to every network before execution starts, so an
 /// unbindable combination (transpose traffic on a non-square network, a
 /// hotspot aimed at a node that does not exist) is a typed error for the
-/// whole grid, not a silently-degraded cell.
+/// whole grid, not a silently-degraded cell.  A grid whose axis product
+/// overflows `usize` is refused with [`NetworkError::GridTooLarge`].
 ///
-/// Results are independent of the thread count: cells are self-contained
-/// (own RNG seed, own simulator instance) and each is written to its own
-/// pre-assigned slot.  Workers pull cells from a shared atomic counter, so
-/// uneven cell costs balance automatically.
-pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>, NetworkError> {
+/// The delivered row sequence is independent of the thread count: cells are
+/// self-contained (own RNG seed, own simulator instance) and workers hand
+/// completed rows to a reorder buffer keyed by cell index.  Workers pull
+/// cell indices from a shared atomic counter, so uneven cell costs balance
+/// automatically, but a worker may not start a cell more than
+/// [`reorder_window`] cells ahead of the delivery watermark — that bounds
+/// the engine's buffering at O(threads + window) rows regardless of the
+/// cell count.  A sink error aborts the run and surfaces as
+/// [`NetworkError::Sink`] (without calling `finish`).
+pub fn run_grid_streaming<S: RowSink + ?Sized>(
+    grid: &ScenarioGrid,
+    threads: usize,
+    sink: &mut S,
+) -> Result<StreamSummary, NetworkError> {
+    let cell_count = grid
+        .checked_cell_count()
+        .ok_or(NetworkError::GridTooLarge {
+            specs: grid.specs.len(),
+            workloads: grid.workloads.len(),
+            seeds: grid.seeds.len(),
+            fault_sets: grid.fault_sets.len(),
+        })?;
     let networks: Vec<Network> = grid
         .specs
         .iter()
@@ -226,46 +321,169 @@ pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>,
         .collect::<Result<_, _>>()
         .map_err(NetworkError::from)?;
 
-    let mut cells: Vec<Cell> = Vec::with_capacity(grid.cell_count());
-    for workload in 0..grid.workloads.len() {
-        for spec in 0..grid.specs.len() {
-            for &seed in &grid.seeds {
-                for fault_set in 0..grid.fault_sets.len() {
-                    cells.push(Cell {
-                        spec,
-                        workload,
-                        seed,
-                        fault_set,
-                    });
-                }
-            }
-        }
+    sink.on_start(grid).map_err(sink_error)?;
+    let mut summary = StreamSummary {
+        rows: 0,
+        peak_buffered: 0,
+    };
+    if cell_count == 0 {
+        sink.finish().map_err(sink_error)?;
+        return Ok(summary);
     }
 
-    let slots: Vec<OnceLock<ScenarioRow>> = (0..cells.len()).map(|_| OnceLock::new()).collect();
-    let workers = threads.max(1).min(cells.len().max(1));
+    let workers = threads.max(1).min(cell_count);
+    let window = reorder_window(workers);
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    // The delivery watermark: rows 0..watermark have reached the sink.  A
+    // worker may only *start* cell `i` once `i < watermark + window`, so at
+    // most `window` completed rows can ever be waiting in the reorder
+    // buffer.
+    let watermark = Mutex::new(0usize);
+    let advanced = Condvar::new();
+    let (tx, rx) = mpsc::channel::<(usize, ScenarioRow)>();
+    let mut sink_failure: Option<std::io::Error> = None;
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(index) else { break };
-                let row = run_cell(
-                    &networks[cell.spec],
-                    &patterns[cell.workload][cell.spec],
-                    grid,
-                    cell,
-                );
-                slots[index]
-                    .set(row)
-                    .expect("each cell is claimed by exactly one worker");
+            let tx = tx.clone();
+            let (next, stop, watermark, advanced) = (&next, &stop, &watermark, &advanced);
+            let (networks, patterns) = (&networks, &patterns);
+            scope.spawn(move || {
+                // A panicking cell must not strand the other workers parked
+                // on the condvar (the watermark would never reach them).
+                let _guard = UnwindGuard {
+                    stop,
+                    watermark,
+                    advanced,
+                };
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= cell_count {
+                        break;
+                    }
+                    {
+                        let mut delivered = watermark.lock().expect("no panics hold the watermark");
+                        while index >= *delivered + window && !stop.load(Ordering::Relaxed) {
+                            delivered = advanced
+                                .wait(delivered)
+                                .expect("no panics hold the watermark");
+                        }
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let cell = grid.cell_at(index);
+                    let row = run_cell(
+                        &networks[cell.spec],
+                        &patterns[cell.workload][cell.spec],
+                        grid,
+                        &cell,
+                    );
+                    if tx.send((index, row)).is_err() {
+                        break;
+                    }
+                }
             });
         }
+        drop(tx);
+
+        // Deliver rows in grid order on the caller's thread: out-of-order
+        // completions park in the reorder buffer until the gap fills.  The
+        // guard wakes parked workers if a sink panics mid-delivery; without
+        // it the scope would block joining them forever.
+        let _guard = UnwindGuard {
+            stop: &stop,
+            watermark: &watermark,
+            advanced: &advanced,
+        };
+        let mut pending: BTreeMap<usize, ScenarioRow> = BTreeMap::new();
+        let mut next_to_deliver = 0usize;
+        'receive: while let Ok((index, row)) = rx.recv() {
+            pending.insert(index, row);
+            summary.peak_buffered = summary.peak_buffered.max(pending.len());
+            while let Some(row) = pending.remove(&next_to_deliver) {
+                if let Err(e) = sink.on_row(next_to_deliver, row) {
+                    sink_failure = Some(e);
+                    // Set the stop flag *under the watermark lock*: a worker
+                    // checks the flag with that lock held before parking, so
+                    // holding it here means no worker can be between its
+                    // check and its wait when the notification fires — the
+                    // classic lost-wakeup race that would park it forever.
+                    {
+                        let _guard = watermark.lock().expect("no panics hold the watermark");
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    advanced.notify_all();
+                    break 'receive;
+                }
+                next_to_deliver += 1;
+                summary.rows += 1;
+                *watermark.lock().expect("no panics hold the watermark") = next_to_deliver;
+                advanced.notify_all();
+            }
+            if next_to_deliver == cell_count {
+                break;
+            }
+        }
+        // Dropping `rx` here makes any remaining `tx.send` fail, so workers
+        // that were mid-cell during an abort exit promptly.
+        drop(rx);
     });
-    Ok(slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every claimed cell completed"))
-        .collect())
+
+    match sink_failure {
+        Some(e) => Err(sink_error(e)),
+        None => {
+            sink.finish().map_err(sink_error)?;
+            Ok(summary)
+        }
+    }
+}
+
+/// Wraps a sink's I/O error into the facade's typed error.
+fn sink_error(e: std::io::Error) -> NetworkError {
+    NetworkError::Sink {
+        detail: e.to_string(),
+    }
+}
+
+/// Wakes parked workers when its thread unwinds.  Without this, a panic in
+/// the delivery loop (a panicking sink) or in a worker cell would leave the
+/// other workers parked on the condvar forever, and `std::thread::scope`
+/// would block joining them instead of propagating the panic.
+struct UnwindGuard<'a> {
+    stop: &'a AtomicBool,
+    watermark: &'a Mutex<usize>,
+    advanced: &'a Condvar,
+}
+
+impl Drop for UnwindGuard<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        // Hold the watermark lock while storing the flag so no worker can be
+        // between its stop-check and its wait when the notification fires
+        // (the lost-wakeup race).  A poisoned lock still locks the mutex —
+        // the guard inside the error is what matters.
+        let guard = self.watermark.lock();
+        self.stop.store(true, Ordering::Relaxed);
+        drop(guard);
+        self.advanced.notify_all();
+    }
+}
+
+/// Executes every cell of the grid and returns the rows in grid order — a
+/// thin wrapper over [`run_grid_streaming`] with a [`CollectSink`], kept for
+/// callers that want the whole result set in memory (`compare_specs`, the
+/// frontier scan, tests).  Rows are byte-identical at any thread count.
+pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>, NetworkError> {
+    let mut sink = CollectSink::new();
+    run_grid_streaming(grid, threads, &mut sink)?;
+    Ok(sink.into_rows())
 }
 
 fn run_cell(
@@ -297,6 +515,39 @@ fn run_cell(
 mod tests {
     use super::*;
     use otis_routing::node_fault_patterns_up_to;
+    use std::io;
+
+    /// Records every callback for order/lifecycle assertions, optionally
+    /// failing after a fixed number of rows.
+    #[derive(Default)]
+    struct RecordingSink {
+        started: usize,
+        finished: usize,
+        indices: Vec<usize>,
+        rows: Vec<ScenarioRow>,
+        fail_after: Option<usize>,
+    }
+
+    impl RowSink for RecordingSink {
+        fn on_start(&mut self, _grid: &ScenarioGrid) -> io::Result<()> {
+            self.started += 1;
+            Ok(())
+        }
+
+        fn on_row(&mut self, index: usize, row: ScenarioRow) -> io::Result<()> {
+            if self.fail_after == Some(self.indices.len()) {
+                return Err(io::Error::other("sink refused the row"));
+            }
+            self.indices.push(index);
+            self.rows.push(row);
+            Ok(())
+        }
+
+        fn finish(&mut self) -> io::Result<()> {
+            self.finished += 1;
+            Ok(())
+        }
+    }
 
     fn small_grid() -> ScenarioGrid {
         let specs = ["SK(2,2,2)", "POPS(3,4)", "DB(2,4)"]
@@ -459,6 +710,134 @@ mod tests {
         for row in &rows[1..] {
             assert!(row.metrics.injected < intact.metrics.injected);
         }
+    }
+
+    #[test]
+    fn run_grid_is_streaming_plus_collect_sink() {
+        // The wrapper contract: run_grid == run_grid_streaming + CollectSink,
+        // byte for byte, at any thread count.
+        let grid = small_grid();
+        let wrapped = run_grid(&grid, 4).unwrap();
+        for threads in [1, 2, 64] {
+            let mut sink = crate::sink::CollectSink::new();
+            let summary = run_grid_streaming(&grid, threads, &mut sink).unwrap();
+            assert_eq!(summary.rows, grid.cell_count());
+            let streamed = sink.into_rows();
+            assert_eq!(wrapped, streamed);
+            let wrapped_table: Vec<String> = wrapped.iter().map(|r| r.as_table_row()).collect();
+            let streamed_table: Vec<String> = streamed.iter().map(|r| r.as_table_row()).collect();
+            assert_eq!(wrapped_table, streamed_table);
+        }
+    }
+
+    #[test]
+    fn streaming_delivers_in_grid_order_with_bounded_buffering() {
+        let grid = small_grid();
+        for threads in [1usize, 3, 8] {
+            let mut sink = RecordingSink::default();
+            let summary = run_grid_streaming(&grid, threads, &mut sink).unwrap();
+            assert_eq!(sink.started, 1);
+            assert_eq!(sink.finished, 1);
+            // Rows arrive as index 0, 1, 2, ... with no gaps or reordering.
+            assert_eq!(sink.indices, (0..grid.cell_count()).collect::<Vec<_>>());
+            // Peak buffering is bounded by the reorder window, not the cell
+            // count — the constant-memory claim of the streaming engine.
+            assert!(
+                summary.peak_buffered <= reorder_window(threads),
+                "peak {} exceeds window {} at {threads} threads",
+                summary.peak_buffered,
+                reorder_window(threads)
+            );
+            assert_eq!(summary.rows, grid.cell_count());
+        }
+    }
+
+    #[test]
+    fn streamed_row_sequence_is_thread_count_independent() {
+        // Mixed workloads; 1, 2 and 64 threads must stream identical rows.
+        let specs = ["SK(2,2,2)", "POPS(3,4)", "DB(2,4)"]
+            .iter()
+            .map(|s| s.parse::<NetworkSpec>().unwrap())
+            .collect();
+        let workloads: Vec<TrafficSpec> = ["uniform(0.3)", "perm(0.5,7)", "hotspot(0.4,0,0.2)"]
+            .iter()
+            .map(|w| w.parse().unwrap())
+            .collect();
+        let grid = ScenarioGrid::new(specs)
+            .workloads(workloads)
+            .seeds(&[3, 9])
+            .slots(120);
+        let mut baseline = RecordingSink::default();
+        run_grid_streaming(&grid, 1, &mut baseline).unwrap();
+        for threads in [2usize, 64] {
+            let mut sink = RecordingSink::default();
+            run_grid_streaming(&grid, threads, &mut sink).unwrap();
+            assert_eq!(baseline.rows, sink.rows, "{threads} threads diverged");
+            assert_eq!(baseline.indices, sink.indices);
+        }
+    }
+
+    #[test]
+    fn sink_errors_abort_the_run_as_typed_errors() {
+        let grid = small_grid();
+        let mut sink = RecordingSink {
+            fail_after: Some(2),
+            ..RecordingSink::default()
+        };
+        let err = run_grid_streaming(&grid, 4, &mut sink).unwrap_err();
+        assert!(matches!(err, NetworkError::Sink { .. }), "{err}");
+        assert!(err.to_string().contains("refused"), "{err}");
+        // The two rows before the failure were delivered; finish was not
+        // called on the aborted run.
+        assert_eq!(sink.indices, vec![0, 1]);
+        assert_eq!(sink.finished, 0);
+    }
+
+    #[test]
+    fn a_panicking_sink_propagates_instead_of_hanging_the_scope() {
+        // Regression: a panic unwinding out of the delivery loop used to
+        // leave workers parked on the reorder-window condvar with no one
+        // left to advance the watermark — thread::scope then blocked
+        // joining them forever.  The unwind guard wakes them, so the panic
+        // propagates out of run_grid_streaming promptly.
+        struct PanickingSink;
+        impl RowSink for PanickingSink {
+            fn on_row(&mut self, _index: usize, _row: ScenarioRow) -> io::Result<()> {
+                panic!("sink exploded");
+            }
+        }
+        // 18 cells at 4 threads (window 8): late cells park while cell 0
+        // streams, so the hang would be real without the guard.
+        let grid = small_grid().seeds(&[1, 2, 3, 5, 7, 11]).loads(&[0.2]);
+        assert_eq!(grid.cell_count(), 18);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_grid_streaming(&grid, 4, &mut PanickingSink)
+        }));
+        let panic = result.expect_err("the sink panic must propagate");
+        let message = panic.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "sink exploded");
+    }
+
+    #[test]
+    fn zero_cell_grids_still_open_and_close_the_sink() {
+        let grid = ScenarioGrid::new(vec!["K(4)".parse().unwrap()]);
+        let mut sink = RecordingSink::default();
+        let summary = run_grid_streaming(&grid, 4, &mut sink).unwrap();
+        assert_eq!(summary.rows, 0);
+        assert_eq!(summary.peak_buffered, 0);
+        assert_eq!(sink.started, 1);
+        assert_eq!(sink.finished, 1);
+        assert!(sink.indices.is_empty());
+    }
+
+    #[test]
+    fn cell_counts_use_checked_multiplication() {
+        assert_eq!(checked_product([3, 2, 2, 1]), Some(12));
+        assert_eq!(checked_product([0, 5, 5, 5]), Some(0));
+        assert_eq!(checked_product([usize::MAX, 2, 1, 1]), None);
+        assert_eq!(checked_product([1 << 32, 1 << 32, 1, 2]), None);
+        let grid = small_grid();
+        assert_eq!(grid.checked_cell_count(), Some(grid.cell_count()));
     }
 
     #[test]

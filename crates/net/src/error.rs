@@ -107,6 +107,24 @@ pub enum NetworkError {
         /// What did not hold.
         detail: String,
     },
+    /// A streaming result sink refused a row or could not finish — usually
+    /// an I/O error from the writer behind a table/CSV/JSONL sink.
+    Sink {
+        /// The underlying error, rendered.
+        detail: String,
+    },
+    /// The scenario grid's axis product overflows `usize`, so the engine
+    /// refuses to expand it (see `ScenarioGrid::checked_cell_count`).
+    GridTooLarge {
+        /// Length of the spec axis.
+        specs: usize,
+        /// Length of the workload axis.
+        workloads: usize,
+        /// Length of the seed axis.
+        seeds: usize,
+        /// Length of the fault-pattern axis.
+        fault_sets: usize,
+    },
 }
 
 impl fmt::Display for NetworkError {
@@ -117,6 +135,21 @@ impl fmt::Display for NetworkError {
             NetworkError::Verification(e) => write!(f, "design verification failed: {e}"),
             NetworkError::Structure { network, detail } => {
                 write!(f, "structural check of {network} failed: {detail}")
+            }
+            NetworkError::Sink { detail } => {
+                write!(f, "result sink failed: {detail}")
+            }
+            NetworkError::GridTooLarge {
+                specs,
+                workloads,
+                seeds,
+                fault_sets,
+            } => {
+                write!(
+                    f,
+                    "scenario grid is too large: {specs} specs x {workloads} workloads x \
+                     {seeds} seeds x {fault_sets} fault patterns overflows the cell count"
+                )
             }
         }
     }
@@ -129,6 +162,8 @@ impl std::error::Error for NetworkError {
             NetworkError::Traffic(e) => Some(e),
             NetworkError::Verification(e) => Some(e),
             NetworkError::Structure { .. } => None,
+            NetworkError::Sink { .. } => None,
+            NetworkError::GridTooLarge { .. } => None,
         }
     }
 }
@@ -176,5 +211,17 @@ mod tests {
             detail: "oops".into(),
         };
         assert!(s.to_string().contains("DB(2,3)"));
+        let sink = NetworkError::Sink {
+            detail: "disk full".into(),
+        };
+        assert!(sink.to_string().contains("disk full"));
+        let big = NetworkError::GridTooLarge {
+            specs: usize::MAX,
+            workloads: 2,
+            seeds: 1,
+            fault_sets: 1,
+        };
+        assert!(big.to_string().contains("too large"), "{big}");
+        assert!(big.to_string().contains("overflows"), "{big}");
     }
 }

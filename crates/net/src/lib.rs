@@ -22,9 +22,15 @@
 //!   worker threads with deterministic, thread-count-independent results.
 //!   Fault injection is plumbed through [`SimOptions::faults`] using
 //!   [`FaultSet`] from the routing layer;
+//! * [`sink`] — the streaming result surface: [`run_grid_streaming`] hands
+//!   completed cells to a [`RowSink`] in deterministic grid order through a
+//!   bounded reorder buffer (memory O(threads + window), not O(cells)), with
+//!   built-in [`CollectSink`], [`TableSink`], [`CsvSink`] and
+//!   [`JsonLinesSink`] sinks and format-aware sentinels (an undefined
+//!   average is `-` in the table, empty in CSV, `null` in JSONL);
 //! * [`config`] — the scenario config-file format: one line-oriented `.scn`
-//!   file declares specs, workloads, seeds, slots, faults and threads for a
-//!   whole study ([`parse_scenario_config`]).
+//!   file declares specs, workloads, seeds, slots, faults, threads, output
+//!   format and output path for a whole study ([`parse_scenario_config`]).
 //!
 //! ## Quick example
 //!
@@ -59,13 +65,17 @@ pub mod network;
 pub mod route;
 pub mod scenarios;
 pub mod sim_options;
+pub mod sink;
 pub mod spec;
 pub mod topology;
 pub mod traffic_spec;
 
 pub use config::{parse_scenario_config, split_top_level, ConfigError, ScenarioConfig};
 pub use design::NetworkDesign;
-pub use engine::{default_thread_count, run_grid, ScenarioGrid, ScenarioRow};
+pub use engine::{
+    default_thread_count, reorder_window, run_grid, run_grid_streaming, ScenarioGrid, ScenarioRow,
+    StreamSummary,
+};
 pub use error::{NetworkError, SpecError};
 pub use family::NetworkFamily;
 pub use network::Network;
@@ -76,6 +86,10 @@ pub use scenarios::{
     ComparisonRow, FrontierPoint,
 };
 pub use sim_options::SimOptions;
+pub use sink::{
+    CollectSink, CsvSink, FieldValue, JsonLinesSink, OutputFormat, RowSink, TableSink,
+    UnknownFormat,
+};
 pub use spec::NetworkSpec;
 pub use topology::NetworkTopology;
 pub use traffic_spec::{TrafficError, TrafficSpec};

@@ -418,4 +418,37 @@ mod tests {
         }
         assert!(saturation_point(&[]).is_none());
     }
+
+    #[test]
+    fn frontier_scan_handles_an_empty_load_axis() {
+        // No loads means a zero-cell grid: the scan is an empty frontier,
+        // not an error, and its saturation point is None.
+        let specs: Vec<NetworkSpec> = vec!["POPS(3,3)".parse().unwrap()];
+        let points = frontier_scan(&specs, &[], 100, 5).unwrap();
+        assert!(points.is_empty());
+        assert!(saturation_point(&points).is_none());
+    }
+
+    #[test]
+    fn saturation_point_is_none_when_nothing_ever_saturates() {
+        // Load 0.0 injects nothing anywhere: every throughput is 0, so no
+        // point reaches 95% of a positive peak and the scan has no
+        // saturation point (rather than returning the first zero row).
+        let specs: Vec<NetworkSpec> =
+            vec!["POPS(2,2)".parse().unwrap(), "DB(2,3)".parse().unwrap()];
+        let points = frontier_scan(&specs, &[0.0, 0.0], 60, 3).unwrap();
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.throughput == 0.0));
+        assert!(saturation_point(&points).is_none());
+    }
+
+    #[test]
+    fn single_load_frontiers_saturate_at_their_only_point() {
+        let specs: Vec<NetworkSpec> = vec!["SK(2,2,2)".parse().unwrap()];
+        let points = frontier_scan(&specs, &[0.3], 200, 7).unwrap();
+        assert_eq!(points.len(), 1);
+        let sat = saturation_point(&points).expect("traffic was delivered");
+        assert_eq!(sat, &points[0]);
+        assert!(sat.throughput > 0.0);
+    }
 }

@@ -1,0 +1,539 @@
+//! Streaming result sinks: the observer side of the scenario engine.
+//!
+//! [`crate::engine::run_grid_streaming`] hands each completed grid cell to a
+//! [`RowSink`] **in deterministic grid order** while later cells are still
+//! running, so a grid's memory footprint is bounded by the engine's reorder
+//! window instead of its cell count.  This module defines the sink trait and
+//! the built-in sinks:
+//!
+//! * [`CollectSink`] — collects rows into a `Vec` (what
+//!   [`crate::engine::run_grid`] is built on);
+//! * [`TableSink`] — the human-readable fixed-width table of the `scenarios`
+//!   CLI (undefined averages render as `-`);
+//! * [`CsvSink`] — RFC-4180-style CSV with a header row; undefined averages
+//!   become **empty fields**, spec strings containing commas are quoted;
+//! * [`JsonLinesSink`] — one JSON object per row, hand-rolled (the workspace
+//!   is offline — no serde); undefined averages become `null`.
+//!
+//! The machine formats share one stable field-level schema:
+//! [`ScenarioRow::field_names`] / [`ScenarioRow::field_values`], which extend
+//! [`SimMetrics::FIELD_NAMES`] with the cell's grid coordinates.  The schema
+//! is append-only so downstream tooling can rely on existing columns.
+
+use crate::engine::{ScenarioGrid, ScenarioRow};
+use otis_routing::FaultSet;
+use otis_sim::{MetricValue, SimMetrics};
+use std::fmt::{self, Write as _};
+use std::io::{self, Write};
+
+/// A streaming observer of scenario rows.
+///
+/// [`crate::engine::run_grid_streaming`] calls [`RowSink::on_start`] once
+/// before any cell runs, [`RowSink::on_row`] once per cell **in grid order**
+/// (`index` counts 0, 1, 2, … with no gaps), and [`RowSink::finish`] once
+/// after the last row.  An error from any method aborts the run and surfaces
+/// as [`crate::NetworkError::Sink`]; `finish` is *not* called after an
+/// aborted run.
+pub trait RowSink {
+    /// Called once before execution starts, with the grid about to run.
+    fn on_start(&mut self, grid: &ScenarioGrid) -> io::Result<()> {
+        let _ = grid;
+        Ok(())
+    }
+
+    /// Called once per cell, in grid order; `index` is the row's position.
+    fn on_row(&mut self, index: usize, row: ScenarioRow) -> io::Result<()>;
+
+    /// Called once after the last row; flush buffered output here.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One serializable field of a [`ScenarioRow`]: grid coordinates are text or
+/// integers, metrics come from [`SimMetrics::field_values`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string-valued field (spec, traffic, fault pattern).
+    Text(String),
+    /// An exact counter.
+    Int(u64),
+    /// A float statistic; `NaN` marks an undefined value and renders as an
+    /// empty CSV field or a JSON `null`, never the string `"NaN"`.
+    Float(f64),
+}
+
+impl From<MetricValue> for FieldValue {
+    fn from(value: MetricValue) -> Self {
+        match value {
+            MetricValue::Int(v) => FieldValue::Int(v),
+            MetricValue::Float(v) => FieldValue::Float(v),
+        }
+    }
+}
+
+impl FieldValue {
+    /// Renders the field for a CSV record: undefined floats are empty,
+    /// text is quoted when it contains a comma, quote or newline.
+    pub fn to_csv_field(&self) -> String {
+        match self {
+            FieldValue::Text(s) => csv_escape(s),
+            FieldValue::Int(v) => v.to_string(),
+            FieldValue::Float(v) if v.is_finite() => v.to_string(),
+            FieldValue::Float(_) => String::new(),
+        }
+    }
+
+    /// Renders the field as a JSON value: undefined floats are `null`,
+    /// text is a JSON string with full escaping.
+    pub fn to_json_value(&self) -> String {
+        match self {
+            FieldValue::Text(s) => json_escape(s),
+            FieldValue::Int(v) => v.to_string(),
+            FieldValue::Float(v) if v.is_finite() => v.to_string(),
+            FieldValue::Float(_) => "null".to_string(),
+        }
+    }
+}
+
+/// Quotes a CSV field when needed (comma, double quote, CR or LF inside),
+/// doubling any inner quotes, per RFC 4180.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders a JSON string literal with the mandatory escapes.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail")
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a fault pattern for the machine formats: sorted failed nodes,
+/// then failed arcs as `u->v`, space-separated; empty for an intact cell.
+fn render_faults(faults: &FaultSet) -> String {
+    let mut parts: Vec<String> = faults
+        .sorted_nodes()
+        .into_iter()
+        .map(|n| n.to_string())
+        .collect();
+    parts.extend(
+        faults
+            .sorted_arcs()
+            .into_iter()
+            .map(|(u, v)| format!("{u}->{v}")),
+    );
+    parts.join(" ")
+}
+
+impl ScenarioRow {
+    /// Column names of the machine-readable formats, in emission order: the
+    /// cell's grid coordinates followed by [`SimMetrics::FIELD_NAMES`].
+    /// The schema is append-only.
+    pub fn field_names() -> Vec<&'static str> {
+        let mut names = vec!["spec", "traffic", "load", "seed", "fault_count", "faults"];
+        names.extend(SimMetrics::FIELD_NAMES);
+        names
+    }
+
+    /// The field values matching [`ScenarioRow::field_names`] position by
+    /// position.
+    pub fn field_values(&self) -> Vec<FieldValue> {
+        let mut values = vec![
+            FieldValue::Text(self.spec.to_string()),
+            FieldValue::Text(self.traffic.to_string()),
+            FieldValue::Float(self.offered_load),
+            FieldValue::Int(self.seed),
+            FieldValue::Int(self.fault_count as u64),
+            FieldValue::Text(render_faults(&self.faults)),
+        ];
+        values.extend(
+            self.metrics
+                .field_values()
+                .into_iter()
+                .map(FieldValue::from),
+        );
+        values
+    }
+}
+
+/// Collects streamed rows into a `Vec`, preserving grid order.
+/// [`crate::engine::run_grid`] is this sink plus
+/// [`crate::engine::run_grid_streaming`].
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    rows: Vec<ScenarioRow>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// The rows collected so far, in grid order.
+    pub fn rows(&self) -> &[ScenarioRow] {
+        &self.rows
+    }
+
+    /// Consumes the sink, returning the collected rows.
+    pub fn into_rows(self) -> Vec<ScenarioRow> {
+        self.rows
+    }
+}
+
+impl RowSink for CollectSink {
+    fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
+        self.rows.push(row);
+        Ok(())
+    }
+}
+
+/// Streams rows as the human-readable fixed-width table (header first,
+/// undefined averages as `-`) — the `scenarios` CLI's default format.
+#[derive(Debug)]
+pub struct TableSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> TableSink<W> {
+    /// A table sink over any writer.
+    pub fn new(writer: W) -> Self {
+        TableSink { writer }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> RowSink for TableSink<W> {
+    fn on_start(&mut self, _grid: &ScenarioGrid) -> io::Result<()> {
+        writeln!(self.writer, "{}", ScenarioRow::table_header())
+    }
+
+    fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
+        writeln!(self.writer, "{}", row.as_table_row())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Streams rows as CSV with a header record.  Undefined averages (zero
+/// deliveries) are **empty fields**, never `NaN` or `-`; spec and traffic
+/// strings are quoted because they contain commas.
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// A CSV sink over any writer.
+    pub fn new(writer: W) -> Self {
+        CsvSink { writer }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> RowSink for CsvSink<W> {
+    fn on_start(&mut self, _grid: &ScenarioGrid) -> io::Result<()> {
+        writeln!(self.writer, "{}", ScenarioRow::field_names().join(","))
+    }
+
+    fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
+        let record: Vec<String> = row
+            .field_values()
+            .iter()
+            .map(FieldValue::to_csv_field)
+            .collect();
+        writeln!(self.writer, "{}", record.join(","))
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Streams rows as JSON Lines: one hand-rolled JSON object per row (the
+/// workspace is offline — no serde).  Undefined averages are `null`, never
+/// the string `"NaN"` or `"-"`.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+    /// The field names, computed once: every row shares the same schema.
+    names: Vec<&'static str>,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// A JSON Lines sink over any writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer,
+            names: ScenarioRow::field_names(),
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> RowSink for JsonLinesSink<W> {
+    fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
+        let values = row.field_values();
+        let mut line = String::from("{");
+        for (i, (name, value)) in self.names.iter().zip(values.iter()).enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('"');
+            line.push_str(name);
+            line.push_str("\":");
+            line.push_str(&value.to_json_value());
+        }
+        line.push('}');
+        writeln!(self.writer, "{line}")
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// The machine-readable output formats of the result surface, as named by
+/// the `scenarios` CLI's `--format` flag and the `.scn` `format` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable fixed-width table ([`TableSink`]); the default.
+    #[default]
+    Table,
+    /// Comma-separated values with a header record ([`CsvSink`]).
+    Csv,
+    /// One JSON object per line ([`JsonLinesSink`]).
+    JsonLines,
+}
+
+impl OutputFormat {
+    /// Builds the matching sink over the given writer.
+    pub fn sink<W: Write + 'static>(self, writer: W) -> Box<dyn RowSink> {
+        match self {
+            OutputFormat::Table => Box::new(TableSink::new(writer)),
+            OutputFormat::Csv => Box::new(CsvSink::new(writer)),
+            OutputFormat::JsonLines => Box::new(JsonLinesSink::new(writer)),
+        }
+    }
+}
+
+impl fmt::Display for OutputFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OutputFormat::Table => "table",
+            OutputFormat::Csv => "csv",
+            OutputFormat::JsonLines => "jsonl",
+        })
+    }
+}
+
+/// The format name was not one of `table`, `csv`, `jsonl`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFormat {
+    /// The unrecognised name.
+    pub input: String,
+}
+
+impl fmt::Display for UnknownFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown output format '{}' (supported: table, csv, jsonl)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for UnknownFormat {}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = UnknownFormat;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "table" => Ok(OutputFormat::Table),
+            "csv" => Ok(OutputFormat::Csv),
+            "jsonl" => Ok(OutputFormat::JsonLines),
+            _ => Err(UnknownFormat {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_grid_streaming;
+
+    fn one_row(load: f64) -> ScenarioRow {
+        let grid = crate::engine::ScenarioGrid::new(vec!["POPS(2,2)".parse().unwrap()])
+            .loads(&[load])
+            .slots(50);
+        let mut sink = CollectSink::new();
+        run_grid_streaming(&grid, 1, &mut sink).unwrap();
+        sink.into_rows().remove(0)
+    }
+
+    #[test]
+    fn field_names_and_values_line_up() {
+        let row = one_row(0.3);
+        let names = ScenarioRow::field_names();
+        let values = row.field_values();
+        assert_eq!(names.len(), values.len());
+        assert_eq!(names[0], "spec");
+        assert_eq!(values[0], FieldValue::Text("POPS(2,2)".to_string()));
+        assert_eq!(
+            names[6 + SimMetrics::FIELD_NAMES.len() - 1],
+            "delivery_ratio"
+        );
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas_and_doubles_inner_quotes() {
+        assert_eq!(csv_escape("SK(4,2,2)"), "\"SK(4,2,2)\"");
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a\"b"), "\"a\"\"b\"");
+        let row = one_row(0.3);
+        let csv = row.field_values()[0].to_csv_field();
+        assert_eq!(csv, "\"POPS(2,2)\"");
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_escape("a\nb\u{1}"), "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn zero_delivery_sentinels_are_format_aware() {
+        // The '-' placeholder belongs to the text table only: CSV gets empty
+        // fields and JSONL gets null — never the string "-" or "NaN".
+        let row = one_row(0.0);
+        assert_eq!(row.metrics.delivered, 0);
+
+        let table = row.as_table_row();
+        assert!(table.contains('-'), "{table}");
+        assert!(!table.contains("NaN"), "{table}");
+
+        let latency = &row.field_values()[ScenarioRow::field_names()
+            .iter()
+            .position(|&n| n == "avg_latency")
+            .unwrap()];
+        assert_eq!(latency.to_csv_field(), "");
+        assert_eq!(latency.to_json_value(), "null");
+
+        let record: Vec<String> = row
+            .field_values()
+            .iter()
+            .map(FieldValue::to_csv_field)
+            .collect();
+        let csv = record.join(",");
+        assert!(csv.contains(",,"), "{csv}");
+        assert!(!csv.contains("NaN"), "{csv}");
+
+        let mut jsonl = JsonLinesSink::new(Vec::new());
+        jsonl.on_row(0, row).unwrap();
+        let line = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert!(line.contains("\"avg_latency\":null"), "{line}");
+        assert!(line.contains("\"avg_hops\":null"), "{line}");
+        assert!(!line.contains("NaN"), "{line}");
+        assert!(!line.contains("\"-\""), "{line}");
+    }
+
+    #[test]
+    fn table_sink_matches_manual_rendering() {
+        let grid = crate::engine::ScenarioGrid::new(vec!["POPS(2,2)".parse().unwrap()])
+            .loads(&[0.2, 0.4])
+            .slots(60);
+        let mut table = TableSink::new(Vec::new());
+        run_grid_streaming(&grid, 2, &mut table).unwrap();
+        let text = String::from_utf8(table.into_inner()).unwrap();
+        let rows = crate::engine::run_grid(&grid, 1).unwrap();
+        let mut expected = ScenarioRow::table_header();
+        expected.push('\n');
+        for row in &rows {
+            expected.push_str(&row.as_table_row());
+            expected.push('\n');
+        }
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn csv_sink_emits_header_plus_one_record_per_cell() {
+        let grid = crate::engine::ScenarioGrid::new(vec!["POPS(2,2)".parse().unwrap()])
+            .loads(&[0.2, 0.4])
+            .slots(60);
+        let mut csv = CsvSink::new(Vec::new());
+        run_grid_streaming(&grid, 2, &mut csv).unwrap();
+        let text = String::from_utf8(csv.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + grid.cell_count());
+        assert!(lines[0].starts_with("spec,traffic,load,seed,"));
+        // The spec contains commas, so it is quoted; the workload does not.
+        assert!(
+            lines[1].starts_with("\"POPS(2,2)\",uniform(0.2),"),
+            "{}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn output_format_round_trips_and_rejects_unknown_names() {
+        for format in [
+            OutputFormat::Table,
+            OutputFormat::Csv,
+            OutputFormat::JsonLines,
+        ] {
+            assert_eq!(format.to_string().parse::<OutputFormat>(), Ok(format));
+        }
+        assert_eq!("CSV".parse::<OutputFormat>(), Ok(OutputFormat::Csv));
+        let err = "yaml".parse::<OutputFormat>().unwrap_err();
+        assert!(err.to_string().contains("yaml"), "{err}");
+        assert!(err.to_string().contains("jsonl"), "{err}");
+        assert_eq!(OutputFormat::default(), OutputFormat::Table);
+    }
+
+    #[test]
+    fn fault_patterns_render_as_sorted_nodes() {
+        assert_eq!(render_faults(&FaultSet::new()), "");
+        assert_eq!(render_faults(&FaultSet::from_nodes([3, 1])), "1 3");
+        let mut faults = FaultSet::from_nodes([2]);
+        faults.fail_arc(0, 1);
+        assert_eq!(render_faults(&faults), "2 0->1");
+    }
+}

@@ -41,6 +41,6 @@ pub mod traffic;
 pub use arbitration::ArbitrationPolicy;
 pub use hot_potato::{HotPotatoSim, HotPotatoSimConfig};
 pub use message::Message;
-pub use metrics::SimMetrics;
+pub use metrics::{MetricValue, SimMetrics};
 pub use multi_ops::{MultiOpsSim, MultiOpsSimConfig};
 pub use traffic::TrafficPattern;

@@ -1,5 +1,18 @@
 //! Simulation metrics.
 
+/// One field of the stable serialization surface of [`SimMetrics`]: exact
+/// counters stay integers, derived statistics are floats whose undefined
+/// cases (an average over zero deliveries, a ratio over zero injections)
+/// are `NaN`.  Serializers render undefined floats per format — `-` in a
+/// text table, an empty CSV field, a JSON `null` — never the string `"NaN"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// An exact counter.
+    Int(u64),
+    /// A derived statistic; `NaN` marks an undefined value.
+    Float(f64),
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimMetrics {
@@ -95,6 +108,50 @@ impl SimMetrics {
         }
     }
 
+    /// Names of the stable machine-readable fields, in the order
+    /// [`SimMetrics::field_values`] emits them.  The schema is append-only:
+    /// downstream tooling may rely on existing names and positions.
+    pub const FIELD_NAMES: [&'static str; 15] = [
+        "processors",
+        "slots",
+        "injected",
+        "delivered",
+        "dropped",
+        "in_flight",
+        "throughput",
+        "avg_latency",
+        "max_latency",
+        "avg_hops",
+        "max_hops",
+        "grants",
+        "channels",
+        "utilization",
+        "delivery_ratio",
+    ];
+
+    /// The field values matching [`SimMetrics::FIELD_NAMES`] position by
+    /// position: the raw counters plus the derived statistics, with undefined
+    /// averages as [`MetricValue::Float`]`(NaN)`.
+    pub fn field_values(&self) -> [MetricValue; 15] {
+        [
+            MetricValue::Int(self.processors as u64),
+            MetricValue::Int(self.slots),
+            MetricValue::Int(self.injected),
+            MetricValue::Int(self.delivered),
+            MetricValue::Int(self.dropped),
+            MetricValue::Int(self.in_flight),
+            MetricValue::Float(self.throughput()),
+            MetricValue::Float(self.average_latency()),
+            MetricValue::Int(self.max_latency),
+            MetricValue::Float(self.average_hops()),
+            MetricValue::Int(u64::from(self.max_hops)),
+            MetricValue::Int(self.grants),
+            MetricValue::Int(self.channels as u64),
+            MetricValue::Float(self.channel_utilization()),
+            MetricValue::Float(self.delivery_ratio()),
+        ]
+    }
+
     /// Records a delivery.
     pub fn record_delivery(&mut self, latency: u64, hops: u32) {
         self.delivered += 1;
@@ -135,5 +192,42 @@ mod tests {
         assert_eq!(m.throughput(), 0.0);
         assert_eq!(m.channel_utilization(), 0.0);
         assert!(m.delivery_ratio().is_nan());
+    }
+
+    #[test]
+    fn field_values_match_field_names() {
+        let mut m = SimMetrics::new(10, 5);
+        m.slots = 100;
+        m.injected = 50;
+        m.record_delivery(4, 2);
+        m.grants = 40;
+        let values = m.field_values();
+        assert_eq!(values.len(), SimMetrics::FIELD_NAMES.len());
+        let field = |name: &str| {
+            let i = SimMetrics::FIELD_NAMES
+                .iter()
+                .position(|&n| n == name)
+                .unwrap_or_else(|| panic!("no field '{name}'"));
+            values[i]
+        };
+        assert_eq!(field("processors"), MetricValue::Int(10));
+        assert_eq!(field("delivered"), MetricValue::Int(1));
+        assert_eq!(field("max_hops"), MetricValue::Int(2));
+        assert_eq!(field("avg_latency"), MetricValue::Float(4.0));
+        assert_eq!(field("throughput"), MetricValue::Float(0.001));
+    }
+
+    #[test]
+    fn undefined_statistics_serialize_as_nan_floats() {
+        // A zero-delivery run: the averages are NaN floats (for the sink
+        // layer to render per format), never panics or zeros.
+        let m = SimMetrics::new(4, 2);
+        let nan_fields: Vec<&str> = SimMetrics::FIELD_NAMES
+            .iter()
+            .zip(m.field_values())
+            .filter(|(_, v)| matches!(v, MetricValue::Float(x) if x.is_nan()))
+            .map(|(&n, _)| n)
+            .collect();
+        assert_eq!(nan_fields, ["avg_latency", "avg_hops", "delivery_ratio"]);
     }
 }

@@ -13,8 +13,9 @@
 //! ```
 
 use otis_lightwave::net::{
-    compare_spec_strs, default_thread_count, frontier_scan, run_grid, saturation_point,
-    ComparisonRow, FaultSet, NetworkSpec, ScenarioGrid, ScenarioRow, TrafficSpec,
+    compare_spec_strs, default_thread_count, frontier_scan, run_grid, run_grid_streaming,
+    saturation_point, ComparisonRow, FaultSet, JsonLinesSink, NetworkSpec, ScenarioGrid,
+    ScenarioRow, TrafficSpec,
 };
 
 fn main() {
@@ -86,7 +87,23 @@ fn main() {
     for row in &rows {
         println!("{}", row.as_table_row());
     }
+    // Results also *stream*: run_grid_streaming hands rows to a RowSink in
+    // grid order while later cells are still running, so machine-readable
+    // exports (CSV, JSON Lines) never materialise the grid in memory.
+    // Undefined averages become null in JSONL (and empty fields in CSV),
+    // never the string "NaN" or "-".
+    println!();
+    println!("The same rows as JSON Lines (streamed; see also `scenarios --format jsonl`):");
+    let mut jsonl = JsonLinesSink::new(std::io::stdout().lock());
+    let summary =
+        run_grid_streaming(&grid, default_thread_count(), &mut jsonl).expect("grid streams");
+    println!(
+        "({} rows streamed; peak reorder buffer {} rows)",
+        summary.rows, summary.peak_buffered
+    );
+
     println!();
     println!("The same grid is declarable as a config file — see examples/sweep.scn and");
-    println!("`scenarios --file examples/sweep.scn` in otis-bench.");
+    println!("`scenarios --file examples/sweep.scn` in otis-bench (its `format` and");
+    println!("`output` keys pick the result format and destination file).");
 }
