@@ -1,0 +1,89 @@
+//! Scenario-engine throughput: cells/second on a representative grid.
+//!
+//! The grid mirrors the comparison studies of §4 — one network, several
+//! workloads, several seeds, the full `d − 1` fault sweep of §2.5 — which
+//! is exactly the shape where the engine's prepared-kernel cache pays off:
+//! 168 cells share 7 distinct `(spec, fault-pattern)` kernels, so the
+//! routing state is built 7 times instead of 168 and every cell only pays
+//! for its slot loop.  The `fresh_kernel_per_cell` baseline simulates the
+//! pre-cache behaviour (prepare + run per cell, serially) for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use otis_net::{run_grid, NetworkSpec, ScenarioGrid, SimOptions, TrafficSpec};
+use otis_routing::node_fault_patterns_up_to;
+use std::time::Duration;
+
+/// SK(2,2,2) × 3 workloads × 8 seeds × (intact + 6 single-group faults)
+/// = 168 cells at 200 slots each.
+fn representative_grid() -> ScenarioGrid {
+    let specs: Vec<NetworkSpec> = vec!["SK(2,2,2)".parse().unwrap()];
+    let workloads: Vec<TrafficSpec> = ["uniform(0.3)", "perm(0.5,7)", "hotspot(0.4,0,0.2)"]
+        .iter()
+        .map(|w| w.parse().unwrap())
+        .collect();
+    ScenarioGrid::new(specs)
+        .workloads(workloads)
+        .seeds(&[1, 2, 3, 4, 5, 6, 7, 8])
+        .fault_sets(node_fault_patterns_up_to(6, 1))
+        .slots(200)
+}
+
+fn bench_scenario_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_grid");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+
+    let grid = representative_grid();
+    let cells = grid.cell_count();
+    assert_eq!(cells, 168);
+
+    // The engine path: cached kernels, one worker.  Dividing the reported
+    // time by 168 gives seconds/cell; its inverse is cells/second.
+    group.bench_function(format!("engine_cached_{cells}cells_1thread"), |b| {
+        b.iter(|| run_grid(&grid, 1).unwrap())
+    });
+
+    // The same grid across 4 workers (on multi-core hardware this divides
+    // wall-clock; results stay byte-identical either way).
+    group.bench_function(format!("engine_cached_{cells}cells_4threads"), |b| {
+        b.iter(|| run_grid(&grid, 4).unwrap())
+    });
+
+    // Pre-cache baseline: rebuild the routing state for every cell, the way
+    // the engine worked before the prepare/execute split.
+    group.bench_function(format!("fresh_kernel_per_cell_{cells}cells"), |b| {
+        let networks: Vec<otis_net::Network> = grid
+            .specs
+            .iter()
+            .map(|&spec| otis_net::Network::new(spec).unwrap())
+            .collect();
+        b.iter(|| {
+            let mut delivered = 0u64;
+            for workload in &grid.workloads {
+                for (network, _) in networks.iter().zip(&grid.specs) {
+                    let pattern = workload.bind(network.node_count()).unwrap();
+                    for &seed in &grid.seeds {
+                        for faults in &grid.fault_sets {
+                            let options = SimOptions {
+                                seed,
+                                faults: faults.clone(),
+                                ..grid.options.clone()
+                            };
+                            // prepare + run per cell: no reuse.
+                            let kernel = network.prepare(&options.faults);
+                            delivered += kernel.run(&pattern, &options).delivered;
+                        }
+                    }
+                }
+            }
+            delivered
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_grid);
+criterion_main!(benches);

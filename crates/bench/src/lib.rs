@@ -44,6 +44,11 @@
 //! * The Criterion benches under `benches/` measure the performance of the
 //!   building blocks: topology construction, diameter computation, routing,
 //!   OTIS design construction + verification, and simulation throughput.
+//!   `scenario_grid` measures the engine end to end — cells/second on a
+//!   representative `SK(2,2,2) × 3 workloads × 8 seeds × fault-sweep` grid —
+//!   against a fresh-kernel-per-cell baseline, making the prepare/execute
+//!   split's cache win visible in the bench trajectory (CI compiles every
+//!   bench via `cargo bench --no-run`).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

@@ -29,9 +29,32 @@
 //! CSV or JSON-Lines file without ever materialising its rows.  [`run_grid`]
 //! is the collect-everything convenience: [`run_grid_streaming`] plus a
 //! [`CollectSink`].
+//!
+//! ## The prepared-kernel cache
+//!
+//! Simulation is split into prepare/execute (see [`crate::prepared`]): the
+//! expensive routing state — fault-filtered graph, distance tables, flat
+//! route layouts — lives in an immutable [`PreparedSim`] kernel, and a
+//! cell's run only pays for its slot loop.  The engine keys a cache of
+//! these kernels on the `(spec, fault-pattern)` pair: one `OnceLock` slot
+//! per pair, shared by every worker, so a grid builds each distinct kernel
+//! **exactly once** no matter how many cells (seeds × workloads) share it
+//! or how many threads race to need it first.  A 1 000-cell sweep with a
+//! handful of distinct `(spec, fault)` pairs therefore performs a handful
+//! of routing-table constructions instead of 1 000.
+//! [`StreamSummary::kernels_built`] reports the constructions a run
+//! actually performed — the construction counter the cache tests pin.
+//!
+//! Cached kernels live for the whole run (exactly-once construction rules
+//! out eviction), so the cache's memory is O(specs × fault_sets) kernels on
+//! top of the engine's O(threads + window) row buffering — the trade-off is
+//! deliberate: fault axes are combinatorial in *patterns*, but each kernel
+//! is only a routing table, and rebuilding one mid-run would cost far more
+//! than holding it.
 
 use crate::error::NetworkError;
 use crate::network::Network;
+use crate::prepared::PreparedSim;
 use crate::scenarios::fmt_stat;
 use crate::sim_options::SimOptions;
 use crate::sink::{CollectSink, RowSink};
@@ -41,7 +64,7 @@ use otis_routing::FaultSet;
 use otis_sim::{SimMetrics, TrafficPattern};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Condvar, Mutex, OnceLock};
 
 /// A declarative grid of simulation scenarios: every combination of spec,
 /// workload, seed and fault pattern becomes one independent cell.
@@ -255,9 +278,10 @@ pub fn reorder_window(threads: usize) -> usize {
     2 * threads.max(1)
 }
 
-/// What a streaming run did: how many rows reached the sink and the largest
+/// What a streaming run did: how many rows reached the sink, the largest
 /// number of completed rows the reorder buffer ever held (always at most
-/// [`reorder_window`] of the requested thread count).
+/// [`reorder_window`] of the requested thread count), and how many prepared
+/// kernels were constructed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamSummary {
     /// Rows delivered to the sink, equal to the grid's cell count on a
@@ -266,6 +290,13 @@ pub struct StreamSummary {
     /// Peak size of the reorder buffer — the memory high-water mark of the
     /// run, bounded by the reorder window, not the cell count.
     pub peak_buffered: usize,
+    /// Prepared simulation kernels constructed during the run — the
+    /// construction counter of the `(spec, fault-pattern)` cache.  On a
+    /// completed run this equals the number of distinct pairs the grid
+    /// exercised (`specs × fault_sets`), never the cell count: each kernel
+    /// is built exactly once and shared across every seed/workload cell and
+    /// every worker thread that needs it.
+    pub kernels_built: usize,
 }
 
 /// Executes every cell of the grid across `threads` scoped workers (clamped
@@ -325,11 +356,23 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
     let mut summary = StreamSummary {
         rows: 0,
         peak_buffered: 0,
+        kernels_built: 0,
     };
     if cell_count == 0 {
         sink.finish().map_err(sink_error)?;
         return Ok(summary);
     }
+
+    // The prepared-kernel cache: one lazily-filled slot per
+    // (spec, fault-pattern) pair, shared across workers.  `OnceLock`
+    // guarantees the expensive routing-state construction happens exactly
+    // once per pair even when several workers hit the same slot at the same
+    // time (late arrivals block until the winner finishes, then share the
+    // kernel).  `kernels_built` counts the constructions actually performed.
+    let kernels: Vec<OnceLock<PreparedSim>> = (0..grid.specs.len() * grid.fault_sets.len())
+        .map(|_| OnceLock::new())
+        .collect();
+    let kernels_built = AtomicUsize::new(0);
 
     let workers = threads.max(1).min(cell_count);
     let window = reorder_window(workers);
@@ -349,6 +392,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             let tx = tx.clone();
             let (next, stop, watermark, advanced) = (&next, &stop, &watermark, &advanced);
             let (networks, patterns) = (&networks, &patterns);
+            let (kernels, kernels_built) = (&kernels, &kernels_built);
             scope.spawn(move || {
                 // A panicking cell must not strand the other workers parked
                 // on the condvar (the watermark would never reach them).
@@ -377,7 +421,15 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                         break;
                     }
                     let cell = grid.cell_at(index);
+                    // Look the cell's prepared kernel up in the shared
+                    // cache, building it on first use.
+                    let kernel = kernels[cell.spec * grid.fault_sets.len() + cell.fault_set]
+                        .get_or_init(|| {
+                            kernels_built.fetch_add(1, Ordering::Relaxed);
+                            networks[cell.spec].prepare(&grid.fault_sets[cell.fault_set])
+                        });
                     let row = run_cell(
+                        kernel,
                         &networks[cell.spec],
                         &patterns[cell.workload][cell.spec],
                         grid,
@@ -434,6 +486,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
         drop(rx);
     });
 
+    summary.kernels_built = kernels_built.load(Ordering::Relaxed);
     match sink_failure {
         Some(e) => Err(sink_error(e)),
         None => {
@@ -486,27 +539,31 @@ pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>,
     Ok(sink.into_rows())
 }
 
+/// Executes one cell on its cached prepared kernel: only the slot loop runs
+/// here — the routing state was built when the kernel first entered the
+/// cache.  The cell's fault set is cloned once, into the options, and the
+/// row is built from that same copy.
 fn run_cell(
+    kernel: &PreparedSim,
     network: &Network,
     pattern: &TrafficPattern,
     grid: &ScenarioGrid,
     cell: &Cell,
 ) -> ScenarioRow {
-    let faults = grid.fault_sets[cell.fault_set].clone();
     let options = SimOptions {
         seed: cell.seed,
-        faults: faults.clone(),
+        faults: grid.fault_sets[cell.fault_set].clone(),
         ..grid.options.clone()
     };
     let traffic = grid.workloads[cell.workload];
-    let metrics = network.simulate(pattern, &options);
+    let metrics = kernel.run(pattern, &options);
     ScenarioRow {
         spec: *network.spec(),
         traffic,
         offered_load: traffic.offered_load(),
         seed: cell.seed,
-        fault_count: faults.len(),
-        faults,
+        fault_count: options.faults.len(),
+        faults: options.faults,
         metrics,
     }
 }
@@ -828,6 +885,43 @@ mod tests {
         assert_eq!(sink.started, 1);
         assert_eq!(sink.finished, 1);
         assert!(sink.indices.is_empty());
+    }
+
+    #[test]
+    fn hundred_cell_grid_builds_each_kernel_exactly_once() {
+        // The prepared-kernel cache contract: a grid of 140 cells spanning
+        // 2 specs × 7 fault patterns constructs exactly 2 × 7 = 14 kernels —
+        // one per distinct (spec, fault-pattern) pair — at any thread count,
+        // while seeds and workloads reuse the cached routing state.  The
+        // construction counter is threaded out through the stream summary.
+        let specs: Vec<NetworkSpec> = ["SK(2,2,2)", "DB(2,3)"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        // 7 patterns: the intact baseline plus one single fault per id 0..6
+        // (valid both as SK quotient groups, 6 of them, and DB processors).
+        let grid = ScenarioGrid::new(specs)
+            .loads(&[0.2, 0.6])
+            .seeds(&[1, 2, 3, 4, 5])
+            .fault_sets(node_fault_patterns_up_to(6, 1))
+            .slots(40);
+        assert_eq!(grid.cell_count(), 140);
+        let mut baseline_rows = None;
+        for threads in [1usize, 2, 8] {
+            let mut sink = crate::sink::CollectSink::new();
+            let summary = run_grid_streaming(&grid, threads, &mut sink).unwrap();
+            assert_eq!(summary.rows, 140);
+            assert_eq!(
+                summary.kernels_built, 14,
+                "each distinct (spec, fault-pattern) pair must be prepared exactly once \
+                 ({threads} threads)"
+            );
+            let rows = sink.into_rows();
+            match &baseline_rows {
+                None => baseline_rows = Some(rows),
+                Some(baseline) => assert_eq!(baseline, &rows, "{threads} threads diverged"),
+            }
+        }
     }
 
     #[test]

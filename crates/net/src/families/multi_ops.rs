@@ -5,37 +5,24 @@
 use crate::design::NetworkDesign;
 use crate::error::NetworkError;
 use crate::family::NetworkFamily;
+use crate::prepared::PreparedSim;
 use crate::route::{RouteOracle, StackOracle};
-use crate::sim_options::SimOptions;
 use crate::spec::NetworkSpec;
 use crate::topology::NetworkTopology;
 use otis_core::{PopsDesign, StackImaseItohDesign, StackKautzDesign, VerificationReport};
 use otis_graphs::StackGraph;
 use otis_optics::HardwareInventory;
-use otis_routing::StackRouter;
-use otis_sim::{MultiOpsSim, MultiOpsSimConfig, SimMetrics, TrafficPattern};
+use otis_routing::{FaultSet, StackRouter};
+use otis_sim::PreparedMultiOps;
 use otis_topologies::{Pops, StackImaseItoh, StackKautz};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-/// Runs the slotted multi-OPS simulator over a stack-graph network, routing
-/// around any faults carried by the options (quotient-level semantics, see
-/// [`SimOptions::faults`]).
-fn simulate_multi_ops(
-    stack: &StackGraph,
-    traffic: &TrafficPattern,
-    options: &SimOptions,
-) -> SimMetrics {
-    MultiOpsSim::with_faults(
-        stack.clone(),
-        MultiOpsSimConfig {
-            slots: options.slots,
-            seed: options.seed,
-            policy: options.policy,
-            queue_limit: options.queue_limit,
-        },
-        options.faults.clone(),
-    )
-    .run(traffic)
+/// Prepares the slotted multi-OPS kernel over a shared stack-graph network
+/// under the given quotient-level faults (see
+/// [`crate::SimOptions::faults`]): the fault-filtered quotient routing table
+/// and the flat all-pairs route layout are built once, here.
+fn prepare_multi_ops(stack: &Arc<StackGraph>, faults: &FaultSet) -> PreparedSim {
+    PreparedSim::MultiOps(PreparedMultiOps::new(stack.clone(), faults.clone()))
 }
 
 /// The `POPS(t, g)` network behind the facade.
@@ -44,17 +31,20 @@ pub(crate) struct PopsNetwork {
     spec: NetworkSpec,
     t: usize,
     g: usize,
-    pops: Pops,
+    /// The stack-graph behind an `Arc`, so prepared kernels and route
+    /// oracles share one instance instead of cloning the graph per call.
+    stack: Arc<StackGraph>,
     design: OnceLock<PopsDesign>,
 }
 
 impl PopsNetwork {
     pub(crate) fn new(t: usize, g: usize) -> Self {
+        let stack = Arc::new(Pops::new(t, g).stack_graph().clone());
         PopsNetwork {
             spec: NetworkSpec::Pops { t, g },
             t,
             g,
-            pops: Pops::new(t, g),
+            stack,
             design: OnceLock::new(),
         }
     }
@@ -71,11 +61,11 @@ impl NetworkFamily for PopsNetwork {
     }
 
     fn topology(&self) -> NetworkTopology<'_> {
-        NetworkTopology::MultiOps(self.pops.stack_graph())
+        NetworkTopology::MultiOps(&self.stack)
     }
 
     fn predicted_diameter(&self) -> Option<u32> {
-        Some(if self.pops.node_count() > 1 { 1 } else { 0 })
+        Some(if self.stack.node_count() > 1 { 1 } else { 0 })
     }
 
     fn design(&self) -> Option<NetworkDesign> {
@@ -94,12 +84,12 @@ impl NetworkFamily for PopsNetwork {
 
     fn router(&self) -> Box<dyn RouteOracle> {
         Box::new(StackOracle {
-            router: StackRouter::new(self.pops.stack_graph().clone()),
+            router: StackRouter::from_shared(self.stack.clone(), FaultSet::new()),
         })
     }
 
-    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
-        simulate_multi_ops(self.pops.stack_graph(), traffic, options)
+    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+        prepare_multi_ops(&self.stack, faults)
     }
 }
 
@@ -110,18 +100,20 @@ pub(crate) struct StackKautzNetwork {
     s: usize,
     d: usize,
     k: usize,
-    sk: StackKautz,
+    /// Shared stack-graph instance; see [`PopsNetwork::stack`].
+    stack: Arc<StackGraph>,
     design: OnceLock<StackKautzDesign>,
 }
 
 impl StackKautzNetwork {
     pub(crate) fn new(s: usize, d: usize, k: usize) -> Self {
+        let stack = Arc::new(StackKautz::new(s, d, k).stack_graph().clone());
         StackKautzNetwork {
             spec: NetworkSpec::StackKautz { s, d, k },
             s,
             d,
             k,
-            sk: StackKautz::new(s, d, k),
+            stack,
             design: OnceLock::new(),
         }
     }
@@ -139,7 +131,7 @@ impl NetworkFamily for StackKautzNetwork {
     }
 
     fn topology(&self) -> NetworkTopology<'_> {
-        NetworkTopology::MultiOps(self.sk.stack_graph())
+        NetworkTopology::MultiOps(&self.stack)
     }
 
     fn predicted_diameter(&self) -> Option<u32> {
@@ -162,12 +154,12 @@ impl NetworkFamily for StackKautzNetwork {
 
     fn router(&self) -> Box<dyn RouteOracle> {
         Box::new(StackOracle {
-            router: StackRouter::new(self.sk.stack_graph().clone()),
+            router: StackRouter::from_shared(self.stack.clone(), FaultSet::new()),
         })
     }
 
-    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
-        simulate_multi_ops(self.sk.stack_graph(), traffic, options)
+    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+        prepare_multi_ops(&self.stack, faults)
     }
 }
 
@@ -178,18 +170,20 @@ pub(crate) struct StackImaseItohNetwork {
     s: usize,
     d: usize,
     n: usize,
-    sii: StackImaseItoh,
+    /// Shared stack-graph instance; see [`PopsNetwork::stack`].
+    stack: Arc<StackGraph>,
     design: OnceLock<StackImaseItohDesign>,
 }
 
 impl StackImaseItohNetwork {
     pub(crate) fn new(s: usize, d: usize, n: usize) -> Self {
+        let stack = Arc::new(StackImaseItoh::new(s, d, n).stack_graph().clone());
         StackImaseItohNetwork {
             spec: NetworkSpec::StackImaseItoh { s, d, n },
             s,
             d,
             n,
-            sii: StackImaseItoh::new(s, d, n),
+            stack,
             design: OnceLock::new(),
         }
     }
@@ -207,7 +201,7 @@ impl NetworkFamily for StackImaseItohNetwork {
     }
 
     fn topology(&self) -> NetworkTopology<'_> {
-        NetworkTopology::MultiOps(self.sii.stack_graph())
+        NetworkTopology::MultiOps(&self.stack)
     }
 
     fn predicted_diameter(&self) -> Option<u32> {
@@ -231,11 +225,11 @@ impl NetworkFamily for StackImaseItohNetwork {
 
     fn router(&self) -> Box<dyn RouteOracle> {
         Box::new(StackOracle {
-            router: StackRouter::new(self.sii.stack_graph().clone()),
+            router: StackRouter::from_shared(self.stack.clone(), FaultSet::new()),
         })
     }
 
-    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
-        simulate_multi_ops(self.sii.stack_graph(), traffic, options)
+    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+        prepare_multi_ops(&self.stack, faults)
     }
 }

@@ -5,36 +5,24 @@
 use crate::design::NetworkDesign;
 use crate::error::NetworkError;
 use crate::family::{structural_report, NetworkFamily};
+use crate::prepared::PreparedSim;
 use crate::route::{ImaseItohOracle, KautzOracle, RouteOracle, TableOracle};
-use crate::sim_options::SimOptions;
 use crate::spec::NetworkSpec;
 use crate::topology::NetworkTopology;
 use otis_core::{ImaseItohDesign, KautzDesign, VerificationReport};
 use otis_graphs::Digraph;
 use otis_optics::HardwareInventory;
-use otis_routing::RoutingTable;
-use otis_sim::{HotPotatoSim, HotPotatoSimConfig, SimMetrics, TrafficPattern};
+use otis_routing::{FaultSet, RoutingTable};
+use otis_sim::PreparedHotPotato;
 use otis_topologies::{complete_digraph, de_bruijn, imase_itoh, kautz};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-/// Runs the deflection-routing (hot-potato) simulator over a point-to-point
-/// digraph — the single-OPS baseline of the paper's comparisons — routing
-/// around any faults carried by the options.
-fn simulate_hot_potato(
-    graph: &Digraph,
-    traffic: &TrafficPattern,
-    options: &SimOptions,
-) -> SimMetrics {
-    HotPotatoSim::with_faults(
-        graph.clone(),
-        HotPotatoSimConfig {
-            slots: options.slots,
-            seed: options.seed,
-            max_hops: options.max_hops,
-        },
-        options.faults.clone(),
-    )
-    .run(traffic)
+/// Prepares the deflection-routing (hot-potato) kernel over a shared
+/// point-to-point digraph — the single-OPS baseline of the paper's
+/// comparisons.  With no faults the kernel shares the family's graph
+/// instance; with faults it materialises the surviving subgraph once.
+fn prepare_hot_potato(graph: &Arc<Digraph>, faults: &FaultSet) -> PreparedSim {
+    PreparedSim::HotPotato(PreparedHotPotato::new(graph.clone(), faults.clone()))
 }
 
 /// The Kautz graph `KG(d, k)` behind the facade.
@@ -43,7 +31,7 @@ pub(crate) struct KautzNetwork {
     spec: NetworkSpec,
     d: usize,
     k: usize,
-    graph: Digraph,
+    graph: Arc<Digraph>,
     design: OnceLock<KautzDesign>,
 }
 
@@ -53,7 +41,7 @@ impl KautzNetwork {
             spec: NetworkSpec::Kautz { d, k },
             d,
             k,
-            graph: kautz(d, k),
+            graph: Arc::new(kautz(d, k)),
             design: OnceLock::new(),
         }
     }
@@ -99,8 +87,8 @@ impl NetworkFamily for KautzNetwork {
         })
     }
 
-    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
-        simulate_hot_potato(&self.graph, traffic, options)
+    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+        prepare_hot_potato(&self.graph, faults)
     }
 }
 
@@ -110,7 +98,7 @@ pub(crate) struct ImaseItohNetwork {
     spec: NetworkSpec,
     d: usize,
     n: usize,
-    graph: Digraph,
+    graph: Arc<Digraph>,
     design: OnceLock<ImaseItohDesign>,
 }
 
@@ -120,7 +108,7 @@ impl ImaseItohNetwork {
             spec: NetworkSpec::ImaseItoh { d, n },
             d,
             n,
-            graph: imase_itoh(d, n),
+            graph: Arc::new(imase_itoh(d, n)),
             design: OnceLock::new(),
         }
     }
@@ -167,8 +155,8 @@ impl NetworkFamily for ImaseItohNetwork {
         })
     }
 
-    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
-        simulate_hot_potato(&self.graph, traffic, options)
+    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+        prepare_hot_potato(&self.graph, faults)
     }
 }
 
@@ -179,7 +167,7 @@ pub(crate) struct DeBruijnNetwork {
     spec: NetworkSpec,
     d: usize,
     k: usize,
-    graph: Digraph,
+    graph: Arc<Digraph>,
     table: OnceLock<RoutingTable>,
 }
 
@@ -189,7 +177,7 @@ impl DeBruijnNetwork {
             spec: NetworkSpec::DeBruijn { d, k },
             d,
             k,
-            graph: de_bruijn(d, k),
+            graph: Arc::new(de_bruijn(d, k)),
             table: OnceLock::new(),
         }
     }
@@ -232,8 +220,8 @@ impl NetworkFamily for DeBruijnNetwork {
         })
     }
 
-    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
-        simulate_hot_potato(&self.graph, traffic, options)
+    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+        prepare_hot_potato(&self.graph, faults)
     }
 }
 
@@ -242,7 +230,7 @@ impl NetworkFamily for DeBruijnNetwork {
 pub(crate) struct CompleteNetwork {
     spec: NetworkSpec,
     n: usize,
-    graph: Digraph,
+    graph: Arc<Digraph>,
     table: OnceLock<RoutingTable>,
 }
 
@@ -251,7 +239,7 @@ impl CompleteNetwork {
         CompleteNetwork {
             spec: NetworkSpec::Complete { n },
             n,
-            graph: complete_digraph(n),
+            graph: Arc::new(complete_digraph(n)),
             table: OnceLock::new(),
         }
     }
@@ -296,7 +284,7 @@ impl NetworkFamily for CompleteNetwork {
         })
     }
 
-    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
-        simulate_hot_potato(&self.graph, traffic, options)
+    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+        prepare_hot_potato(&self.graph, faults)
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::design::NetworkDesign;
 use crate::error::NetworkError;
+use crate::prepared::PreparedSim;
 use crate::route::RouteOracle;
 use crate::sim_options::SimOptions;
 use crate::spec::NetworkSpec;
@@ -11,6 +12,7 @@ use otis_core::VerificationReport;
 use otis_graphs::algorithms::{diameter, is_strongly_connected};
 use otis_graphs::Digraph;
 use otis_optics::HardwareInventory;
+use otis_routing::FaultSet;
 use otis_sim::{SimMetrics, TrafficPattern};
 
 /// One network family behind the facade.  Object-safe: the facade holds a
@@ -42,8 +44,20 @@ pub trait NetworkFamily: std::fmt::Debug + Send + Sync {
     /// A route oracle over flat processor identifiers.
     fn router(&self) -> Box<dyn RouteOracle>;
 
-    /// Runs a slotted simulation under the given traffic.
-    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics;
+    /// Prepares the family's immutable simulation kernel for the given fault
+    /// pattern: the fault-filtered graph plus all routing/distance state,
+    /// built once.  [`PreparedSim::run`] then only pays for the slot loop,
+    /// so callers sweeping seeds, loads or traffic patterns over one
+    /// `(network, fault-pattern)` pair should prepare once and run many
+    /// times — exactly what the scenario engine's kernel cache does.
+    fn prepare(&self, faults: &FaultSet) -> PreparedSim;
+
+    /// Runs a slotted simulation under the given traffic: the one-shot
+    /// prepare-then-run wrapper over [`NetworkFamily::prepare`], with
+    /// metrics byte-identical to preparing and running by hand.
+    fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        self.prepare(&options.faults).run(traffic, options)
+    }
 }
 
 /// Structural verification of a point-to-point family without an optical

@@ -22,6 +22,12 @@
 //!   worker threads with deterministic, thread-count-independent results.
 //!   Fault injection is plumbed through [`SimOptions::faults`] using
 //!   [`FaultSet`] from the routing layer;
+//! * [`prepared`] — the prepare/execute split behind simulation:
+//!   [`Network::prepare`] builds an immutable [`PreparedSim`] kernel (the
+//!   fault-filtered graph and all routing state) once per
+//!   `(network, fault-pattern)` pair, cheap [`PreparedSim::run`] calls pay
+//!   only for the slot loop, and the engine caches kernels on exactly that
+//!   key so a grid builds each one exactly once;
 //! * [`sink`] — the streaming result surface: [`run_grid_streaming`] hands
 //!   completed cells to a [`RowSink`] in deterministic grid order through a
 //!   bounded reorder buffer (memory O(threads + window), not O(cells)), with
@@ -62,6 +68,7 @@ pub mod error;
 mod families;
 pub mod family;
 pub mod network;
+pub mod prepared;
 pub mod route;
 pub mod scenarios;
 pub mod sim_options;
@@ -80,6 +87,7 @@ pub use error::{NetworkError, SpecError};
 pub use family::NetworkFamily;
 pub use network::Network;
 pub use otis_routing::FaultSet;
+pub use prepared::PreparedSim;
 pub use route::{Route, RouteOracle};
 pub use scenarios::{
     compare_networks, compare_spec_strs, compare_specs, frontier_scan, saturation_point,

@@ -4,6 +4,7 @@ use crate::design::NetworkDesign;
 use crate::error::NetworkError;
 use crate::families;
 use crate::family::NetworkFamily;
+use crate::prepared::PreparedSim;
 use crate::route::RouteOracle;
 use crate::sim_options::SimOptions;
 use crate::spec::NetworkSpec;
@@ -11,6 +12,7 @@ use crate::topology::NetworkTopology;
 use crate::traffic_spec::TrafficSpec;
 use otis_core::VerificationReport;
 use otis_optics::HardwareInventory;
+use otis_routing::FaultSet;
 use otis_sim::{SimMetrics, TrafficPattern};
 use otis_topologies::TopologySummary;
 
@@ -125,7 +127,18 @@ impl Network {
         self.inner.router()
     }
 
-    /// Runs a slotted simulation under the given traffic pattern.
+    /// Prepares this network's immutable simulation kernel for the given
+    /// fault pattern — the expensive half of a simulation (fault-filtered
+    /// graph, routing/distance tables), built once.  Sweeps that vary only
+    /// seeds, loads or traffic over one `(network, fault-pattern)` pair
+    /// should prepare once and call [`PreparedSim::run`] per cell; the
+    /// scenario engine does exactly that through its kernel cache.
+    pub fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+        self.inner.prepare(faults)
+    }
+
+    /// Runs a slotted simulation under the given traffic pattern: the
+    /// one-shot prepare-then-run wrapper over [`Network::prepare`].
     pub fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
         self.inner.simulate(traffic, options)
     }

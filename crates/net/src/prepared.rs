@@ -1,0 +1,108 @@
+//! The prepared-simulation surface of the facade.
+//!
+//! [`crate::family::NetworkFamily::prepare`] splits simulation into the two
+//! phases of the `otis-sim` kernels: an immutable [`PreparedSim`] — the
+//! fault-filtered graph plus all routing/distance state, built once — and
+//! cheap [`PreparedSim::run`] calls that only pay for the slot loop.  The
+//! scenario engine caches these kernels per `(spec, fault-pattern)` pair so
+//! a grid builds each one exactly once; `Network::simulate` remains the
+//! one-shot prepare-then-run wrapper with byte-identical metrics.
+
+use crate::sim_options::SimOptions;
+use otis_routing::FaultSet;
+use otis_sim::{
+    HotPotatoSimConfig, MultiOpsSimConfig, PreparedHotPotato, PreparedMultiOps, SimMetrics,
+    TrafficPattern,
+};
+
+/// A prepared simulation kernel for one network under one fault pattern —
+/// either simulator family behind one surface.  `Send + Sync`, so one
+/// kernel can serve many worker threads at once.
+#[derive(Debug, Clone)]
+pub enum PreparedSim {
+    /// The deflection-routing kernel of the point-to-point families.
+    HotPotato(PreparedHotPotato),
+    /// The coupler-arbitration kernel of the multi-OPS families.
+    MultiOps(PreparedMultiOps),
+}
+
+impl PreparedSim {
+    /// Executes one run.  Only the run-scoped options are read — `slots`,
+    /// `seed`, `max_hops` for hot-potato kernels; `slots`, `seed`, `policy`,
+    /// `queue_limit` for multi-OPS kernels.  The fault pattern was fixed at
+    /// prepare time ([`PreparedSim::faults`]); `options.faults` is ignored
+    /// here, which is what lets a scenario engine reuse one kernel across
+    /// cells that share a fault pattern.
+    pub fn run(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
+        match self {
+            PreparedSim::HotPotato(kernel) => kernel.run(
+                traffic,
+                &HotPotatoSimConfig {
+                    slots: options.slots,
+                    seed: options.seed,
+                    max_hops: options.max_hops,
+                },
+            ),
+            PreparedSim::MultiOps(kernel) => kernel.run(
+                traffic,
+                &MultiOpsSimConfig {
+                    slots: options.slots,
+                    seed: options.seed,
+                    policy: options.policy,
+                    queue_limit: options.queue_limit,
+                },
+            ),
+        }
+    }
+
+    /// The fault pattern this kernel was prepared with.
+    pub fn faults(&self) -> &FaultSet {
+        match self {
+            PreparedSim::HotPotato(kernel) => kernel.faults(),
+            PreparedSim::MultiOps(kernel) => kernel.router().faults(),
+        }
+    }
+
+    /// Number of processors the kernel simulates.
+    pub fn node_count(&self) -> usize {
+        match self {
+            PreparedSim::HotPotato(kernel) => kernel.node_count(),
+            PreparedSim::MultiOps(kernel) => kernel.processor_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    #[test]
+    fn prepared_run_matches_simulate_for_both_families() {
+        // The facade contract: simulate == prepare + run, byte for byte,
+        // with and without faults, for one family of each kind.
+        for spec in ["DB(2,4)", "SK(2,2,2)"] {
+            let network = Network::from_spec(spec).unwrap();
+            for faults in [FaultSet::new(), FaultSet::from_nodes([1])] {
+                let options = SimOptions::new(300, 11).with_faults(faults.clone());
+                let traffic = TrafficPattern::Uniform { load: 0.4 };
+                let kernel = network.prepare(&faults);
+                assert_eq!(kernel.faults(), &faults, "{spec}");
+                let direct = network.simulate(&traffic, &options);
+                // One kernel, several runs: all must match one-shot calls.
+                for _ in 0..2 {
+                    assert_eq!(kernel.run(&traffic, &options), direct, "{spec}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_node_count_matches_network() {
+        for spec in ["K(5)", "POPS(3,4)"] {
+            let network = Network::from_spec(spec).unwrap();
+            let kernel = network.prepare(&FaultSet::new());
+            assert_eq!(kernel.node_count(), network.node_count(), "{spec}");
+        }
+    }
+}

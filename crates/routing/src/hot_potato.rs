@@ -11,17 +11,29 @@
 use crate::table::RoutingTable;
 use otis_graphs::{Digraph, NodeId};
 use rand::Rng;
+use std::sync::Arc;
 
 /// A hot-potato routing oracle for one digraph.
+///
+/// The digraph is held behind an [`Arc`], so long-lived prepared simulation
+/// kernels can share one graph instance instead of deep-cloning it per
+/// router — see [`HotPotatoRouter::from_shared`].
 #[derive(Debug, Clone)]
 pub struct HotPotatoRouter {
-    graph: Digraph,
+    graph: Arc<Digraph>,
     table: RoutingTable,
 }
 
 impl HotPotatoRouter {
     /// Builds the oracle (precomputes shortest-path distances).
     pub fn new(graph: Digraph) -> Self {
+        Self::from_shared(Arc::new(graph))
+    }
+
+    /// Borrow-based construction: builds the oracle over an already-shared
+    /// digraph without copying any arc data — only the distance table is
+    /// computed.  This is the constructor prepared simulation kernels use.
+    pub fn from_shared(graph: Arc<Digraph>) -> Self {
         let table = RoutingTable::new(&graph);
         HotPotatoRouter { graph, table }
     }
@@ -80,32 +92,56 @@ impl HotPotatoRouter {
         port_free: &[bool],
         rng: &mut R,
     ) -> Option<usize> {
+        let mut ties = Vec::new();
+        self.choose_port_randomized_into(node, dst, port_free, rng, &mut ties)
+    }
+
+    /// Allocation-free form of [`HotPotatoRouter::choose_port_randomized`]:
+    /// the caller provides the scratch buffer that collects the equally-good
+    /// candidate ports, so per-slot simulation loops can reuse one buffer
+    /// across every decision.  Consumes the RNG identically to the
+    /// allocating form (one draw per decision that finds a free port), so
+    /// the two variants produce byte-identical simulations.
+    pub fn choose_port_randomized_into<R: Rng>(
+        &self,
+        node: NodeId,
+        dst: NodeId,
+        port_free: &[bool],
+        rng: &mut R,
+        ties: &mut Vec<usize>,
+    ) -> Option<usize> {
         assert_eq!(
             port_free.len(),
             self.graph.out_degree(node),
             "port mask length mismatch"
         );
         let neighbors = self.graph.out_neighbors(node);
-        let mut best: Option<(u32, Vec<usize>)> = None;
+        ties.clear();
+        let mut best: Option<u32> = None;
         for (port, &next) in neighbors.iter().enumerate() {
             if !port_free[port] {
                 continue;
             }
             let d = self.table.distance(next, dst).unwrap_or(u32::MAX);
-            match &mut best {
-                None => best = Some((d, vec![port])),
-                Some((bd, ports)) => {
-                    if d < *bd {
-                        *bd = d;
-                        ports.clear();
-                        ports.push(port);
-                    } else if d == *bd {
-                        ports.push(port);
-                    }
+            match best {
+                None => {
+                    best = Some(d);
+                    ties.push(port);
                 }
+                Some(bd) if d < bd => {
+                    best = Some(d);
+                    ties.clear();
+                    ties.push(port);
+                }
+                Some(bd) if d == bd => ties.push(port),
+                Some(_) => {}
             }
         }
-        best.map(|(_, ports)| ports[rng.gen_range(0..ports.len())])
+        if ties.is_empty() {
+            None
+        } else {
+            Some(ties[rng.gen_range(0..ties.len())])
+        }
     }
 
     /// Whether sending through `port` at `node` makes progress (strictly

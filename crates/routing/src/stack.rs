@@ -13,6 +13,7 @@
 use crate::fault_tolerant::{surviving_subgraph, FaultSet};
 use crate::table::RoutingTable;
 use otis_graphs::{NodeId, StackGraph};
+use std::sync::Arc;
 
 /// One hop of a stack-graph route.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,9 +49,14 @@ impl StackRoute {
 }
 
 /// A router for one stack-graph network.
+///
+/// The stack-graph is held behind an [`Arc`], so long-lived prepared
+/// simulation kernels and route oracles can share one graph instance
+/// instead of deep-cloning it per router — see
+/// [`StackRouter::from_shared`].
 #[derive(Debug, Clone)]
 pub struct StackRouter {
-    stack: StackGraph,
+    stack: Arc<StackGraph>,
     quotient_table: RoutingTable,
     faults: FaultSet,
 }
@@ -69,6 +75,15 @@ impl StackRouter {
     /// the surviving quotient; [`StackRouter::route`] returns `None` when an
     /// endpoint's group has failed or the faults disconnect the pair.
     pub fn with_faults(stack: StackGraph, faults: FaultSet) -> Self {
+        Self::from_shared(Arc::new(stack), faults)
+    }
+
+    /// Borrow-based construction: builds a fault-avoiding router over an
+    /// already-shared stack-graph without copying any graph data — only the
+    /// quotient routing table is computed (over the surviving quotient when
+    /// faults are present).  This is the constructor prepared simulation
+    /// kernels use.
+    pub fn from_shared(stack: Arc<StackGraph>, faults: FaultSet) -> Self {
         let quotient_table = if faults.is_empty() {
             RoutingTable::new(stack.quotient())
         } else {

@@ -7,15 +7,29 @@
 //! onto non-preferred ports when they lose the contention for a shortest-path
 //! port.  New messages can only be injected when a free output port remains
 //! after all transit traffic has been assigned.
+//!
+//! The simulator is split into *prepare* and *execute* phases:
+//!
+//! * [`PreparedHotPotato`] is the immutable kernel — the fault-filtered
+//!   digraph (already a flat CSR port layout) plus the deflection router's
+//!   all-pairs distance table, built once per `(graph, fault-pattern)` pair;
+//! * [`PreparedHotPotato::run`] owns only per-run mutable state
+//!   ([`crate::kernel::RunCore`] plus reusable per-node message buffers) and
+//!   performs no per-slot allocations, so a scenario sweep pays the
+//!   expensive table construction once and every cell only pays for its
+//!   slot loop.
+//!
+//! [`HotPotatoSim`] remains as the one-shot convenience: a prepared kernel
+//! bundled with one [`HotPotatoSimConfig`].
 
+use crate::kernel::RunCore;
 use crate::message::Message;
 use crate::metrics::SimMetrics;
 use crate::traffic::TrafficPattern;
 use otis_graphs::Digraph;
 use otis_routing::fault_tolerant::surviving_subgraph;
 use otis_routing::{FaultSet, HotPotatoRouter};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Configuration of one hot-potato simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,36 +53,44 @@ impl Default for HotPotatoSimConfig {
     }
 }
 
-/// The hot-potato simulator.
-#[derive(Debug)]
-pub struct HotPotatoSim {
+/// The immutable, shareable kernel of the hot-potato simulator: the
+/// fault-filtered digraph (a flat CSR port layout — out-neighbours of a node
+/// are one contiguous slice, indexed by port) together with the deflection
+/// router's all-pairs distance table.  Building one is the expensive part of
+/// a simulation (`O(n·(n + m))` for the table); [`PreparedHotPotato::run`]
+/// is the cheap part and can be called any number of times with different
+/// seeds, traffic patterns and slot counts.
+///
+/// The kernel is `Send + Sync`, so a scenario engine can build it once per
+/// distinct `(graph, fault-pattern)` pair and share it across worker
+/// threads.
+#[derive(Debug, Clone)]
+pub struct PreparedHotPotato {
     router: HotPotatoRouter,
-    config: HotPotatoSimConfig,
     faults: FaultSet,
 }
 
-impl HotPotatoSim {
-    /// Creates a simulator over the given point-to-point digraph.
-    pub fn new(graph: Digraph, config: HotPotatoSimConfig) -> Self {
-        Self::with_faults(graph, config, FaultSet::new())
+impl PreparedHotPotato {
+    /// Prepares a kernel over a shared digraph, routing around the given
+    /// faults: blocked arcs and all arcs incident to failed nodes are
+    /// removed from the network, distances are computed on the surviving
+    /// subgraph, and injections from, to or between disconnected processors
+    /// are refused at run time (they do not count as injected).
+    ///
+    /// With no faults the shared graph is used as-is (no copy); with faults
+    /// the surviving subgraph is materialised once, here.
+    pub fn new(graph: Arc<Digraph>, faults: FaultSet) -> Self {
+        let router = if faults.is_empty() {
+            HotPotatoRouter::from_shared(graph)
+        } else {
+            HotPotatoRouter::new(surviving_subgraph(&graph, &faults))
+        };
+        PreparedHotPotato { router, faults }
     }
 
-    /// Creates a simulator that routes around the given faults: blocked arcs
-    /// and all arcs incident to failed nodes are removed from the network,
-    /// distances are recomputed on the surviving subgraph, and injections
-    /// from, to or between disconnected processors are refused (they do not
-    /// count as injected).
-    pub fn with_faults(graph: Digraph, config: HotPotatoSimConfig, faults: FaultSet) -> Self {
-        let routed = if faults.is_empty() {
-            graph
-        } else {
-            surviving_subgraph(&graph, &faults)
-        };
-        HotPotatoSim {
-            router: HotPotatoRouter::new(routed),
-            config,
-            faults,
-        }
+    /// Prepares a kernel from an owned digraph; see [`PreparedHotPotato::new`].
+    pub fn from_graph(graph: Digraph, faults: FaultSet) -> Self {
+        Self::new(Arc::new(graph), faults)
     }
 
     /// Number of nodes simulated.
@@ -76,61 +98,81 @@ impl HotPotatoSim {
         self.router.graph().node_count()
     }
 
-    /// Runs the simulation under the given traffic pattern.
-    pub fn run(&self, traffic: &TrafficPattern) -> SimMetrics {
+    /// The (fault-filtered) digraph the kernel simulates.
+    pub fn graph(&self) -> &Digraph {
+        self.router.graph()
+    }
+
+    /// The faults fixed at prepare time.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Executes one run: `config` carries the run-scoped knobs (slots, seed,
+    /// livelock guard), `traffic` drives the injections.  All mutable state
+    /// is local to this call, and the slot loop reuses its per-node message
+    /// buffers, port mask and deflection scratch across slots — it performs
+    /// no per-slot allocations.
+    pub fn run(&self, traffic: &TrafficPattern, config: &HotPotatoSimConfig) -> SimMetrics {
         let g = self.router.graph();
         let n = g.node_count();
-        let links = g.arc_count();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut metrics = SimMetrics::new(n, links);
+        let mut core = RunCore::new(config.seed, n, g.arc_count());
 
-        // Messages sitting at each node at the start of the slot.
+        // Per-run reusable state: messages sitting at each node at the start
+        // of the slot, the buffers they arrive into, this slot's injection
+        // decisions, the per-node transit sort area, the per-node port mask
+        // and the deflection tie-break scratch.  Allocated once, reused
+        // every slot.
         let mut at_node: Vec<Vec<Message>> = vec![Vec::new(); n];
-        let mut next_id = 0u64;
+        let mut arriving: Vec<Vec<Message>> = vec![Vec::new(); n];
+        let mut injections: Vec<Option<usize>> = Vec::new();
+        let mut transit: Vec<Message> = Vec::new();
+        let mut port_free: Vec<bool> = Vec::new();
+        let mut ties: Vec<usize> = Vec::new();
 
-        for slot in 0..self.config.slots {
-            metrics.slots = slot + 1;
-            let mut arriving: Vec<Vec<Message>> = vec![Vec::new(); n];
-
-            let injections = traffic.injections(n, &mut rng);
+        for slot in 0..config.slots {
+            core.begin_slot(slot);
+            traffic.injections_into(n, &mut core.rng, &mut injections);
 
             for node in 0..n {
                 let degree = g.out_degree(node);
-                let mut port_free = vec![true; degree];
+                port_free.clear();
+                port_free.resize(degree, true);
                 // Deliver messages destined here; sort the rest oldest first
                 // so older traffic gets the better ports.
-                let mut transit: Vec<Message> = Vec::new();
+                transit.clear();
                 for msg in at_node[node].drain(..) {
                     if msg.destination == node {
                         let latency = slot.saturating_sub(msg.created_slot);
-                        metrics.record_delivery(latency, msg.hops);
-                    } else if self.config.max_hops > 0 && msg.hops >= self.config.max_hops {
-                        metrics.dropped += 1;
+                        core.deliver(latency, msg.hops);
+                    } else if RunCore::livelock_exceeded(config.max_hops, msg.hops) {
+                        core.drop_message();
                     } else {
                         transit.push(msg);
                     }
                 }
                 transit.sort_by_key(|m| m.created_slot);
 
-                for mut msg in transit {
-                    match self.router.choose_port_randomized(
+                for mut msg in transit.drain(..) {
+                    match self.router.choose_port_randomized_into(
                         node,
                         msg.destination,
                         &port_free,
-                        &mut rng,
+                        &mut core.rng,
+                        &mut ties,
                     ) {
                         Some(port) => {
                             port_free[port] = false;
                             msg.hops += 1;
                             let next = g.out_neighbors(node)[port];
                             arriving[next].push(msg);
-                            metrics.grants += 1;
+                            core.grant();
                         }
                         None => {
                             // No free port: with in-degree == out-degree this
                             // cannot happen for pure transit traffic, but a
                             // loop arc or irregular graph can trigger it.
-                            metrics.dropped += 1;
+                            core.drop_message();
                         }
                     }
                 }
@@ -145,24 +187,28 @@ impl HotPotatoSim {
                             || self.router.distance(node, dst).is_none())
                     {
                         // Unservable under the faults: not counted as injected.
-                    } else if let Some(port) = self
-                        .router
-                        .choose_port_randomized(node, dst, &port_free, &mut rng)
-                    {
+                    } else if let Some(port) = self.router.choose_port_randomized_into(
+                        node,
+                        dst,
+                        &port_free,
+                        &mut core.rng,
+                        &mut ties,
+                    ) {
                         port_free[port] = false;
-                        let mut msg = Message::new(next_id, node, dst, slot);
-                        next_id += 1;
-                        metrics.injected += 1;
+                        let mut msg = core.inject(node, dst, slot);
                         msg.hops = 1;
                         let next = g.out_neighbors(node)[port];
                         arriving[next].push(msg);
-                        metrics.grants += 1;
+                        core.grant();
                     }
                     // else: injection refused, not counted as injected.
                 }
             }
 
-            at_node = arriving;
+            // Every node's vector in `at_node` was drained above, so after
+            // the swap `arriving` is a set of empty buffers (capacity kept)
+            // ready for the next slot.
+            std::mem::swap(&mut at_node, &mut arriving);
         }
 
         // Messages that reached their destination during the final slot are
@@ -171,9 +217,10 @@ impl HotPotatoSim {
         // Their delivery slot is `slots`, consistent with the in-loop
         // convention (a single-hop message costs exactly 1 slot).
         for (node, messages) in at_node.iter_mut().enumerate() {
+            let metrics = &mut core.metrics;
             messages.retain(|msg| {
                 if msg.destination == node {
-                    let latency = self.config.slots.saturating_sub(msg.created_slot);
+                    let latency = config.slots.saturating_sub(msg.created_slot);
                     metrics.record_delivery(latency, msg.hops);
                     false
                 } else {
@@ -182,8 +229,49 @@ impl HotPotatoSim {
             });
         }
 
-        metrics.in_flight = at_node.iter().map(|v| v.len() as u64).sum();
-        metrics
+        let in_flight = at_node.iter().map(|v| v.len() as u64).sum();
+        core.finish(in_flight)
+    }
+}
+
+/// The hot-potato simulator: a [`PreparedHotPotato`] kernel bundled with one
+/// [`HotPotatoSimConfig`].  Kept as the one-shot convenience; sweeps that
+/// run many seeds or traffic patterns over the same network should hold the
+/// prepared kernel directly and call [`PreparedHotPotato::run`] per cell.
+#[derive(Debug)]
+pub struct HotPotatoSim {
+    prepared: PreparedHotPotato,
+    config: HotPotatoSimConfig,
+}
+
+impl HotPotatoSim {
+    /// Creates a simulator over the given point-to-point digraph.
+    pub fn new(graph: Digraph, config: HotPotatoSimConfig) -> Self {
+        Self::with_faults(graph, config, FaultSet::new())
+    }
+
+    /// Creates a simulator that routes around the given faults; see
+    /// [`PreparedHotPotato::new`] for the fault semantics.
+    pub fn with_faults(graph: Digraph, config: HotPotatoSimConfig, faults: FaultSet) -> Self {
+        HotPotatoSim {
+            prepared: PreparedHotPotato::from_graph(graph, faults),
+            config,
+        }
+    }
+
+    /// Number of nodes simulated.
+    pub fn node_count(&self) -> usize {
+        self.prepared.node_count()
+    }
+
+    /// The immutable kernel behind this simulator.
+    pub fn prepared(&self) -> &PreparedHotPotato {
+        &self.prepared
+    }
+
+    /// Runs the simulation under the given traffic pattern.
+    pub fn run(&self, traffic: &TrafficPattern) -> SimMetrics {
+        self.prepared.run(traffic, &self.config)
     }
 }
 
@@ -314,6 +402,30 @@ mod tests {
         )
         .run(&TrafficPattern::Uniform { load: 0.3 });
         assert!(m.injected < intact.injected);
+    }
+
+    #[test]
+    fn prepared_kernel_reuse_matches_fresh_construction() {
+        // The prepare/execute contract: one kernel driven with many
+        // (seed, traffic, slots) combinations produces metrics identical to
+        // rebuilding the simulator from scratch for every run, with and
+        // without faults.
+        let g = kautz(2, 3);
+        for faults in [FaultSet::new(), FaultSet::from_nodes([0, 5])] {
+            let kernel = PreparedHotPotato::from_graph(g.clone(), faults.clone());
+            for (seed, load, slots) in [(1u64, 0.3, 400u64), (9, 0.8, 250), (42, 0.05, 600)] {
+                let config = HotPotatoSimConfig {
+                    slots,
+                    seed,
+                    max_hops: 64,
+                };
+                let traffic = TrafficPattern::Uniform { load };
+                let reused = kernel.run(&traffic, &config);
+                let fresh =
+                    HotPotatoSim::with_faults(g.clone(), config, faults.clone()).run(&traffic);
+                assert_eq!(reused, fresh, "seed {seed} load {load}");
+            }
+        }
     }
 
     #[test]

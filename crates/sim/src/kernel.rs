@@ -1,0 +1,154 @@
+//! Shared slot-loop scaffolding of the prepare/execute simulator split.
+//!
+//! Both simulators — the multi-OPS coupler model and the hot-potato
+//! point-to-point baseline — drive the same outer loop: a slot clock, a
+//! seeded RNG, injection accounting (fresh message identifiers, the
+//! `injected` counter), delivery/drop accumulation into [`SimMetrics`] and a
+//! livelock guard.  [`RunCore`] owns exactly that per-run mutable state, so
+//! the prepared kernels ([`crate::hot_potato::PreparedHotPotato`],
+//! [`crate::multi_ops::PreparedMultiOps`]) stay immutable and shareable
+//! across threads while every `run` call builds one `RunCore` and drives it
+//! through the slots.
+//!
+//! Keeping this state in one place also pins the conventions the
+//! cross-simulator tests rely on: message identifiers count up from zero per
+//! run, `metrics.slots` always equals the number of slots started, and a
+//! delivery in slot `s` of a message created in slot `c` has latency
+//! `s − c` under whichever convention the calling simulator uses.
+
+use crate::message::Message;
+use crate::metrics::SimMetrics;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The per-run mutable core shared by both simulators: seeded RNG, metrics
+/// accumulator and the injection identifier counter.  Everything else a
+/// simulator needs per run (queues, port masks, message buffers) is its own
+/// reusable scratch state; everything immutable (graphs, routing tables,
+/// flat route layouts) lives in the prepared kernel.
+#[derive(Debug)]
+pub struct RunCore {
+    /// The run's RNG; traffic generation, arbitration and deflection
+    /// tie-breaks all draw from this single stream, which is what makes a
+    /// run reproducible from its seed alone.
+    pub rng: StdRng,
+    /// The metrics accumulated so far.
+    pub metrics: SimMetrics,
+    next_id: u64,
+}
+
+impl RunCore {
+    /// A fresh core for one run: RNG seeded with `seed`, zeroed metrics over
+    /// `processors` processors and `channels` couplers/links.
+    pub fn new(seed: u64, processors: usize, channels: usize) -> Self {
+        RunCore {
+            rng: StdRng::seed_from_u64(seed),
+            metrics: SimMetrics::new(processors, channels),
+            next_id: 0,
+        }
+    }
+
+    /// Advances the slot clock: after this call `metrics.slots` counts the
+    /// slot being simulated (slot indices are zero-based, the counter is the
+    /// number of slots started).
+    pub fn begin_slot(&mut self, slot: u64) {
+        self.metrics.slots = slot + 1;
+    }
+
+    /// Accounts one accepted injection: assigns the next message identifier,
+    /// bumps the `injected` counter and returns the fresh message.  Refused
+    /// injections (admission control, faults, back-pressure) must simply not
+    /// call this, so they consume neither an identifier nor a counter slot.
+    pub fn inject(&mut self, source: usize, destination: usize, slot: u64) -> Message {
+        let message = Message::new(self.next_id, source, destination, slot);
+        self.next_id += 1;
+        self.metrics.injected += 1;
+        message
+    }
+
+    /// Records a delivery with the given end-to-end latency and hop count.
+    pub fn deliver(&mut self, latency: u64, hops: u32) {
+        self.metrics.record_delivery(latency, hops);
+    }
+
+    /// Records a dropped message.
+    pub fn drop_message(&mut self) {
+        self.metrics.dropped += 1;
+    }
+
+    /// Records one coupler/link grant (a used channel-slot).
+    pub fn grant(&mut self) {
+        self.metrics.grants += 1;
+    }
+
+    /// The livelock guard: whether a message that has taken `hops` hops has
+    /// exhausted the `max_hops` budget (`0` disables the guard).
+    pub fn livelock_exceeded(max_hops: u32, hops: u32) -> bool {
+        max_hops > 0 && hops >= max_hops
+    }
+
+    /// Finishes the run: records the messages still in flight and returns
+    /// the final metrics.
+    pub fn finish(mut self, in_flight: u64) -> SimMetrics {
+        self.metrics.in_flight = in_flight;
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injection_accounting_assigns_sequential_ids() {
+        let mut core = RunCore::new(7, 4, 4);
+        let a = core.inject(0, 1, 0);
+        let b = core.inject(2, 3, 5);
+        assert_eq!(a.id, 0);
+        assert_eq!(b.id, 1);
+        assert_eq!(b.created_slot, 5);
+        assert_eq!(core.metrics.injected, 2);
+    }
+
+    #[test]
+    fn slot_clock_counts_slots_started() {
+        let mut core = RunCore::new(1, 2, 2);
+        core.begin_slot(0);
+        assert_eq!(core.metrics.slots, 1);
+        core.begin_slot(41);
+        assert_eq!(core.metrics.slots, 42);
+    }
+
+    #[test]
+    fn livelock_guard_respects_the_disable_sentinel() {
+        assert!(!RunCore::livelock_exceeded(0, u32::MAX));
+        assert!(!RunCore::livelock_exceeded(5, 4));
+        assert!(RunCore::livelock_exceeded(5, 5));
+        assert!(RunCore::livelock_exceeded(5, 6));
+    }
+
+    #[test]
+    fn finish_records_in_flight() {
+        let mut core = RunCore::new(1, 2, 2);
+        core.begin_slot(0);
+        core.deliver(3, 2);
+        core.drop_message();
+        core.grant();
+        let m = core.finish(4);
+        assert_eq!(m.delivered, 1);
+        assert_eq!(m.total_latency, 3);
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.grants, 1);
+        assert_eq!(m.in_flight, 4);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        use rand::Rng;
+        let mut a = RunCore::new(99, 1, 1);
+        let mut b = RunCore::new(99, 1, 1);
+        let xs: Vec<usize> = (0..8).map(|_| a.rng.gen_range(0..1000)).collect();
+        let ys: Vec<usize> = (0..8).map(|_| b.rng.gen_range(0..1000)).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -23,6 +23,27 @@
 //!   topology preconditions before handing a `TrafficPattern` to the
 //!   simulators.
 //!
+//! ## Prepare/execute split
+//!
+//! Every simulator is split into an immutable **prepared kernel** and a
+//! cheap **run**:
+//!
+//! * [`PreparedHotPotato`] / [`PreparedMultiOps`] hold the expensive,
+//!   run-independent state — the fault-filtered graph, the routing/distance
+//!   tables and (for multi-OPS) a flat CSR-style table of every
+//!   source/destination route — built once per `(network, fault-pattern)`
+//!   pair and shareable across threads (`Send + Sync`);
+//! * `run(traffic, config)` owns only per-run mutable state
+//!   ([`kernel::RunCore`]: seeded RNG, metrics, injection accounting) plus
+//!   reusable message buffers, and performs **no per-slot allocations**.
+//!
+//! A scenario sweep therefore pays routing-state construction once per
+//! distinct `(network, fault-pattern)` pair while every cell pays only for
+//! its slot loop; `otis_net::engine` caches prepared kernels on exactly that
+//! key.  [`HotPotatoSim`] and [`MultiOpsSim`] remain as one-shot
+//! conveniences (a kernel bundled with one config) and produce metrics
+//! byte-identical to calling the kernel directly.
+//!
 //! The packaged head-to-head comparison scenarios (experiment T5) live in the
 //! `otis-net` facade crate (`otis_net::scenarios`), where any network is
 //! addressable by a spec string and a comparison is plain data.
@@ -33,14 +54,16 @@
 
 pub mod arbitration;
 pub mod hot_potato;
+pub mod kernel;
 pub mod message;
 pub mod metrics;
 pub mod multi_ops;
 pub mod traffic;
 
 pub use arbitration::ArbitrationPolicy;
-pub use hot_potato::{HotPotatoSim, HotPotatoSimConfig};
+pub use hot_potato::{HotPotatoSim, HotPotatoSimConfig, PreparedHotPotato};
+pub use kernel::RunCore;
 pub use message::Message;
 pub use metrics::{MetricValue, SimMetrics};
-pub use multi_ops::{MultiOpsSim, MultiOpsSimConfig};
+pub use multi_ops::{MultiOpsSim, MultiOpsSimConfig, PreparedMultiOps};
 pub use traffic::TrafficPattern;

@@ -12,19 +12,34 @@
 //! * messages follow the group-level routes of
 //!   [`otis_routing::StackRouter`]; intermediate processors re-queue the
 //!   message for its next-hop coupler in the following slot.
+//!
+//! The simulator is split into *prepare* and *execute* phases:
+//!
+//! * [`PreparedMultiOps`] is the immutable kernel — the fault-filtered
+//!   [`StackRouter`] quotient plus a flat CSR-style table of every
+//!   source/destination route (one contiguous [`StackHop`] slice per pair),
+//!   built once per `(stack-graph, fault-pattern)` pair;
+//! * [`PreparedMultiOps::run`] owns only per-run mutable state
+//!   ([`crate::kernel::RunCore`] plus reusable coupler queues) and performs
+//!   no per-slot allocations: in-flight messages reference their
+//!   precomputed route slice instead of carrying an owned route, and the
+//!   arbitration candidate buffer is reused across couplers and slots.
+//!
+//! [`MultiOpsSim`] remains as the one-shot convenience: a prepared kernel
+//! bundled with one [`MultiOpsSimConfig`].
 
 use crate::arbitration::ArbitrationPolicy;
+use crate::kernel::RunCore;
 use crate::message::Message;
 use crate::metrics::SimMetrics;
 use crate::traffic::TrafficPattern;
 use otis_graphs::StackGraph;
-use otis_routing::{FaultSet, StackRoute, StackRouter};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use otis_routing::{FaultSet, StackHop, StackRouter};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Configuration of one multi-OPS simulation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MultiOpsSimConfig {
     /// Number of slots to simulate.
     pub slots: u64,
@@ -48,44 +63,103 @@ impl Default for MultiOpsSimConfig {
     }
 }
 
-/// A message in flight together with its remaining route.
+/// A message in flight.  Its route is *not* carried along: it lives in the
+/// kernel's flat route table, indexed by the message's own
+/// `(source, destination)` pair, and `next_hop` tracks the position reached
+/// within that precomputed slice.
 #[derive(Debug, Clone)]
 struct InFlight {
     message: Message,
-    route: StackRoute,
     next_hop: usize,
     /// The processor currently holding the message (the sender of the next hop).
     holder: usize,
 }
 
-/// The multi-OPS network simulator.
-#[derive(Debug)]
-pub struct MultiOpsSim {
-    router: StackRouter,
-    config: MultiOpsSimConfig,
+/// All routes of one prepared network, flattened CSR-style: the hops of the
+/// route from `src` to `dst` are the contiguous slice
+/// `hops[offsets[src·n + dst] .. offsets[src·n + dst + 1]]`.  Pairs the
+/// (fault-filtered) quotient cannot connect are marked unreachable.  Memory
+/// is `O(n² · diameter)` — the same order as the routing tables already
+/// underneath — and lookups are two loads, so the injection path of the
+/// slot loop does no route computation and no allocation.
+#[derive(Debug, Clone)]
+struct FlatRoutes {
+    n: usize,
+    offsets: Vec<usize>,
+    reachable: Vec<bool>,
+    hops: Vec<StackHop>,
 }
 
-impl MultiOpsSim {
-    /// Creates a simulator for the given stack-graph network.
-    pub fn new(stack: StackGraph, config: MultiOpsSimConfig) -> Self {
-        Self::with_faults(stack, config, FaultSet::new())
-    }
-
-    /// Creates a simulator that routes around the given faults.  The fault
-    /// set is interpreted over the quotient (see
-    /// [`StackRouter::with_faults`]): failed groups neither send nor receive,
-    /// blocked couplers carry nothing, and injections the surviving quotient
-    /// cannot route are refused (not counted as injected).
-    pub fn with_faults(stack: StackGraph, config: MultiOpsSimConfig, faults: FaultSet) -> Self {
-        MultiOpsSim {
-            router: StackRouter::with_faults(stack, faults),
-            config,
+impl FlatRoutes {
+    /// Precomputes every route of the router, in source-major order.
+    fn new(router: &StackRouter) -> Self {
+        let n = router.stack_graph().node_count();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        offsets.push(0);
+        let mut reachable = Vec::with_capacity(n * n);
+        let mut hops = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                match router.route(src, dst) {
+                    Some(route) => {
+                        reachable.push(true);
+                        hops.extend(route.hops);
+                    }
+                    None => reachable.push(false),
+                }
+                offsets.push(hops.len());
+            }
+        }
+        FlatRoutes {
+            n,
+            offsets,
+            reachable,
+            hops,
         }
     }
 
-    /// The configuration in use.
-    pub fn config(&self) -> &MultiOpsSimConfig {
-        &self.config
+    /// The hop slice of the route from `src` to `dst`; `None` when the pair
+    /// is unreachable (a failed endpoint group or a disconnected quotient),
+    /// `Some(&[])` when `src == dst`.
+    fn get(&self, src: usize, dst: usize) -> Option<&[StackHop]> {
+        let pair = src * self.n + dst;
+        self.reachable[pair].then(|| &self.hops[self.offsets[pair]..self.offsets[pair + 1]])
+    }
+}
+
+/// The immutable, shareable kernel of the multi-OPS simulator: the
+/// fault-filtered [`StackRouter`] (quotient routing table) plus the
+/// [`FlatRoutes`] table of every source/destination route.  Building one is
+/// the expensive part of a simulation; [`PreparedMultiOps::run`] is the
+/// cheap part and can be called any number of times with different seeds,
+/// traffic patterns and slot counts.
+///
+/// The kernel is `Send + Sync`, so a scenario engine can build it once per
+/// distinct `(stack-graph, fault-pattern)` pair and share it across worker
+/// threads.
+#[derive(Debug, Clone)]
+pub struct PreparedMultiOps {
+    router: StackRouter,
+    routes: FlatRoutes,
+}
+
+impl PreparedMultiOps {
+    /// Prepares a kernel over a shared stack-graph, routing around the given
+    /// faults.  The fault set is interpreted over the quotient (see
+    /// [`StackRouter::with_faults`]): failed groups neither send nor
+    /// receive, blocked couplers carry nothing, and injections the surviving
+    /// quotient cannot route are refused at run time (not counted as
+    /// injected).
+    pub fn new(stack: Arc<StackGraph>, faults: FaultSet) -> Self {
+        let router = StackRouter::from_shared(stack, faults);
+        let routes = FlatRoutes::new(&router);
+        PreparedMultiOps { router, routes }
+    }
+
+    /// Prepares a kernel from an owned stack-graph; see
+    /// [`PreparedMultiOps::new`].
+    pub fn from_stack(stack: StackGraph, faults: FaultSet) -> Self {
+        Self::new(Arc::new(stack), faults)
     }
 
     /// Number of processors simulated.
@@ -98,42 +172,49 @@ impl MultiOpsSim {
         self.router.stack_graph().hyperarc_count()
     }
 
-    /// Runs the simulation under the given traffic pattern.
-    pub fn run(&self, traffic: &TrafficPattern) -> SimMetrics {
+    /// The fault-avoiding router underneath (exposes the stack-graph and
+    /// the faults fixed at prepare time).
+    pub fn router(&self) -> &StackRouter {
+        &self.router
+    }
+
+    /// Executes one run: `config` carries the run-scoped knobs (slots, seed,
+    /// arbitration policy, queue limit), `traffic` drives the injections.
+    /// All mutable state is local to this call; the slot loop reuses the
+    /// coupler queues, the injection buffer and the arbitration candidate
+    /// buffer across slots — it performs no per-slot allocations.
+    pub fn run(&self, traffic: &TrafficPattern, config: &MultiOpsSimConfig) -> SimMetrics {
         let n = self.processor_count();
         let couplers = self.coupler_count();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut metrics = SimMetrics::new(n, couplers);
-        // One queue per coupler of messages waiting to use it.
+        let mut core = RunCore::new(config.seed, n, couplers);
+        // One queue per coupler of messages waiting to use it, plus the
+        // reusable per-slot scratch buffers.
         let mut queues: Vec<VecDeque<InFlight>> = (0..couplers).map(|_| VecDeque::new()).collect();
         let mut last_winner: Vec<Option<usize>> = vec![None; couplers];
-        let mut next_id: u64 = 0;
+        let mut injections: Vec<Option<usize>> = Vec::new();
+        let mut candidates: Vec<(usize, u64)> = Vec::new();
 
-        for slot in 0..self.config.slots {
-            metrics.slots = slot + 1;
+        for slot in 0..config.slots {
+            core.begin_slot(slot);
 
             // 1. Injection.
-            for (src, dst) in traffic.injections(n, &mut rng).into_iter().enumerate() {
-                let Some(dst) = dst else { continue };
-                let Some(route) = self.router.route(src, dst) else {
+            traffic.injections_into(n, &mut core.rng, &mut injections);
+            for (src, dst) in injections.iter().enumerate() {
+                let Some(dst) = *dst else { continue };
+                let Some(route) = self.routes.get(src, dst) else {
                     continue;
                 };
                 if route.is_empty() {
                     continue;
                 }
-                let first_coupler = route.hops[0].coupler;
-                if self.config.queue_limit > 0
-                    && queues[first_coupler].len() >= self.config.queue_limit
-                {
+                let first_coupler = route[0].coupler;
+                if config.queue_limit > 0 && queues[first_coupler].len() >= config.queue_limit {
                     // Back-pressure: the injection is refused, not counted.
                     continue;
                 }
-                let message = Message::new(next_id, src, dst, slot);
-                next_id += 1;
-                metrics.injected += 1;
+                let message = core.inject(src, dst, slot);
                 queues[first_coupler].push_back(InFlight {
                     message,
-                    route,
                     next_hop: 0,
                     holder: src,
                 });
@@ -144,38 +225,96 @@ impl MultiOpsSim {
                 if queues[coupler].is_empty() {
                     continue;
                 }
-                let candidates: Vec<(usize, u64)> = queues[coupler]
-                    .iter()
-                    .map(|f| (f.holder, f.message.created_slot))
-                    .collect();
+                candidates.clear();
+                candidates.extend(
+                    queues[coupler]
+                        .iter()
+                        .map(|f| (f.holder, f.message.created_slot)),
+                );
                 let Some(winner_idx) =
-                    self.config
+                    config
                         .policy
-                        .pick(&candidates, last_winner[coupler], &mut rng)
+                        .pick(&candidates, last_winner[coupler], &mut core.rng)
                 else {
                     continue;
                 };
                 let mut flight = queues[coupler].remove(winner_idx).expect("index valid");
                 last_winner[coupler] = Some(flight.holder);
-                metrics.grants += 1;
+                core.grant();
 
-                let hop = flight.route.hops[flight.next_hop];
+                let route = self
+                    .routes
+                    .get(flight.message.source, flight.message.destination)
+                    .expect("queued messages were injected along a precomputed route");
+                let hop = route[flight.next_hop];
                 flight.message.hops += 1;
                 flight.next_hop += 1;
                 flight.holder = hop.receiver;
-                if flight.next_hop == flight.route.hops.len() {
+                if flight.next_hop == route.len() {
                     // Delivered at the end of this slot.
                     let latency = slot + 1 - flight.message.created_slot;
-                    metrics.record_delivery(latency, flight.message.hops);
+                    core.deliver(latency, flight.message.hops);
                 } else {
-                    let next_coupler = flight.route.hops[flight.next_hop].coupler;
+                    let next_coupler = route[flight.next_hop].coupler;
                     queues[next_coupler].push_back(flight);
                 }
             }
         }
 
-        metrics.in_flight = queues.iter().map(|q| q.len() as u64).sum();
-        metrics
+        let in_flight = queues.iter().map(|q| q.len() as u64).sum();
+        core.finish(in_flight)
+    }
+}
+
+/// The multi-OPS network simulator: a [`PreparedMultiOps`] kernel bundled
+/// with one [`MultiOpsSimConfig`].  Kept as the one-shot convenience; sweeps
+/// that run many seeds or traffic patterns over the same network should
+/// hold the prepared kernel directly and call [`PreparedMultiOps::run`] per
+/// cell.
+#[derive(Debug)]
+pub struct MultiOpsSim {
+    prepared: PreparedMultiOps,
+    config: MultiOpsSimConfig,
+}
+
+impl MultiOpsSim {
+    /// Creates a simulator for the given stack-graph network.
+    pub fn new(stack: StackGraph, config: MultiOpsSimConfig) -> Self {
+        Self::with_faults(stack, config, FaultSet::new())
+    }
+
+    /// Creates a simulator that routes around the given faults; see
+    /// [`PreparedMultiOps::new`] for the fault semantics.
+    pub fn with_faults(stack: StackGraph, config: MultiOpsSimConfig, faults: FaultSet) -> Self {
+        MultiOpsSim {
+            prepared: PreparedMultiOps::from_stack(stack, faults),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MultiOpsSimConfig {
+        &self.config
+    }
+
+    /// Number of processors simulated.
+    pub fn processor_count(&self) -> usize {
+        self.prepared.processor_count()
+    }
+
+    /// Number of couplers simulated.
+    pub fn coupler_count(&self) -> usize {
+        self.prepared.coupler_count()
+    }
+
+    /// The immutable kernel behind this simulator.
+    pub fn prepared(&self) -> &PreparedMultiOps {
+        &self.prepared
+    }
+
+    /// Runs the simulation under the given traffic pattern.
+    pub fn run(&self, traffic: &TrafficPattern) -> SimMetrics {
+        self.prepared.run(traffic, &self.config)
     }
 }
 
@@ -307,6 +446,30 @@ mod tests {
         );
         assert!(faulty.injected < intact.injected);
         assert!(faulty.max_hops <= 4, "max hops {}", faulty.max_hops);
+    }
+
+    #[test]
+    fn prepared_kernel_reuse_matches_fresh_construction() {
+        // The prepare/execute contract, multi-OPS side: one kernel driven
+        // with many (seed, traffic, slots) combinations matches rebuilding
+        // the simulator (router + quotient table + flat routes) per run.
+        let sk = StackKautz::new(2, 2, 2);
+        for faults in [FaultSet::new(), FaultSet::from_nodes([2])] {
+            let kernel = PreparedMultiOps::from_stack(sk.stack_graph().clone(), faults.clone());
+            for (seed, load, slots) in [(1u64, 0.4, 400u64), (7, 0.9, 250), (31, 0.1, 600)] {
+                let config = MultiOpsSimConfig {
+                    slots,
+                    seed,
+                    ..Default::default()
+                };
+                let traffic = TrafficPattern::Uniform { load };
+                let reused = kernel.run(&traffic, &config);
+                let fresh =
+                    MultiOpsSim::with_faults(sk.stack_graph().clone(), config, faults.clone())
+                        .run(&traffic);
+                assert_eq!(reused, fresh, "seed {seed} load {load}");
+            }
+        }
     }
 
     #[test]

@@ -82,7 +82,18 @@ impl TrafficPattern {
     /// The injection decisions of one slot: for every processor, an optional
     /// destination.
     pub fn injections<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<Option<usize>> {
-        (0..n).map(|src| self.inject_for(src, n, rng)).collect()
+        let mut out = Vec::new();
+        self.injections_into(n, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`TrafficPattern::injections`]: fills the
+    /// caller's buffer with this slot's decisions instead of allocating a
+    /// fresh vector, so slot loops can reuse one buffer for the whole run.
+    /// Draws from the RNG in exactly the same order as the allocating form.
+    pub fn injections_into<R: Rng>(&self, n: usize, rng: &mut R, out: &mut Vec<Option<usize>>) {
+        out.clear();
+        out.extend((0..n).map(|src| self.inject_for(src, n, rng)));
     }
 
     /// The injection decision of one processor in one slot.
