@@ -6,7 +6,9 @@
 //! 168 cells share 7 distinct `(spec, fault-pattern)` kernels, so the
 //! routing state is built 7 times instead of 168 and every cell only pays
 //! for its slot loop.  The `fresh_kernel_per_cell` baseline simulates the
-//! pre-cache behaviour (prepare + run per cell, serially) for comparison.
+//! pre-cache behaviour (prepare + run per cell, serially) for comparison,
+//! and `wavelength_sweep` prices the wavelength layer: the same study with
+//! the wavelength-count axis swept over `{1, 4, 16}`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use otis_net::{run_grid, NetworkSpec, ScenarioGrid, SimOptions, TrafficSpec};
@@ -50,6 +52,19 @@ fn bench_scenario_grid(c: &mut Criterion) {
     group.bench_function(format!("engine_cached_{cells}cells_4threads"), |b| {
         b.iter(|| run_grid(&grid, 4).unwrap())
     });
+
+    // The wavelength layer's overhead: the same study shape with the
+    // wavelength-count axis swept over {1, 4, 16}.  Capacity-1 cells take
+    // the legacy slot loop; the others pay for per-coupler spectrum masks
+    // and first-fit slot searches.  Comparing per-cell time against the
+    // capacity-1 engine benches above bounds the cost of the accounting.
+    let blocking_grid = representative_grid().wavelengths(&[1, 4, 16]);
+    let blocking_cells = blocking_grid.cell_count();
+    assert_eq!(blocking_cells, 504);
+    group.bench_function(
+        format!("wavelength_sweep_{blocking_cells}cells_4threads"),
+        |b| b.iter(|| run_grid(&blocking_grid, 4).unwrap()),
+    );
 
     // Pre-cache baseline: rebuild the routing state for every cell, the way
     // the engine worked before the prepare/execute split.

@@ -1,8 +1,8 @@
 //! Command-line front end of the parallel scenario engine.
 //!
-//! Runs a `(spec × workload × seed × fault pattern)` grid across worker
-//! threads and **streams** one row per cell, in deterministic grid order, to
-//! stdout or a file, as a table, CSV or JSON Lines:
+//! Runs a `(spec × workload × seed × fault pattern × wavelength count)` grid
+//! across worker threads and **streams** one row per cell, in deterministic
+//! grid order, to stdout or a file, as a table, CSV or JSON Lines:
 //!
 //! ```text
 //! cargo run -p otis-bench --bin scenarios -- \
@@ -42,12 +42,12 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: scenarios [--file STUDY.scn] [--specs S1,S2,...] [--traffic W1,W2,...]
                  [--loads L1,L2,...] [--seeds N1,N2,...] [--slots N]
-                 [--faults N] [--threads N] [--format table|csv|jsonl]
-                 [--output FILE]
+                 [--faults N] [--wavelengths W1,W2,...] [--alt-paths N]
+                 [--threads N] [--format table|csv|jsonl] [--output FILE]
 
   --file     scenario config file declaring the whole study (specs,
-             workloads, seeds, slots, faults, threads, format, output);
-             flags given after --file override it
+             workloads, seeds, slots, faults, wavelengths, alt_paths,
+             threads, format, output); flags given after --file override it
   --specs    comma-separated network specs        (default SK(4,2,2),POPS(4,6),DB(2,5))
   --traffic  comma-separated workload specs, e.g. uniform(0.3), perm(0.5,7),
              hotspot(0.4,0,0.2), transpose(0.5), bitrev(0.5)
@@ -58,6 +58,14 @@ const USAGE: &str = "usage: scenarios [--file STUDY.scn] [--specs S1,S2,...] [--
   --slots    slots simulated per cell             (default 2000)
   --faults   sweep 0..=N nested node faults       (default 0; ids are quotient
              groups for multi-OPS networks, processors for point-to-point)
+  --wavelengths
+             comma-separated wavelength counts to sweep, each >= 1
+             (default 1 = the legacy capacity-1 simulators; any count > 1
+             adds the blocking-ratio / utilization / cost columns)
+  --alt-paths
+             routes tried per hop in wavelength mode: the primary plus
+             N-1 Yen alternates (default 1; multi-OPS networks only —
+             hot-potato deflection is already alternate routing)
   --threads  worker threads                       (default: available parallelism)
   --format   result format: table, csv or jsonl   (default table; undefined
              averages render '-' / empty / null respectively, never NaN)
@@ -184,6 +192,22 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                     .map(|count| FaultSet::from_nodes(0..count))
                     .collect();
             }
+            "--wavelengths" => {
+                let counts = parse_list::<usize>(flag, value)?;
+                if counts.iter().any(|&w| w == 0) {
+                    return Err("--wavelengths: counts must be at least 1".to_string());
+                }
+                grid.wavelengths = counts;
+            }
+            "--alt-paths" => {
+                let alt_paths: usize = value
+                    .parse()
+                    .map_err(|_| format!("--alt-paths: cannot parse '{value}'"))?;
+                if alt_paths == 0 {
+                    return Err("--alt-paths: must be at least 1".to_string());
+                }
+                grid.options.alt_paths = alt_paths;
+            }
             "--threads" => {
                 threads = value
                     .parse()
@@ -225,15 +249,24 @@ fn main() -> ExitCode {
     // Metadata goes to stderr: stdout carries only the rows, so csv/jsonl
     // output stays machine-readable when piped.
     eprintln!(
-        "# {} cells ({} specs x {} workloads x {} seeds x {} fault patterns), {} slots each, {} threads, {} format",
+        "# {} cells ({} specs x {} workloads x {} seeds x {} fault patterns x {} wavelength counts), {} slots each, {} threads, {} format{}",
         grid.cell_count(),
         grid.specs.len(),
         grid.workloads.len(),
         grid.seeds.len(),
         grid.fault_sets.len(),
+        grid.wavelengths.len(),
         grid.options.slots,
         args.threads,
-        args.format
+        args.format,
+        if grid.wavelength_layer_enabled() {
+            format!(
+                ", wavelength layer on (counts {:?}, {} route(s) per hop)",
+                grid.wavelengths, grid.options.alt_paths
+            )
+        } else {
+            String::new()
+        }
     );
     let writer: Box<dyn Write> = match &args.output {
         Some(path) => Box::new(LazyFile::new(path.clone())),

@@ -12,6 +12,7 @@ pub mod diameter;
 pub mod euler;
 pub mod hamilton;
 pub mod paths;
+pub mod yen;
 
 pub use bfs::{bfs_distances, bfs_distances_into, reachable_count};
 pub use connectivity::{is_strongly_connected, strongly_connected_components};
@@ -21,3 +22,4 @@ pub use hamilton::{hamiltonian_cycle, is_hamiltonian};
 pub use paths::{
     all_shortest_path_lengths_from, is_valid_path, shortest_path, shortest_path_avoiding,
 };
+pub use yen::{k_shortest_paths, k_shortest_paths_avoiding};

@@ -17,9 +17,11 @@
 //! This crate provides those three structures along with the algorithms the
 //! reproduction needs: BFS / shortest paths, eccentricity and diameter,
 //! strong connectivity, Eulerian and Hamiltonian checks, the line-digraph
-//! operator `L(G)` (used to define Kautz graphs iteratively), and
+//! operator `L(G)` (used to define Kautz graphs iteratively), Yen's
+//! k-shortest loopless paths (alternate routes for the wavelength layer),
 //! isomorphism checks specialised for the labelled families used in the
-//! paper.
+//! paper, and per-channel wavelength-occupancy bitmasks
+//! ([`spectrum::SpectrumMap`]) for multi-wavelength capacity studies.
 //!
 //! The crate is dependency-light by design (only `rand` for randomised
 //! algorithms) so that the rest of the workspace can build on a stable,
@@ -52,6 +54,7 @@ pub mod hyper;
 pub mod isomorphism;
 pub mod line_digraph;
 pub mod matrix;
+pub mod spectrum;
 pub mod stack;
 
 pub use digraph::{Arc, Digraph, DigraphBuilder, NodeId};
@@ -60,4 +63,5 @@ pub use hyper::{HyperArc, Hypergraph};
 pub use isomorphism::{are_isomorphic, is_identical, relabel};
 pub use line_digraph::{line_digraph, line_digraph_iterated};
 pub use matrix::AdjacencyMatrix;
+pub use spectrum::SpectrumMap;
 pub use stack::{StackGraph, StackNode};

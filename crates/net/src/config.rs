@@ -24,6 +24,8 @@
 //! | `seed` / `seeds`      | random seeds, appended across lines               |
 //! | `slots`               | slots simulated per cell (scalar, once)           |
 //! | `faults`              | sweep the nested fault patterns `{}`, `{0}`, …, `{0..N−1}` (scalar, once) |
+//! | `wavelengths`         | wavelength counts to sweep (list, each ≥ 1; default `1`) |
+//! | `alt_paths`           | routes tried per hop in wavelength mode: primary + Yen alternates (scalar, once; default `1`) |
 //! | `threads`             | worker threads (scalar, once; results are thread-count independent) |
 //! | `format`              | result format: `table`, `csv` or `jsonl` (scalar, once) |
 //! | `output`              | file the results stream to (scalar, once; default stdout) |
@@ -108,8 +110,8 @@ impl fmt::Display for ConfigError {
             ConfigError::UnknownKey { line, key } => write!(
                 f,
                 "line {line}: unknown key '{key}' (supported: spec(s), \
-                 workload(s), load(s), seed(s), slots, faults, threads, \
-                 format, output)"
+                 workload(s), load(s), seed(s), slots, faults, wavelengths, \
+                 alt_paths, threads, format, output)"
             ),
             ConfigError::DuplicateKey { line, key } => {
                 write!(f, "line {line}: key '{key}' was already set")
@@ -170,8 +172,10 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
     let mut specs: Vec<NetworkSpec> = Vec::new();
     let mut workloads: Vec<TrafficSpec> = Vec::new();
     let mut seeds: Vec<u64> = Vec::new();
+    let mut wavelengths: Vec<usize> = Vec::new();
     let mut slots: Option<u64> = None;
     let mut faults: Option<u64> = None;
+    let mut alt_paths: Option<u64> = None;
     let mut threads: Option<u64> = None;
     let mut format: Option<OutputFormat> = None;
     let mut output: Option<String> = None;
@@ -244,8 +248,27 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
                     );
                 }
             }
+            "wavelength" | "wavelengths" => {
+                for entry in split_top_level(value) {
+                    let count = entry.parse::<usize>().map_err(|_| {
+                        value_error(format!("cannot parse '{entry}' as a wavelength count"))
+                    })?;
+                    if count == 0 {
+                        return Err(value_error(
+                            "wavelength counts must be at least 1".to_string(),
+                        ));
+                    }
+                    wavelengths.push(count);
+                }
+            }
             "slots" => scalar(&mut slots, value)?,
             "faults" => scalar(&mut faults, value)?,
+            "alt_paths" => {
+                scalar(&mut alt_paths, value)?;
+                if alt_paths == Some(0) {
+                    return Err(value_error("alt_paths must be at least 1".to_string()));
+                }
+            }
             "threads" => scalar(&mut threads, value)?,
             "format" => {
                 let parsed = value
@@ -281,6 +304,12 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
         grid.fault_sets = (0..=faults as usize)
             .map(|count| FaultSet::from_nodes(0..count))
             .collect();
+    }
+    if !wavelengths.is_empty() {
+        grid.wavelengths = wavelengths;
+    }
+    if let Some(alt_paths) = alt_paths {
+        grid.options.alt_paths = alt_paths as usize;
     }
     Ok(ScenarioConfig {
         grid,
@@ -402,6 +431,36 @@ threads   4
         );
         let err =
             parse_scenario_config("spec K(8)\nload 0.2\noutput a.csv\noutput b.csv\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::DuplicateKey { line: 4, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn wavelength_keys_configure_the_layer() {
+        let config =
+            parse_scenario_config("spec SK(2,2,2)\nload 0.4\nwavelengths 1, 4, 16\nalt_paths 3\n")
+                .unwrap();
+        assert_eq!(config.grid.wavelengths, vec![1, 4, 16]);
+        assert_eq!(config.grid.options.alt_paths, 3);
+        assert!(config.grid.wavelength_layer_enabled());
+
+        // Defaults keep the legacy capacity-1 layer off.
+        let config = parse_scenario_config("spec K(8)\nload 0.2\n").unwrap();
+        assert_eq!(config.grid.wavelengths, vec![1]);
+        assert_eq!(config.grid.options.alt_paths, 1);
+        assert!(!config.grid.wavelength_layer_enabled());
+
+        // Zero counts are refused with line numbers, as is alt_paths 0.
+        let err = parse_scenario_config("spec K(8)\nload 0.2\nwavelengths 2, 0\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Value { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let err = parse_scenario_config("spec K(8)\nload 0.2\nalt_paths 0\n").unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        // alt_paths stays once-only.
+        let err =
+            parse_scenario_config("spec K(8)\nload 0.2\nalt_paths 2\nalt_paths 3\n").unwrap_err();
         assert!(
             matches!(err, ConfigError::DuplicateKey { line: 4, .. }),
             "{err}"

@@ -18,9 +18,11 @@
 //! (transpose needs a square processor count, bit-reversal a power of two)
 //! surface as typed errors before any cell runs.
 //!
-//! Grid order is workloads outermost, then specs, then seeds, then fault
-//! sets — matching the table shape of experiment T5, so
-//! [`crate::scenarios::compare_specs`] is a one-seed, no-fault grid.
+//! Grid order is wavelength counts outermost, then workloads, then specs,
+//! then seeds, then fault sets — matching the table shape of experiment T5
+//! (the default single-entry wavelength axis leaves the historical order
+//! untouched), so [`crate::scenarios::compare_specs`] is a one-seed,
+//! no-fault grid.
 //!
 //! Results *stream*: [`run_grid_streaming`] hands each completed cell to a
 //! [`RowSink`] in grid order while later cells are still running, through a
@@ -61,7 +63,7 @@ use crate::sink::{CollectSink, RowSink};
 use crate::spec::NetworkSpec;
 use crate::traffic_spec::TrafficSpec;
 use otis_routing::FaultSet;
-use otis_sim::{SimMetrics, TrafficPattern};
+use otis_sim::{SimMetrics, TrafficPattern, WavelengthConfig};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex, OnceLock};
@@ -83,8 +85,16 @@ pub struct ScenarioGrid {
     /// point-to-point networks they name processors (see
     /// [`SimOptions::faults`]).
     pub fault_sets: Vec<FaultSet>,
-    /// Shared simulation options (slots, arbitration, queue limit, TTL).
-    /// The `seed` and `faults` fields are overwritten per cell.
+    /// Wavelength counts to sweep, outermost grid axis — the workhorse of
+    /// the blocking-ratio studies.  Every count must be at least 1; the
+    /// default `[1]` keeps the simulators on their legacy capacity-1 loops
+    /// and the sinks on the legacy column schema.  This axis is
+    /// authoritative: it overrides `options.wavelengths.count` per cell
+    /// (the assignment policy still comes from the options).
+    pub wavelengths: Vec<usize>,
+    /// Shared simulation options (slots, arbitration, queue limit, TTL,
+    /// wavelength assignment policy, alternate-route count).  The `seed`,
+    /// `faults` and `wavelengths.count` fields are overwritten per cell.
     pub options: SimOptions,
 }
 
@@ -99,6 +109,7 @@ impl ScenarioGrid {
             workloads: Vec::new(),
             seeds: vec![options.seed],
             fault_sets: vec![FaultSet::new()],
+            wavelengths: vec![options.wavelengths.count],
             options,
         }
     }
@@ -131,6 +142,29 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the wavelength counts to sweep (each must be at least 1).
+    pub fn wavelengths(mut self, counts: &[usize]) -> Self {
+        self.wavelengths = counts.to_vec();
+        self
+    }
+
+    /// Sets the alternate-route count shared by every cell; see
+    /// [`SimOptions::alt_paths`].
+    pub fn alt_paths(mut self, alt_paths: usize) -> Self {
+        self.options.alt_paths = alt_paths;
+        self
+    }
+
+    /// Whether this grid exercises the wavelength layer at all: some cell
+    /// multiplexes more than one wavelength, or alternate routes are
+    /// prepared.  Sinks switch to the extended column schema (wavelength
+    /// metrics plus the cost-per-delivered-bit composite) exactly when this
+    /// is true, so capacity-1 grids stay byte-identical to the legacy
+    /// output.
+    pub fn wavelength_layer_enabled(&self) -> bool {
+        self.wavelengths.iter().any(|&w| w > 1) || self.options.alt_paths > 1
+    }
+
     /// Sets the slot count.
     pub fn slots(mut self, slots: u64) -> Self {
         self.options.slots = slots;
@@ -147,28 +181,32 @@ impl ScenarioGrid {
     }
 
     /// Checked axis product: `None` when
-    /// `specs × workloads × seeds × fault_sets` overflows `usize`.
+    /// `specs × workloads × seeds × fault_sets × wavelengths` overflows
+    /// `usize`.
     pub fn checked_cell_count(&self) -> Option<usize> {
         checked_product([
             self.specs.len(),
             self.workloads.len(),
             self.seeds.len(),
             self.fault_sets.len(),
+            self.wavelengths.len(),
         ])
     }
 
-    /// The cell at flat `index` in grid order (workloads outermost, then
-    /// specs, then seeds, then fault sets).  Only called for
-    /// `index < cell_count()`, so every axis is non-empty.
+    /// The cell at flat `index` in grid order (wavelength counts outermost,
+    /// then workloads, then specs, then seeds, then fault sets).  Only
+    /// called for `index < cell_count()`, so every axis is non-empty.
     fn cell_at(&self, index: usize) -> Cell {
         let faults = self.fault_sets.len();
         let seeds = self.seeds.len();
         let specs = self.specs.len();
+        let workloads = self.workloads.len();
         Cell {
             fault_set: index % faults,
             seed: self.seeds[(index / faults) % seeds],
             spec: (index / (faults * seeds)) % specs,
-            workload: index / (faults * seeds * specs),
+            workload: (index / (faults * seeds * specs)) % workloads,
+            wavelengths: self.wavelengths[index / (faults * seeds * specs * workloads)],
         }
     }
 
@@ -188,7 +226,7 @@ impl ScenarioGrid {
 }
 
 /// Checked product of the grid's axis lengths.
-fn checked_product(axes: [usize; 4]) -> Option<usize> {
+fn checked_product(axes: [usize; 5]) -> Option<usize> {
     axes.iter().try_fold(1usize, |acc, &n| acc.checked_mul(n))
 }
 
@@ -209,6 +247,11 @@ pub struct ScenarioRow {
     pub fault_count: usize,
     /// The exact fault pattern of this cell.
     pub faults: FaultSet,
+    /// The network's hardware cost in optical parts
+    /// ([`Network::hardware_cost`]), carried only when the grid exercises
+    /// the wavelength layer ([`ScenarioGrid::wavelength_layer_enabled`]) —
+    /// `None` on legacy capacity-1 grids, keeping their rows unchanged.
+    pub hardware_cost: Option<usize>,
     /// The simulation metrics.
     pub metrics: SimMetrics,
 }
@@ -250,15 +293,60 @@ impl ScenarioRow {
             "delivrd"
         )
     }
+
+    /// The hardware cost divided by the delivered message count — the
+    /// cost-per-delivered-bit composite of the blocking-ratio studies (one
+    /// message stands in for one bit; scaling by a payload size multiplies
+    /// every row by the same constant).  `NaN` when the row carries no
+    /// hardware cost (legacy capacity-1 grids) or nothing was delivered.
+    pub fn cost_per_delivered_bit(&self) -> f64 {
+        match self.hardware_cost {
+            Some(cost) if self.metrics.delivered > 0 => cost as f64 / self.metrics.delivered as f64,
+            _ => f64::NAN,
+        }
+    }
+
+    /// [`ScenarioRow::as_table_row`] plus the wavelength-layer columns:
+    /// wavelength count, blocked packets, blocking ratio, wavelength
+    /// utilization, alternate-route rate and cost per delivered bit.
+    /// Undefined statistics render as `-`.
+    pub fn as_table_row_extended(&self) -> String {
+        format!(
+            "{} {:>6} {:>8} {} {} {} {}",
+            self.as_table_row(),
+            self.metrics.wavelengths,
+            self.metrics.blocked,
+            fmt_stat(self.metrics.blocking_ratio(), 9, 4),
+            fmt_stat(self.metrics.wavelength_utilization(), 8, 4),
+            fmt_stat(self.metrics.alt_route_rate(), 8, 4),
+            fmt_stat(self.cost_per_delivered_bit(), 9, 4),
+        )
+    }
+
+    /// Header matching [`ScenarioRow::as_table_row_extended`].
+    pub fn table_header_extended() -> String {
+        format!(
+            "{} {:>6} {:>8} {:>9} {:>8} {:>8} {:>9}",
+            Self::table_header(),
+            "wavel",
+            "blocked",
+            "blkratio",
+            "wl_util",
+            "alt_rate",
+            "cost_bit",
+        )
+    }
 }
 
-/// One cell's coordinates into the grid's axes.
+/// One cell's coordinates into the grid's axes.  `wavelengths` is the
+/// wavelength *count* (not an axis index): the only thing a cell needs.
 #[derive(Debug, Clone, Copy)]
 struct Cell {
     spec: usize,
     workload: usize,
     seed: u64,
     fault_set: usize,
+    wavelengths: usize,
 }
 
 /// The number of worker threads [`crate::scenarios`] uses when the caller
@@ -331,12 +419,21 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             workloads: grid.workloads.len(),
             seeds: grid.seeds.len(),
             fault_sets: grid.fault_sets.len(),
+            wavelengths: grid.wavelengths.len(),
         })?;
     let networks: Vec<Network> = grid
         .specs
         .iter()
         .map(|&spec| Network::new(spec))
         .collect::<Result<_, _>>()?;
+
+    // Hardware costs feed the cost-per-delivered-bit composite; they are
+    // only carried (and only computed — the design construction is not free)
+    // when the grid exercises the wavelength layer, so legacy rows stay
+    // unchanged.
+    let hardware_costs: Option<Vec<usize>> = grid
+        .wavelength_layer_enabled()
+        .then(|| networks.iter().map(Network::hardware_cost).collect());
 
     // Bind every workload to every network up front: patterns[w][s] is
     // workload w ready to drive network s.
@@ -393,6 +490,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             let (next, stop, watermark, advanced) = (&next, &stop, &watermark, &advanced);
             let (networks, patterns) = (&networks, &patterns);
             let (kernels, kernels_built) = (&kernels, &kernels_built);
+            let hardware_costs = &hardware_costs;
             scope.spawn(move || {
                 // A panicking cell must not strand the other workers parked
                 // on the condvar (the watermark would never reach them).
@@ -426,7 +524,10 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                     let kernel = kernels[cell.spec * grid.fault_sets.len() + cell.fault_set]
                         .get_or_init(|| {
                             kernels_built.fetch_add(1, Ordering::Relaxed);
-                            networks[cell.spec].prepare(&grid.fault_sets[cell.fault_set])
+                            networks[cell.spec].prepare_with_alternates(
+                                &grid.fault_sets[cell.fault_set],
+                                grid.options.alt_paths,
+                            )
                         });
                     let row = run_cell(
                         kernel,
@@ -434,6 +535,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                         &patterns[cell.workload][cell.spec],
                         grid,
                         &cell,
+                        hardware_costs.as_ref().map(|costs| costs[cell.spec]),
                     );
                     if tx.send((index, row)).is_err() {
                         break;
@@ -542,17 +644,23 @@ pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>,
 /// Executes one cell on its cached prepared kernel: only the slot loop runs
 /// here — the routing state was built when the kernel first entered the
 /// cache.  The cell's fault set is cloned once, into the options, and the
-/// row is built from that same copy.
+/// row is built from that same copy.  The wavelength axis overrides the
+/// per-run wavelength count; the assignment policy is shared grid-wide.
 fn run_cell(
     kernel: &PreparedSim,
     network: &Network,
     pattern: &TrafficPattern,
     grid: &ScenarioGrid,
     cell: &Cell,
+    hardware_cost: Option<usize>,
 ) -> ScenarioRow {
     let options = SimOptions {
         seed: cell.seed,
         faults: grid.fault_sets[cell.fault_set].clone(),
+        wavelengths: WavelengthConfig {
+            count: cell.wavelengths,
+            assignment: grid.options.wavelengths.assignment,
+        },
         ..grid.options.clone()
     };
     let traffic = grid.workloads[cell.workload];
@@ -564,6 +672,7 @@ fn run_cell(
         seed: cell.seed,
         fault_count: options.faults.len(),
         faults: options.faults,
+        hardware_cost,
         metrics,
     }
 }
@@ -926,12 +1035,42 @@ mod tests {
 
     #[test]
     fn cell_counts_use_checked_multiplication() {
-        assert_eq!(checked_product([3, 2, 2, 1]), Some(12));
-        assert_eq!(checked_product([0, 5, 5, 5]), Some(0));
-        assert_eq!(checked_product([usize::MAX, 2, 1, 1]), None);
-        assert_eq!(checked_product([1 << 32, 1 << 32, 1, 2]), None);
+        assert_eq!(checked_product([3, 2, 2, 1, 1]), Some(12));
+        assert_eq!(checked_product([0, 5, 5, 5, 5]), Some(0));
+        assert_eq!(checked_product([usize::MAX, 2, 1, 1, 1]), None);
+        assert_eq!(checked_product([1 << 32, 1 << 32, 1, 2, 1]), None);
         let grid = small_grid();
         assert_eq!(grid.checked_cell_count(), Some(grid.cell_count()));
+    }
+
+    #[test]
+    fn wavelength_axis_multiplies_cells_and_flags_the_layer() {
+        let base = small_grid();
+        assert_eq!(base.wavelengths, vec![1]);
+        assert!(!base.wavelength_layer_enabled());
+        assert!(base.clone().alt_paths(2).wavelength_layer_enabled());
+        let swept = base.clone().wavelengths(&[1, 4]);
+        assert!(swept.wavelength_layer_enabled());
+        assert_eq!(swept.cell_count(), 2 * base.cell_count());
+        // Wavelengths are the outermost axis: the first half of the rows is
+        // the whole capacity-1 grid, the second half the same grid at 4.
+        let rows = run_grid(&swept, 4).unwrap();
+        let half = base.cell_count();
+        for (i, row) in rows.iter().enumerate() {
+            // Capacity-1 cells stay on the legacy loop (sentinel 0); the
+            // multiplexed half reports its count through the metrics.
+            let expected = if i < half { 0 } else { 4 };
+            assert_eq!(row.metrics.wavelengths, expected, "row {i}");
+            assert!(row.hardware_cost.is_some(), "row {i}");
+        }
+        // The capacity-1 half matches the plain grid cell for cell, except
+        // for the hardware-cost column the enabled layer switches on.
+        let plain = run_grid(&base, 2).unwrap();
+        for (swept_row, plain_row) in rows[..half].iter().zip(&plain) {
+            assert!(plain_row.hardware_cost.is_none());
+            assert_eq!(swept_row.metrics, plain_row.metrics);
+            assert_eq!(swept_row.spec, plain_row.spec);
+        }
     }
 
     #[test]

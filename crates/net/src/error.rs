@@ -124,6 +124,8 @@ pub enum NetworkError {
         seeds: usize,
         /// Length of the fault-pattern axis.
         fault_sets: usize,
+        /// Length of the wavelength-count axis.
+        wavelengths: usize,
     },
 }
 
@@ -144,11 +146,13 @@ impl fmt::Display for NetworkError {
                 workloads,
                 seeds,
                 fault_sets,
+                wavelengths,
             } => {
                 write!(
                     f,
                     "scenario grid is too large: {specs} specs x {workloads} workloads x \
-                     {seeds} seeds x {fault_sets} fault patterns overflows the cell count"
+                     {seeds} seeds x {fault_sets} fault patterns x {wavelengths} wavelength \
+                     counts overflows the cell count"
                 )
             }
         }
@@ -220,6 +224,7 @@ mod tests {
             workloads: 2,
             seeds: 1,
             fault_sets: 1,
+            wavelengths: 1,
         };
         assert!(big.to_string().contains("too large"), "{big}");
         assert!(big.to_string().contains("overflows"), "{big}");

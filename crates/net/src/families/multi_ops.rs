@@ -19,10 +19,15 @@ use std::sync::{Arc, OnceLock};
 
 /// Prepares the slotted multi-OPS kernel over a shared stack-graph network
 /// under the given quotient-level faults (see
-/// [`crate::SimOptions::faults`]): the fault-filtered quotient routing table
-/// and the flat all-pairs route layout are built once, here.
-fn prepare_multi_ops(stack: &Arc<StackGraph>, faults: &FaultSet) -> PreparedSim {
-    PreparedSim::MultiOps(PreparedMultiOps::new(stack.clone(), faults.clone()))
+/// [`crate::SimOptions::faults`]): the fault-filtered quotient routing table,
+/// the flat all-pairs route layout and — when `alt_paths > 1` — the Yen
+/// alternate-route table are built once, here.
+fn prepare_multi_ops(stack: &Arc<StackGraph>, faults: &FaultSet, alt_paths: usize) -> PreparedSim {
+    PreparedSim::MultiOps(PreparedMultiOps::with_alternates(
+        stack.clone(),
+        faults.clone(),
+        alt_paths,
+    ))
 }
 
 /// The `POPS(t, g)` network behind the facade.
@@ -88,8 +93,8 @@ impl NetworkFamily for PopsNetwork {
         })
     }
 
-    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
-        prepare_multi_ops(&self.stack, faults)
+    fn prepare(&self, faults: &FaultSet, alt_paths: usize) -> PreparedSim {
+        prepare_multi_ops(&self.stack, faults, alt_paths)
     }
 }
 
@@ -158,8 +163,8 @@ impl NetworkFamily for StackKautzNetwork {
         })
     }
 
-    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
-        prepare_multi_ops(&self.stack, faults)
+    fn prepare(&self, faults: &FaultSet, alt_paths: usize) -> PreparedSim {
+        prepare_multi_ops(&self.stack, faults, alt_paths)
     }
 }
 
@@ -229,7 +234,7 @@ impl NetworkFamily for StackImaseItohNetwork {
         })
     }
 
-    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
-        prepare_multi_ops(&self.stack, faults)
+    fn prepare(&self, faults: &FaultSet, alt_paths: usize) -> PreparedSim {
+        prepare_multi_ops(&self.stack, faults, alt_paths)
     }
 }

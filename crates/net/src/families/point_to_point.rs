@@ -21,6 +21,8 @@ use std::sync::{Arc, OnceLock};
 /// point-to-point digraph — the single-OPS baseline of the paper's
 /// comparisons.  With no faults the kernel shares the family's graph
 /// instance; with faults it materialises the surviving subgraph once.
+/// Deflection *is* alternate routing, so the facade's `alt_paths` knob is a
+/// no-op here and these families ignore it.
 fn prepare_hot_potato(graph: &Arc<Digraph>, faults: &FaultSet) -> PreparedSim {
     PreparedSim::HotPotato(PreparedHotPotato::new(graph.clone(), faults.clone()))
 }
@@ -87,7 +89,7 @@ impl NetworkFamily for KautzNetwork {
         })
     }
 
-    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+    fn prepare(&self, faults: &FaultSet, _alt_paths: usize) -> PreparedSim {
         prepare_hot_potato(&self.graph, faults)
     }
 }
@@ -155,7 +157,7 @@ impl NetworkFamily for ImaseItohNetwork {
         })
     }
 
-    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+    fn prepare(&self, faults: &FaultSet, _alt_paths: usize) -> PreparedSim {
         prepare_hot_potato(&self.graph, faults)
     }
 }
@@ -220,7 +222,7 @@ impl NetworkFamily for DeBruijnNetwork {
         })
     }
 
-    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+    fn prepare(&self, faults: &FaultSet, _alt_paths: usize) -> PreparedSim {
         prepare_hot_potato(&self.graph, faults)
     }
 }
@@ -284,7 +286,7 @@ impl NetworkFamily for CompleteNetwork {
         })
     }
 
-    fn prepare(&self, faults: &FaultSet) -> PreparedSim {
+    fn prepare(&self, faults: &FaultSet, _alt_paths: usize) -> PreparedSim {
         prepare_hot_potato(&self.graph, faults)
     }
 }

@@ -46,17 +46,22 @@ pub trait NetworkFamily: std::fmt::Debug + Send + Sync {
 
     /// Prepares the family's immutable simulation kernel for the given fault
     /// pattern: the fault-filtered graph plus all routing/distance state,
-    /// built once.  [`PreparedSim::run`] then only pays for the slot loop,
-    /// so callers sweeping seeds, loads or traffic patterns over one
+    /// built once.  `alt_paths` is the total routes tried per hop in
+    /// wavelength mode — the primary plus up to `alt_paths − 1` Yen
+    /// alternates, computed here because alternate routes are kernel state
+    /// (families without alternate routing ignore values above `1`).
+    /// [`PreparedSim::run`] then only pays for the slot loop, so callers
+    /// sweeping seeds, loads or traffic patterns over one
     /// `(network, fault-pattern)` pair should prepare once and run many
     /// times — exactly what the scenario engine's kernel cache does.
-    fn prepare(&self, faults: &FaultSet) -> PreparedSim;
+    fn prepare(&self, faults: &FaultSet, alt_paths: usize) -> PreparedSim;
 
     /// Runs a slotted simulation under the given traffic: the one-shot
     /// prepare-then-run wrapper over [`NetworkFamily::prepare`], with
     /// metrics byte-identical to preparing and running by hand.
     fn simulate(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
-        self.prepare(&options.faults).run(traffic, options)
+        self.prepare(&options.faults, options.alt_paths)
+            .run(traffic, options)
     }
 }
 

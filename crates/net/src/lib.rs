@@ -35,8 +35,22 @@
 //!   [`JsonLinesSink`] sinks and format-aware sentinels (an undefined
 //!   average is `-` in the table, empty in CSV, `null` in JSONL);
 //! * [`config`] — the scenario config-file format: one line-oriented `.scn`
-//!   file declares specs, workloads, seeds, slots, faults, threads, output
-//!   format and output path for a whole study ([`parse_scenario_config`]).
+//!   file declares specs, workloads, seeds, slots, faults, wavelengths,
+//!   alternate routes, threads, output format and output path for a whole
+//!   study ([`parse_scenario_config`]).
+//!
+//! ## The wavelength layer
+//!
+//! Both simulators optionally multiplex `W` wavelengths per optical channel
+//! ([`SimOptions::wavelengths`], re-exported [`WavelengthConfig`] /
+//! [`WavelengthAssignment`] from `otis-sim`); multi-OPS kernels can
+//! additionally try Yen alternate routes before counting a blocked packet
+//! ([`SimOptions::alt_paths`], [`Network::prepare_with_alternates`]).  The
+//! scenario grid sweeps wavelength counts as a first-class axis
+//! ([`ScenarioGrid::wavelengths`]), and sinks extend their schema with the
+//! blocking-ratio, utilization, alternate-route-rate and
+//! cost-per-delivered-bit columns exactly when a grid exercises the layer —
+//! capacity-1 grids stream byte-identical legacy output.
 //!
 //! ## Quick example
 //!
@@ -87,6 +101,7 @@ pub use error::{NetworkError, SpecError};
 pub use family::NetworkFamily;
 pub use network::Network;
 pub use otis_routing::FaultSet;
+pub use otis_sim::{WavelengthAssignment, WavelengthConfig};
 pub use prepared::PreparedSim;
 pub use route::{Route, RouteOracle};
 pub use scenarios::{

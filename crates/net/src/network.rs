@@ -132,9 +132,36 @@ impl Network {
     /// graph, routing/distance tables), built once.  Sweeps that vary only
     /// seeds, loads or traffic over one `(network, fault-pattern)` pair
     /// should prepare once and call [`PreparedSim::run`] per cell; the
-    /// scenario engine does exactly that through its kernel cache.
+    /// scenario engine does exactly that through its kernel cache.  No
+    /// alternate routes are prepared; see
+    /// [`Network::prepare_with_alternates`] for kernels that try Yen
+    /// alternate paths before blocking.
     pub fn prepare(&self, faults: &FaultSet) -> PreparedSim {
-        self.inner.prepare(faults)
+        self.prepare_with_alternates(faults, 1)
+    }
+
+    /// Like [`Network::prepare`], but also builds the alternate-route table
+    /// of the wavelength layer: in wavelength mode a hop whose primary
+    /// channel has no free wavelength tries up to `alt_paths − 1` Yen
+    /// alternate routes before counting a blocked packet.  `alt_paths` is
+    /// kernel state — fixed here, ignored by [`PreparedSim::run`].  `1`
+    /// prepares no alternates (identical to [`Network::prepare`]); for
+    /// point-to-point families the knob is a no-op because deflection
+    /// routing *is* alternate routing.
+    pub fn prepare_with_alternates(&self, faults: &FaultSet, alt_paths: usize) -> PreparedSim {
+        self.inner.prepare(faults, alt_paths)
+    }
+
+    /// The hardware cost of this network in optical parts, for
+    /// cost-per-delivered-bit composites: the total part count of the OTIS
+    /// design where the paper gives one, otherwise a `3 ×` link-count proxy
+    /// (transmitter, medium, receiver per link) so design-less comparison
+    /// families still land on a comparable scale.
+    pub fn hardware_cost(&self) -> usize {
+        match self.design() {
+            Some(design) => design.inventory().total_parts(),
+            None => 3 * self.link_count(),
+        }
     }
 
     /// Runs a slotted simulation under the given traffic pattern: the

@@ -28,11 +28,13 @@ pub enum PreparedSim {
 
 impl PreparedSim {
     /// Executes one run.  Only the run-scoped options are read — `slots`,
-    /// `seed`, `max_hops` for hot-potato kernels; `slots`, `seed`, `policy`,
-    /// `queue_limit` for multi-OPS kernels.  The fault pattern was fixed at
-    /// prepare time ([`PreparedSim::faults`]); `options.faults` is ignored
-    /// here, which is what lets a scenario engine reuse one kernel across
-    /// cells that share a fault pattern.
+    /// `seed`, `max_hops`, `wavelengths` for hot-potato kernels; `slots`,
+    /// `seed`, `policy`, `queue_limit`, `wavelengths` for multi-OPS kernels.
+    /// The fault pattern and the alternate-route count (`alt_paths`) were
+    /// fixed at prepare time ([`PreparedSim::faults`],
+    /// [`crate::Network::prepare_with_alternates`]); `options.faults` and
+    /// `options.alt_paths` are ignored here, which is what lets a scenario
+    /// engine reuse one kernel across cells that share a fault pattern.
     pub fn run(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
         match self {
             PreparedSim::HotPotato(kernel) => kernel.run(
@@ -41,6 +43,7 @@ impl PreparedSim {
                     slots: options.slots,
                     seed: options.seed,
                     max_hops: options.max_hops,
+                    wavelengths: options.wavelengths,
                 },
             ),
             PreparedSim::MultiOps(kernel) => kernel.run(
@@ -50,6 +53,7 @@ impl PreparedSim {
                     seed: options.seed,
                     policy: options.policy,
                     queue_limit: options.queue_limit,
+                    wavelengths: options.wavelengths,
                 },
             ),
         }

@@ -187,14 +187,33 @@ pub fn frontier_scan(
 }
 
 /// The saturation point of one network's frontier: the first point reaching
-/// at least 95% of the maximum observed throughput.  `None` when the scan is
-/// empty or nothing was delivered anywhere.
+/// at least 95% of the maximum observed throughput, provided at least one
+/// *later* probe confirms the plateau.
+///
+/// The scan is a linear probe over the loads the caller supplied, so its
+/// resolution is the caller's load spacing: the true saturation load lies
+/// somewhere between the returned point and the probe before it, and a
+/// coarse load axis yields a correspondingly coarse answer.
+///
+/// `None` when the scan is empty, nothing was delivered anywhere, or the
+/// first qualifying point is the **last probed load** — a frontier still
+/// climbing at its final probe has shown no plateau, and returning that last
+/// point would mislabel an unsaturated network as saturated (the old
+/// behaviour).  Callers seeing `None` on a loaded scan should extend the
+/// load axis upward.
 pub fn saturation_point(frontier: &[FrontierPoint]) -> Option<&FrontierPoint> {
     let max = frontier.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
     if max <= 0.0 {
         return None;
     }
-    frontier.iter().find(|p| p.throughput >= 0.95 * max)
+    let first = frontier
+        .iter()
+        .position(|p| p.throughput >= 0.95 * max)
+        .expect("a positive maximum is attained by some point");
+    if first + 1 == frontier.len() {
+        return None;
+    }
+    Some(&frontier[first])
 }
 
 /// The paper's three-way comparison as data: `SK(s, d, k)`, a POPS with the
@@ -402,7 +421,11 @@ mod tests {
             .iter()
             .map(|s| s.parse().unwrap())
             .collect();
-        let loads = [0.05, 0.3, 0.7, 1.0];
+        // The repeated 1.0 probe runs the identical deterministic cell again
+        // and confirms the plateau at the injection cap — without it both
+        // frontiers would still be climbing at their last load and have no
+        // saturation point.
+        let loads = [0.05, 0.3, 0.7, 1.0, 1.0];
         let points = frontier_scan(&specs, &loads, 400, 9).unwrap();
         assert_eq!(points.len(), specs.len() * loads.len());
         // Specs outermost, loads in scan order within each network.
@@ -412,9 +435,10 @@ mod tests {
             let scanned: Vec<f64> = slice.iter().map(|p| p.offered_load).collect();
             assert_eq!(scanned, loads);
             // Throughput is monotone up to saturation noise and the
-            // saturation point exists for a loaded network.
+            // saturation point exists for a loaded, plateau-confirmed scan.
             let sat = saturation_point(slice).expect("traffic was delivered");
             assert!(sat.throughput > 0.0);
+            assert_eq!(sat.offered_load, 1.0);
         }
         assert!(saturation_point(&[]).is_none());
     }
@@ -443,12 +467,33 @@ mod tests {
     }
 
     #[test]
-    fn single_load_frontiers_saturate_at_their_only_point() {
+    fn single_load_frontiers_have_no_saturation_evidence() {
+        // One probe cannot show a plateau: the sole point is also the last
+        // probed load, so the scan reports no saturation instead of
+        // mislabelling a possibly-still-climbing network as saturated.
         let specs: Vec<NetworkSpec> = vec!["SK(2,2,2)".parse().unwrap()];
         let points = frontier_scan(&specs, &[0.3], 200, 7).unwrap();
         assert_eq!(points.len(), 1);
-        let sat = saturation_point(&points).expect("traffic was delivered");
-        assert_eq!(sat, &points[0]);
-        assert!(sat.throughput > 0.0);
+        assert!(points[0].throughput > 0.0);
+        assert!(saturation_point(&points).is_none());
+    }
+
+    #[test]
+    fn saturation_needs_a_confirming_probe_beyond_the_plateau_edge() {
+        // Hand-built frontier: throughput climbs to its plateau at the
+        // second point.  With a later probe confirming the plateau the
+        // second point is the saturation point; truncating the scan right at
+        // the plateau edge removes the evidence and yields None.
+        let point = |load: f64, throughput: f64| FrontierPoint {
+            spec: "K(4)".parse().unwrap(),
+            offered_load: load,
+            throughput,
+            average_latency: 1.0,
+            delivery_ratio: 1.0,
+        };
+        let frontier = [point(0.2, 0.2), point(0.5, 0.41), point(0.8, 0.42)];
+        let sat = saturation_point(&frontier).expect("plateau confirmed by the last probe");
+        assert_eq!(sat.offered_load, 0.5);
+        assert!(saturation_point(&frontier[..2]).is_none());
     }
 }

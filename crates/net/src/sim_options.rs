@@ -1,7 +1,7 @@
 //! Family-independent simulation options.
 
 use otis_routing::FaultSet;
-use otis_sim::ArbitrationPolicy;
+use otis_sim::{ArbitrationPolicy, WavelengthConfig};
 
 /// Options of one [`crate::Network::simulate`] run, covering both simulator
 /// back-ends (the multi-OPS slotted simulator and the hot-potato baseline).
@@ -26,6 +26,16 @@ pub struct SimOptions {
     /// Injections the surviving network cannot serve are refused, not
     /// counted as injected.
     pub faults: FaultSet,
+    /// Wavelength capacity per channel.  The default (capacity 1, first
+    /// fit) keeps both simulators on their legacy capacity-1 loops and
+    /// leaves the wavelength metrics undefined.
+    pub wavelengths: WavelengthConfig,
+    /// Total routes tried per hop in wavelength mode: the primary plus up
+    /// to `alt_paths − 1` Yen alternates, prepared at kernel-build time.
+    /// `1` (the default) prepares no alternates.  Multi-OPS families only;
+    /// hot-potato deflection is inherently alternate routing, so the knob
+    /// is a no-op for point-to-point networks.
+    pub alt_paths: usize,
 }
 
 impl Default for SimOptions {
@@ -37,6 +47,8 @@ impl Default for SimOptions {
             queue_limit: 0,
             max_hops: 64,
             faults: FaultSet::new(),
+            wavelengths: WavelengthConfig::default(),
+            alt_paths: 1,
         }
     }
 }
@@ -70,6 +82,8 @@ mod tests {
         assert_eq!(o.queue_limit, 0);
         assert_eq!(o.max_hops, 64);
         assert!(o.faults.is_empty());
+        assert_eq!(o.wavelengths, WavelengthConfig::default());
+        assert_eq!(o.alt_paths, 1);
         let custom = SimOptions::new(500, 42);
         assert_eq!(custom.slots, 500);
         assert_eq!(custom.seed, 42);

@@ -19,6 +19,20 @@
 //! [`ScenarioRow::field_names`] / [`ScenarioRow::field_values`], which extend
 //! [`SimMetrics::FIELD_NAMES`] with the cell's grid coordinates.  The schema
 //! is append-only so downstream tooling can rely on existing columns.
+//!
+//! ## The two schema tiers
+//!
+//! Grids that exercise the wavelength layer
+//! ([`ScenarioGrid::wavelength_layer_enabled`]) stream the *extended*
+//! schema — the legacy columns plus the wavelength metrics (`wavelengths`,
+//! `blocked`, `alt_routed`, `blocking_ratio`, `wavelength_utilization`,
+//! `alt_route_rate`) and the `cost_per_bit` composite.  Capacity-1 grids
+//! stream the legacy schema, **byte-identical** to the pre-wavelength
+//! engine; each sink picks its tier in [`RowSink::on_start`] from the grid
+//! about to run.  In the extended tier, statistics a capacity-1 cell leaves
+//! undefined render as the format's native undefined sentinel — `-` in the
+//! table, an empty field in CSV, `null` in JSON Lines — never the string
+//! `"NaN"`.
 
 use crate::engine::{ScenarioGrid, ScenarioRow};
 use otis_routing::FaultSet;
@@ -144,33 +158,67 @@ fn render_faults(faults: &FaultSet) -> String {
     parts.join(" ")
 }
 
+/// The grid-coordinate columns every schema tier leads with.
+const COORDINATE_NAMES: [&str; 6] = ["spec", "traffic", "load", "seed", "fault_count", "faults"];
+
 impl ScenarioRow {
-    /// Column names of the machine-readable formats, in emission order: the
-    /// cell's grid coordinates followed by [`SimMetrics::FIELD_NAMES`].
-    /// The schema is append-only.
+    /// Column names of the legacy machine-readable schema, in emission
+    /// order: the cell's grid coordinates followed by the core
+    /// [`SimMetrics::FIELD_NAMES`] prefix.  The schema is append-only and
+    /// byte-identical to the pre-wavelength engine.
     pub fn field_names() -> Vec<&'static str> {
-        let mut names = vec!["spec", "traffic", "load", "seed", "fault_count", "faults"];
-        names.extend(SimMetrics::FIELD_NAMES);
+        let mut names = COORDINATE_NAMES.to_vec();
+        names.extend(&SimMetrics::FIELD_NAMES[..SimMetrics::CORE_FIELD_COUNT]);
         names
     }
 
-    /// The field values matching [`ScenarioRow::field_names`] position by
-    /// position.
-    pub fn field_values(&self) -> Vec<FieldValue> {
-        let mut values = vec![
+    /// Column names of the extended (wavelength-layer) schema: the legacy
+    /// columns, then the wavelength metrics, then the `cost_per_bit`
+    /// composite.
+    pub fn field_names_extended() -> Vec<&'static str> {
+        let mut names = COORDINATE_NAMES.to_vec();
+        names.extend(SimMetrics::FIELD_NAMES);
+        names.push("cost_per_bit");
+        names
+    }
+
+    /// The grid-coordinate values shared by both schema tiers.
+    fn coordinate_values(&self) -> Vec<FieldValue> {
+        vec![
             FieldValue::Text(self.spec.to_string()),
             FieldValue::Text(self.traffic.to_string()),
             FieldValue::Float(self.offered_load),
             FieldValue::Int(self.seed),
             FieldValue::Int(self.fault_count as u64),
             FieldValue::Text(render_faults(&self.faults)),
-        ];
+        ]
+    }
+
+    /// The field values matching [`ScenarioRow::field_names`] position by
+    /// position.
+    pub fn field_values(&self) -> Vec<FieldValue> {
+        let mut values = self.coordinate_values();
+        values.extend(
+            self.metrics
+                .field_values()
+                .into_iter()
+                .take(SimMetrics::CORE_FIELD_COUNT)
+                .map(FieldValue::from),
+        );
+        values
+    }
+
+    /// The field values matching [`ScenarioRow::field_names_extended`]
+    /// position by position.
+    pub fn field_values_extended(&self) -> Vec<FieldValue> {
+        let mut values = self.coordinate_values();
         values.extend(
             self.metrics
                 .field_values()
                 .into_iter()
                 .map(FieldValue::from),
         );
+        values.push(FieldValue::Float(self.cost_per_delivered_bit()));
         values
     }
 }
@@ -209,15 +257,20 @@ impl RowSink for CollectSink {
 
 /// Streams rows as the human-readable fixed-width table (header first,
 /// undefined averages as `-`) — the `scenarios` CLI's default format.
+/// Wavelength-layer grids get the extended columns; see the module docs.
 #[derive(Debug)]
 pub struct TableSink<W: Write> {
     writer: W,
+    extended: bool,
 }
 
 impl<W: Write> TableSink<W> {
     /// A table sink over any writer.
     pub fn new(writer: W) -> Self {
-        TableSink { writer }
+        TableSink {
+            writer,
+            extended: false,
+        }
     }
 
     /// Consumes the sink, returning the writer.
@@ -227,12 +280,21 @@ impl<W: Write> TableSink<W> {
 }
 
 impl<W: Write> RowSink for TableSink<W> {
-    fn on_start(&mut self, _grid: &ScenarioGrid) -> io::Result<()> {
-        writeln!(self.writer, "{}", ScenarioRow::table_header())
+    fn on_start(&mut self, grid: &ScenarioGrid) -> io::Result<()> {
+        self.extended = grid.wavelength_layer_enabled();
+        if self.extended {
+            writeln!(self.writer, "{}", ScenarioRow::table_header_extended())
+        } else {
+            writeln!(self.writer, "{}", ScenarioRow::table_header())
+        }
     }
 
     fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
-        writeln!(self.writer, "{}", row.as_table_row())
+        if self.extended {
+            writeln!(self.writer, "{}", row.as_table_row_extended())
+        } else {
+            writeln!(self.writer, "{}", row.as_table_row())
+        }
     }
 
     fn finish(&mut self) -> io::Result<()> {
@@ -242,16 +304,21 @@ impl<W: Write> RowSink for TableSink<W> {
 
 /// Streams rows as CSV with a header record.  Undefined averages (zero
 /// deliveries) are **empty fields**, never `NaN` or `-`; spec and traffic
-/// strings are quoted because they contain commas.
+/// strings are quoted because they contain commas.  Wavelength-layer grids
+/// get the extended columns; see the module docs.
 #[derive(Debug)]
 pub struct CsvSink<W: Write> {
     writer: W,
+    extended: bool,
 }
 
 impl<W: Write> CsvSink<W> {
     /// A CSV sink over any writer.
     pub fn new(writer: W) -> Self {
-        CsvSink { writer }
+        CsvSink {
+            writer,
+            extended: false,
+        }
     }
 
     /// Consumes the sink, returning the writer.
@@ -261,16 +328,23 @@ impl<W: Write> CsvSink<W> {
 }
 
 impl<W: Write> RowSink for CsvSink<W> {
-    fn on_start(&mut self, _grid: &ScenarioGrid) -> io::Result<()> {
-        writeln!(self.writer, "{}", ScenarioRow::field_names().join(","))
+    fn on_start(&mut self, grid: &ScenarioGrid) -> io::Result<()> {
+        self.extended = grid.wavelength_layer_enabled();
+        let names = if self.extended {
+            ScenarioRow::field_names_extended()
+        } else {
+            ScenarioRow::field_names()
+        };
+        writeln!(self.writer, "{}", names.join(","))
     }
 
     fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
-        let record: Vec<String> = row
-            .field_values()
-            .iter()
-            .map(FieldValue::to_csv_field)
-            .collect();
+        let values = if self.extended {
+            row.field_values_extended()
+        } else {
+            row.field_values()
+        };
+        let record: Vec<String> = values.iter().map(FieldValue::to_csv_field).collect();
         writeln!(self.writer, "{}", record.join(","))
     }
 
@@ -281,11 +355,14 @@ impl<W: Write> RowSink for CsvSink<W> {
 
 /// Streams rows as JSON Lines: one hand-rolled JSON object per row (the
 /// workspace is offline — no serde).  Undefined averages are `null`, never
-/// the string `"NaN"` or `"-"`.
+/// the string `"NaN"` or `"-"`.  Wavelength-layer grids get the extended
+/// keys; see the module docs.
 #[derive(Debug)]
 pub struct JsonLinesSink<W: Write> {
     writer: W,
-    /// The field names, computed once: every row shares the same schema.
+    extended: bool,
+    /// The field names, fixed in [`RowSink::on_start`] (legacy schema until
+    /// then): every row of a run shares the same schema.
     names: Vec<&'static str>,
 }
 
@@ -294,6 +371,7 @@ impl<W: Write> JsonLinesSink<W> {
     pub fn new(writer: W) -> Self {
         JsonLinesSink {
             writer,
+            extended: false,
             names: ScenarioRow::field_names(),
         }
     }
@@ -305,8 +383,22 @@ impl<W: Write> JsonLinesSink<W> {
 }
 
 impl<W: Write> RowSink for JsonLinesSink<W> {
+    fn on_start(&mut self, grid: &ScenarioGrid) -> io::Result<()> {
+        self.extended = grid.wavelength_layer_enabled();
+        self.names = if self.extended {
+            ScenarioRow::field_names_extended()
+        } else {
+            ScenarioRow::field_names()
+        };
+        Ok(())
+    }
+
     fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
-        let values = row.field_values();
+        let values = if self.extended {
+            row.field_values_extended()
+        } else {
+            row.field_values()
+        };
         let mut line = String::from("{");
         for (i, (name, value)) in self.names.iter().zip(values.iter()).enumerate() {
             if i > 0 {
@@ -416,10 +508,111 @@ mod tests {
         assert_eq!(names.len(), values.len());
         assert_eq!(names[0], "spec");
         assert_eq!(values[0], FieldValue::Text("POPS(2,2)".to_string()));
+        // The legacy schema ends at the core metric prefix, byte-identical
+        // to the pre-wavelength engine.
+        assert_eq!(names.len(), 6 + SimMetrics::CORE_FIELD_COUNT);
         assert_eq!(
-            names[6 + SimMetrics::FIELD_NAMES.len() - 1],
+            names[6 + SimMetrics::CORE_FIELD_COUNT - 1],
             "delivery_ratio"
         );
+        assert!(!names.contains(&"blocking_ratio"));
+    }
+
+    #[test]
+    fn extended_schema_appends_the_wavelength_columns() {
+        let row = one_row(0.3);
+        let names = ScenarioRow::field_names_extended();
+        let values = row.field_values_extended();
+        assert_eq!(names.len(), values.len());
+        assert_eq!(names.len(), 6 + SimMetrics::FIELD_NAMES.len() + 1);
+        // Append-only: the legacy schema is an exact prefix.
+        let legacy = ScenarioRow::field_names();
+        assert_eq!(&names[..legacy.len()], legacy.as_slice());
+        for column in [
+            "wavelengths",
+            "blocked",
+            "alt_routed",
+            "blocking_ratio",
+            "wavelength_utilization",
+            "alt_route_rate",
+            "cost_per_bit",
+        ] {
+            assert!(names.contains(&column), "{column} missing");
+        }
+        assert_eq!(*names.last().unwrap(), "cost_per_bit");
+    }
+
+    #[test]
+    fn wavelength_off_cells_render_undefined_sentinels_in_every_format() {
+        // A grid with alternate routing enabled streams the extended schema,
+        // but a capacity-1 hot-potato cell never enters wavelength mode: its
+        // wavelength statistics are undefined and must surface as the
+        // format's native sentinel — '-', empty, null — never "NaN".
+        let grid = crate::engine::ScenarioGrid::new(vec!["DB(2,3)".parse().unwrap()])
+            .loads(&[0.3])
+            .slots(60)
+            .alt_paths(3);
+        assert!(grid.wavelength_layer_enabled());
+
+        let mut collect = CollectSink::new();
+        run_grid_streaming(&grid, 1, &mut collect).unwrap();
+        let row = collect.into_rows().remove(0);
+        assert_eq!(row.metrics.wavelengths, 0, "layer-off sentinel");
+        assert!(row.metrics.blocking_ratio().is_nan());
+
+        let table = row.as_table_row_extended();
+        assert!(!table.contains("NaN"), "{table}");
+        assert_eq!(
+            table.split_whitespace().count(),
+            ScenarioRow::table_header_extended()
+                .split_whitespace()
+                .count()
+        );
+
+        let names = ScenarioRow::field_names_extended();
+        let values = row.field_values_extended();
+        for stat in ["blocking_ratio", "wavelength_utilization", "alt_route_rate"] {
+            let i = names.iter().position(|&n| n == stat).unwrap();
+            assert_eq!(values[i].to_csv_field(), "", "{stat}");
+            assert_eq!(values[i].to_json_value(), "null", "{stat}");
+        }
+
+        let mut csv = CsvSink::new(Vec::new());
+        run_grid_streaming(&grid, 1, &mut csv).unwrap();
+        let text = String::from_utf8(csv.into_inner()).unwrap();
+        assert!(text.lines().next().unwrap().ends_with(",cost_per_bit"));
+        assert!(!text.contains("NaN"), "{text}");
+
+        let mut jsonl = JsonLinesSink::new(Vec::new());
+        run_grid_streaming(&grid, 1, &mut jsonl).unwrap();
+        let line = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert!(line.contains("\"blocking_ratio\":null"), "{line}");
+        assert!(line.contains("\"wavelength_utilization\":null"), "{line}");
+        assert!(!line.contains("NaN"), "{line}");
+    }
+
+    #[test]
+    fn capacity_one_grids_stay_on_the_legacy_schema() {
+        // The byte-identity contract at the sink level: a wavelengths=1,
+        // alt_paths=1 grid streams exactly the legacy columns — no
+        // wavelength headers, no cost column, in any format.
+        let grid = crate::engine::ScenarioGrid::new(vec!["POPS(2,2)".parse().unwrap()])
+            .loads(&[0.2])
+            .slots(50);
+        assert!(!grid.wavelength_layer_enabled());
+        let mut csv = CsvSink::new(Vec::new());
+        run_grid_streaming(&grid, 1, &mut csv).unwrap();
+        let text = String::from_utf8(csv.into_inner()).unwrap();
+        assert!(text.lines().next().unwrap().ends_with(",delivery_ratio"));
+        assert!(!text.contains("blocking_ratio"), "{text}");
+        let mut jsonl = JsonLinesSink::new(Vec::new());
+        run_grid_streaming(&grid, 1, &mut jsonl).unwrap();
+        let line = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert!(!line.contains("cost_per_bit"), "{line}");
+        let mut table = TableSink::new(Vec::new());
+        run_grid_streaming(&grid, 1, &mut table).unwrap();
+        let text = String::from_utf8(table.into_inner()).unwrap();
+        assert!(!text.contains("wavel"), "{text}");
     }
 
     #[test]

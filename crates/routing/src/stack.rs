@@ -114,7 +114,6 @@ impl StackRouter {
     /// deterministic choice makes routes reproducible).  Returns `None` when
     /// the quotient offers no path.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<StackRoute> {
-        let s = self.stack.stacking_factor();
         let src_sn = self.stack.to_stack_node(src);
         let dst_sn = self.stack.to_stack_node(dst);
         if self.faults.node_failed(src_sn.group) || self.faults.node_failed(dst_sn.group) {
@@ -164,19 +163,43 @@ impl StackRouter {
             group_path.push(dst_sn.group);
         }
 
-        let mut hops = Vec::with_capacity(group_path.len() - 1);
+        self.route_via_groups(src, dst, &group_path)
+    }
+
+    /// Materialises the hop sequence that realises `group_path` (a quotient
+    /// path starting at `src`'s group and ending at `dst`'s group) as a route
+    /// from processor `src` to processor `dst`.  Intermediate receivers use
+    /// the same deterministic in-group choice as [`StackRouter::route`]; the
+    /// last hop delivers to `dst` itself.
+    ///
+    /// This is the building block for *alternate* routing: callers obtain
+    /// extra group-level paths (e.g. with Yen's k-shortest-path on the
+    /// quotient) and convert each into a concrete route here.  Returns `None`
+    /// when a consecutive pair of the group path is not a quotient arc.
+    pub fn route_via_groups(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        group_path: &[NodeId],
+    ) -> Option<StackRoute> {
+        let s = self.stack.stacking_factor();
+        let dst_sn = self.stack.to_stack_node(dst);
+        let quotient = self.stack.quotient();
+        debug_assert_eq!(
+            group_path.first(),
+            Some(&self.stack.to_stack_node(src).group)
+        );
+        debug_assert_eq!(group_path.last(), Some(&dst_sn.group));
+        let mut hops = Vec::with_capacity(group_path.len().saturating_sub(1));
         for w in group_path.windows(2) {
             let (from, to) = (w[0], w[1]);
             // The coupler is the quotient arc from `from` to `to`; use the
             // first matching arc id (parallel arcs are interchangeable).
-            // Every group-path branch above already avoids fault-blocked
-            // pairs, so any arc matching the target is usable.
             let coupler = quotient
                 .out_arc_ids(from)
                 .iter()
                 .copied()
-                .find(|&id| quotient.arc(id).unwrap().target == to)
-                .expect("group path follows surviving quotient arcs");
+                .find(|&id| quotient.arc(id).unwrap().target == to)?;
             let receiver_group = to;
             let receiver = self.stack.to_flat(otis_graphs::StackNode::new(
                 dst_sn.index.min(s - 1),
@@ -336,6 +359,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn route_via_groups_materialises_alternate_group_paths() {
+        let sk = StackKautz::new(2, 2, 2);
+        let router = StackRouter::new(sk.stack_graph().clone());
+        let quotient = sk.stack_graph().quotient();
+        let src = sk.processor(0, 0);
+        let dst = sk.processor(1, 1);
+        let paths = otis_graphs::algorithms::k_shortest_paths(quotient, 0, 1, 3);
+        assert!(!paths.is_empty(), "quotient must connect groups 0 and 1");
+        for group_path in &paths {
+            let route = router.route_via_groups(src, dst, group_path).unwrap();
+            validate_route(&router, &route);
+            assert_eq!(route.len(), group_path.len() - 1);
+        }
+        // The shortest alternate agrees with the primary router's length.
+        assert_eq!(paths[0].len() - 1, router.route(src, dst).unwrap().len());
+    }
+
+    #[test]
+    fn route_via_groups_rejects_non_arcs() {
+        let sk = StackKautz::new(2, 2, 2);
+        let router = StackRouter::new(sk.stack_graph().clone());
+        let quotient = sk.stack_graph().quotient();
+        let groups = sk.stack_graph().group_count();
+        let (a, b) = (0..groups)
+            .flat_map(|a| (0..groups).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && !quotient.has_arc(a, b))
+            .expect("KG(2,2) is far from complete");
+        let src = sk.processor(a, 0);
+        let dst = sk.processor(b, 0);
+        assert!(router.route_via_groups(src, dst, &[a, b]).is_none());
     }
 
     #[test]

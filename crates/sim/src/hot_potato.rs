@@ -19,6 +19,20 @@
 //!   expensive table construction once and every cell only pays for its
 //!   slot loop.
 //!
+//! ## Wavelength mode
+//!
+//! With `wavelengths.count > 1` every arc becomes a WDM link carrying up to
+//! `W` messages per slot; per-arc occupancy is tracked by a reused
+//! [`SpectrumMap`] bitmask (cleared per slot, never reallocated).  Hot-potato
+//! deflection *is* alternate routing — a deflected message already takes the
+//! next-best port — so the per-hop alternate-path count of the multi-OPS
+//! kernel has no analogue here and an `alt_paths` knob is a no-op; the
+//! `alt_routed` metric counts deflections off a shortest-path port instead.
+//! A transit message that finds every port exhausted (all `W` wavelengths of
+//! every out-arc busy) is counted *blocked* and dropped.  The legacy
+//! capacity-1 loop is untouched and remains byte-identical for default
+//! configurations.
+//!
 //! [`HotPotatoSim`] remains as the one-shot convenience: a prepared kernel
 //! bundled with one [`HotPotatoSimConfig`].
 
@@ -26,9 +40,12 @@ use crate::kernel::RunCore;
 use crate::message::Message;
 use crate::metrics::SimMetrics;
 use crate::traffic::TrafficPattern;
-use otis_graphs::Digraph;
+use crate::wavelength::{WavelengthAssignment, WavelengthConfig};
+use otis_graphs::{Digraph, SpectrumMap};
 use otis_routing::fault_tolerant::surviving_subgraph;
 use otis_routing::{FaultSet, HotPotatoRouter};
+use rand::rngs::StdRng;
+use rand::Rng;
 use std::sync::Arc;
 
 /// Configuration of one hot-potato simulation run.
@@ -41,6 +58,9 @@ pub struct HotPotatoSimConfig {
     /// Messages whose hop count exceeds this value are dropped (livelock
     /// guard); `0` disables the guard.
     pub max_hops: u32,
+    /// Wavelength capacity per link.  The default (capacity 1) keeps the
+    /// legacy slot loop; `count > 1` engages the wavelength loop.
+    pub wavelengths: WavelengthConfig,
 }
 
 impl Default for HotPotatoSimConfig {
@@ -49,6 +69,7 @@ impl Default for HotPotatoSimConfig {
             slots: 1000,
             seed: 1,
             max_hops: 64,
+            wavelengths: WavelengthConfig::default(),
         }
     }
 }
@@ -109,11 +130,22 @@ impl PreparedHotPotato {
     }
 
     /// Executes one run: `config` carries the run-scoped knobs (slots, seed,
-    /// livelock guard), `traffic` drives the injections.  All mutable state
-    /// is local to this call, and the slot loop reuses its per-node message
-    /// buffers, port mask and deflection scratch across slots — it performs
-    /// no per-slot allocations.
+    /// livelock guard, wavelength capacity), `traffic` drives the
+    /// injections.  Dispatches to the legacy capacity-1 loop (byte-identical
+    /// to previous releases) unless the configuration multiplexes
+    /// wavelengths.  All mutable state is local to this call, and both slot
+    /// loops reuse their per-node message buffers, port masks and deflection
+    /// scratch across slots — no per-slot allocations.
     pub fn run(&self, traffic: &TrafficPattern, config: &HotPotatoSimConfig) -> SimMetrics {
+        if config.wavelengths.is_multiplexed() {
+            self.run_wavelength(traffic, config)
+        } else {
+            self.run_legacy(traffic, config)
+        }
+    }
+
+    /// The legacy capacity-1 slot loop: one message per arc per slot.
+    fn run_legacy(&self, traffic: &TrafficPattern, config: &HotPotatoSimConfig) -> SimMetrics {
         let g = self.router.graph();
         let n = g.node_count();
         let mut core = RunCore::new(config.seed, n, g.arc_count());
@@ -232,6 +264,166 @@ impl PreparedHotPotato {
         let in_flight = at_node.iter().map(|v| v.len() as u64).sum();
         core.finish(in_flight)
     }
+
+    /// The wavelength slot loop: every arc carries up to `W` messages per
+    /// slot.  Identical structure to the legacy loop — deliver, forward
+    /// oldest-first, then inject if capacity remains — but a port only
+    /// closes once all `W` wavelengths of its arc are occupied (per-arc
+    /// occupancy in a reused [`SpectrumMap`]), a transit message with no
+    /// usable port counts as blocked, and deflections off a shortest-path
+    /// port are recorded as alternate-route events.
+    fn run_wavelength(&self, traffic: &TrafficPattern, config: &HotPotatoSimConfig) -> SimMetrics {
+        let g = self.router.graph();
+        let n = g.node_count();
+        let w = config.wavelengths.count.max(1);
+        let mut core = RunCore::new(config.seed, n, g.arc_count());
+        core.metrics.wavelengths = w;
+
+        let mut spectrum = SpectrumMap::new(g.arc_count(), w);
+        let mut at_node: Vec<Vec<Message>> = vec![Vec::new(); n];
+        let mut arriving: Vec<Vec<Message>> = vec![Vec::new(); n];
+        let mut injections: Vec<Option<usize>> = Vec::new();
+        let mut transit: Vec<Message> = Vec::new();
+        let mut port_free: Vec<bool> = Vec::new();
+        let mut ties: Vec<usize> = Vec::new();
+
+        for slot in 0..config.slots {
+            core.begin_slot(slot);
+            spectrum.clear();
+            traffic.injections_into(n, &mut core.rng, &mut injections);
+
+            for node in 0..n {
+                let arcs = g.out_arc_ids(node);
+                let degree = arcs.len();
+                // Each arc is this node's exclusive output, and the spectrum
+                // was cleared at the top of the slot, so every port opens
+                // with all `w` wavelengths free.
+                port_free.clear();
+                port_free.resize(degree, true);
+                transit.clear();
+                for msg in at_node[node].drain(..) {
+                    if msg.destination == node {
+                        let latency = slot.saturating_sub(msg.created_slot);
+                        core.deliver(latency, msg.hops);
+                    } else if RunCore::livelock_exceeded(config.max_hops, msg.hops) {
+                        core.drop_message();
+                    } else {
+                        transit.push(msg);
+                    }
+                }
+                transit.sort_by_key(|m| m.created_slot);
+
+                for mut msg in transit.drain(..) {
+                    match self.router.choose_port_randomized_into(
+                        node,
+                        msg.destination,
+                        &port_free,
+                        &mut core.rng,
+                        &mut ties,
+                    ) {
+                        Some(port) => {
+                            if !self.router.is_progress_port(node, msg.destination, port) {
+                                core.metrics.alt_routed += 1;
+                            }
+                            assign_wavelength(
+                                &mut spectrum,
+                                arcs[port],
+                                config.wavelengths.assignment,
+                                &mut core.rng,
+                            );
+                            if spectrum.is_full(arcs[port]) {
+                                port_free[port] = false;
+                            }
+                            msg.hops += 1;
+                            let next = g.out_neighbors(node)[port];
+                            arriving[next].push(msg);
+                            core.grant();
+                        }
+                        None => {
+                            // Every wavelength of every out-arc is busy:
+                            // the bufferless node must discard the message.
+                            core.metrics.blocked += 1;
+                            core.drop_message();
+                        }
+                    }
+                }
+
+                if let Some(dst) = injections[node] {
+                    if !self.faults.is_empty()
+                        && (self.faults.node_failed(node)
+                            || self.faults.node_failed(dst)
+                            || self.router.distance(node, dst).is_none())
+                    {
+                        // Unservable under the faults: not counted as injected.
+                    } else if let Some(port) = self.router.choose_port_randomized_into(
+                        node,
+                        dst,
+                        &port_free,
+                        &mut core.rng,
+                        &mut ties,
+                    ) {
+                        if !self.router.is_progress_port(node, dst, port) {
+                            core.metrics.alt_routed += 1;
+                        }
+                        assign_wavelength(
+                            &mut spectrum,
+                            arcs[port],
+                            config.wavelengths.assignment,
+                            &mut core.rng,
+                        );
+                        if spectrum.is_full(arcs[port]) {
+                            port_free[port] = false;
+                        }
+                        let mut msg = core.inject(node, dst, slot);
+                        msg.hops = 1;
+                        let next = g.out_neighbors(node)[port];
+                        arriving[next].push(msg);
+                        core.grant();
+                    }
+                    // else: injection refused, not counted as injected.
+                }
+            }
+
+            std::mem::swap(&mut at_node, &mut arriving);
+        }
+
+        // Final-slot arrivals are delivered, exactly as in the legacy loop.
+        for (node, messages) in at_node.iter_mut().enumerate() {
+            let metrics = &mut core.metrics;
+            messages.retain(|msg| {
+                if msg.destination == node {
+                    let latency = config.slots.saturating_sub(msg.created_slot);
+                    metrics.record_delivery(latency, msg.hops);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        let in_flight = at_node.iter().map(|v| v.len() as u64).sum();
+        core.finish(in_flight)
+    }
+}
+
+/// Occupies one free wavelength on `arc` per the assignment discipline.  The
+/// caller must have checked the arc still has a free wavelength (its port
+/// was marked free).
+fn assign_wavelength(
+    spectrum: &mut SpectrumMap,
+    arc: usize,
+    assignment: WavelengthAssignment,
+    rng: &mut StdRng,
+) {
+    let lambda = match assignment {
+        WavelengthAssignment::FirstFit => spectrum.first_free(arc),
+        WavelengthAssignment::Random => {
+            let free = spectrum.free_count(arc);
+            spectrum.nth_free(arc, rng.gen_range(0..free))
+        }
+    }
+    .expect("caller checked the arc has a free wavelength");
+    spectrum.occupy(arc, lambda);
 }
 
 /// The hot-potato simulator: a [`PreparedHotPotato`] kernel bundled with one
@@ -418,6 +610,7 @@ mod tests {
                     slots,
                     seed,
                     max_hops: 64,
+                    ..Default::default()
                 };
                 let traffic = TrafficPattern::Uniform { load };
                 let reused = kernel.run(&traffic, &config);
@@ -429,6 +622,97 @@ mod tests {
     }
 
     #[test]
+    fn wavelength_mode_conserves_and_reports_the_layer() {
+        let sim = HotPotatoSim::new(
+            de_bruijn(2, 3),
+            HotPotatoSimConfig {
+                slots: 800,
+                wavelengths: WavelengthConfig::with_count(4),
+                ..Default::default()
+            },
+        );
+        let m = sim.run(&TrafficPattern::Uniform { load: 0.8 });
+        assert_eq!(m.wavelengths, 4);
+        assert_eq!(m.injected, m.delivered + m.in_flight + m.dropped);
+        assert!(m.delivered > 0);
+        assert!(m.blocked <= m.dropped);
+        assert!(!m.blocking_ratio().is_nan());
+        assert!(!m.wavelength_utilization().is_nan());
+        // Deflections under load register as alternate-route events.
+        assert!(
+            m.alt_routed > 0,
+            "saturated deflection routing must deflect"
+        );
+    }
+
+    #[test]
+    fn more_wavelengths_admit_more_traffic() {
+        // Each extra wavelength relaxes the injection admission control
+        // (ports close only when all W wavelengths are busy), so accepted
+        // injections grow with W under saturation.
+        let run = |w: usize| {
+            HotPotatoSim::new(
+                de_bruijn(2, 3),
+                HotPotatoSimConfig {
+                    slots: 600,
+                    wavelengths: WavelengthConfig::with_count(w),
+                    ..Default::default()
+                },
+            )
+            .run(&TrafficPattern::Uniform { load: 1.0 })
+        };
+        let narrow = run(2);
+        let wide = run(8);
+        assert!(wide.injected > narrow.injected);
+        assert!(wide.delivered > narrow.delivered);
+    }
+
+    #[test]
+    fn random_assignment_only_changes_wavelength_choice() {
+        // Wavelength identity never affects hot-potato dynamics (ports close
+        // on full arcs regardless of which wavelengths filled them), but the
+        // Random discipline draws from the RNG stream, so the runs may
+        // diverge; both must stay conserved and deliver.
+        for assignment in [WavelengthAssignment::FirstFit, WavelengthAssignment::Random] {
+            let m = HotPotatoSim::new(
+                kautz(2, 3),
+                HotPotatoSimConfig {
+                    slots: 400,
+                    wavelengths: WavelengthConfig {
+                        count: 3,
+                        assignment,
+                    },
+                    ..Default::default()
+                },
+            )
+            .run(&TrafficPattern::Uniform { load: 0.9 });
+            assert!(m.delivered > 0, "{assignment:?}");
+            assert_eq!(m.injected, m.delivered + m.in_flight + m.dropped);
+        }
+    }
+
+    #[test]
+    fn capacity_one_config_stays_on_the_legacy_loop() {
+        // wavelengths = 1 must not engage the wavelength loop: metrics carry
+        // the layer-off sentinel and match the default config bit for bit.
+        let run = |wavelengths| {
+            HotPotatoSim::new(
+                de_bruijn(2, 3),
+                HotPotatoSimConfig {
+                    slots: 400,
+                    wavelengths,
+                    ..Default::default()
+                },
+            )
+            .run(&TrafficPattern::Uniform { load: 0.7 })
+        };
+        let legacy = run(WavelengthConfig::default());
+        assert_eq!(legacy.wavelengths, 0, "layer off ⇒ sentinel 0");
+        assert!(legacy.blocking_ratio().is_nan());
+        assert_eq!(legacy, run(WavelengthConfig::with_count(1)));
+    }
+
+    #[test]
     fn ttl_guard_drops_runaway_messages() {
         let sim = HotPotatoSim::new(
             de_bruijn(2, 2),
@@ -436,6 +720,7 @@ mod tests {
                 slots: 2000,
                 max_hops: 2,
                 seed: 3,
+                ..Default::default()
             },
         );
         let m = sim.run(&TrafficPattern::Uniform { load: 1.0 });

@@ -8,8 +8,11 @@
 //! under load (refs [7], [11], [25]).  This crate provides the simulation
 //! substrate needed to regenerate that comparison *shape*:
 //!
-//! * time is slotted; a single-wavelength OPS coupler carries **one** message
-//!   per slot (the behavioural fact inherited from `otis-optics`);
+//! * time is slotted; an OPS coupler carries one message per slot *per
+//!   wavelength* — one for the paper's single-wavelength model (the
+//!   behavioural fact inherited from `otis-optics`), or `W` under a
+//!   [`wavelength::WavelengthConfig`] with `count = W`, which switches both
+//!   kernels into blocking-ratio mode (see below);
 //! * [`multi_ops`] simulates any stack-graph network (POPS, stack-Kautz,
 //!   stack-Imase–Itoh): messages follow the group-level routes of
 //!   `otis-routing`, and per-coupler [`arbitration`] decides which waiting
@@ -44,6 +47,17 @@
 //! conveniences (a kernel bundled with one config) and produce metrics
 //! byte-identical to calling the kernel directly.
 //!
+//! ## Wavelength layer
+//!
+//! [`wavelength`] configures multi-wavelength channels: at `count > 1` the
+//! multi-OPS kernel runs a bufferless transmit-or-block loop (losers try
+//! Yen-precomputed alternate routes, then count as *blocked*) and the
+//! hot-potato kernel gives every link `W` parallel wavelengths (a node with
+//! all ports exhausted drops the message as blocked).  [`SimMetrics`] gains
+//! `blocking_ratio`, `wavelength_utilization` and `alt_route_rate`, all
+//! `NaN` (undefined) for capacity-1 runs where the layer is off — the
+//! legacy loops and their outputs are untouched.
+//!
 //! The packaged head-to-head comparison scenarios (experiment T5) live in the
 //! `otis-net` facade crate (`otis_net::scenarios`), where any network is
 //! addressable by a spec string and a comparison is plain data.
@@ -59,6 +73,7 @@ pub mod message;
 pub mod metrics;
 pub mod multi_ops;
 pub mod traffic;
+pub mod wavelength;
 
 pub use arbitration::ArbitrationPolicy;
 pub use hot_potato::{HotPotatoSim, HotPotatoSimConfig, PreparedHotPotato};
@@ -67,3 +82,4 @@ pub use message::Message;
 pub use metrics::{MetricValue, SimMetrics};
 pub use multi_ops::{MultiOpsSim, MultiOpsSimConfig, PreparedMultiOps};
 pub use traffic::TrafficPattern;
+pub use wavelength::{WavelengthAssignment, WavelengthConfig};

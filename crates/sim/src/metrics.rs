@@ -42,6 +42,19 @@ pub struct SimMetrics {
     pub grants: u64,
     /// Number of couplers or links in the network (for utilisation).
     pub channels: usize,
+    /// Wavelengths multiplexed per channel during this run, or `0` for a
+    /// legacy capacity-1 run where the wavelength layer was off.  The zero
+    /// value is the layer flag: every wavelength-derived statistic is `NaN`
+    /// (rendered as an undefined sentinel by the sinks) when it is `0`.
+    pub wavelengths: usize,
+    /// Messages blocked: every wavelength of the required channel was busy
+    /// and no alternate route could absorb the message.  Blocked messages
+    /// are also counted in `dropped` (conservation holds).
+    pub blocked: u64,
+    /// Alternate-route events: a message left its primary route for an
+    /// alternate one (multi-OPS alternate paths, or hot-potato deflections
+    /// off a shortest-path port).  A message re-routed twice counts twice.
+    pub alt_routed: u64,
 }
 
 impl SimMetrics {
@@ -60,6 +73,9 @@ impl SimMetrics {
             max_hops: 0,
             grants: 0,
             channels,
+            wavelengths: 0,
+            blocked: 0,
+            alt_routed: 0,
         }
     }
 
@@ -108,10 +124,55 @@ impl SimMetrics {
         }
     }
 
+    /// Fraction of injected messages blocked by wavelength exhaustion.
+    /// `NaN` (undefined) when the wavelength layer was off or nothing was
+    /// injected.
+    pub fn blocking_ratio(&self) -> f64 {
+        if self.wavelengths == 0 || self.injected == 0 {
+            f64::NAN
+        } else {
+            self.blocked as f64 / self.injected as f64
+        }
+    }
+
+    /// Fraction of channel-wavelength-slots actually used, in `[0, 1]` —
+    /// the spectrum-usage analogue of [`SimMetrics::channel_utilization`].
+    /// `NaN` (undefined) when the wavelength layer was off.
+    pub fn wavelength_utilization(&self) -> f64 {
+        if self.wavelengths == 0 {
+            f64::NAN
+        } else if self.slots == 0 || self.channels == 0 {
+            0.0
+        } else {
+            self.grants as f64
+                / (self.slots as f64 * self.channels as f64 * self.wavelengths as f64)
+        }
+    }
+
+    /// Alternate-route events per injected message (may exceed 1 when
+    /// messages re-route repeatedly).  `NaN` (undefined) when the wavelength
+    /// layer was off or nothing was injected.
+    pub fn alt_route_rate(&self) -> f64 {
+        if self.wavelengths == 0 || self.injected == 0 {
+            f64::NAN
+        } else {
+            self.alt_routed as f64 / self.injected as f64
+        }
+    }
+
+    /// Number of *core* fields: the schema as it stood before the wavelength
+    /// layer.  The first `CORE_FIELD_COUNT` entries of
+    /// [`SimMetrics::FIELD_NAMES`] / [`SimMetrics::field_values`] are exactly
+    /// the legacy schema, so serializers that must stay byte-identical for
+    /// capacity-1 runs truncate to this length.
+    pub const CORE_FIELD_COUNT: usize = 15;
+
     /// Names of the stable machine-readable fields, in the order
     /// [`SimMetrics::field_values`] emits them.  The schema is append-only:
-    /// downstream tooling may rely on existing names and positions.
-    pub const FIELD_NAMES: [&'static str; 15] = [
+    /// downstream tooling may rely on existing names and positions.  Fields
+    /// past [`SimMetrics::CORE_FIELD_COUNT`] belong to the wavelength layer
+    /// and are undefined (`NaN` floats) for capacity-1 runs.
+    pub const FIELD_NAMES: [&'static str; 21] = [
         "processors",
         "slots",
         "injected",
@@ -127,12 +188,18 @@ impl SimMetrics {
         "channels",
         "utilization",
         "delivery_ratio",
+        "wavelengths",
+        "blocked",
+        "alt_routed",
+        "blocking_ratio",
+        "wavelength_utilization",
+        "alt_route_rate",
     ];
 
     /// The field values matching [`SimMetrics::FIELD_NAMES`] position by
     /// position: the raw counters plus the derived statistics, with undefined
     /// averages as [`MetricValue::Float`]`(NaN)`.
-    pub fn field_values(&self) -> [MetricValue; 15] {
+    pub fn field_values(&self) -> [MetricValue; 21] {
         [
             MetricValue::Int(self.processors as u64),
             MetricValue::Int(self.slots),
@@ -149,6 +216,12 @@ impl SimMetrics {
             MetricValue::Int(self.channels as u64),
             MetricValue::Float(self.channel_utilization()),
             MetricValue::Float(self.delivery_ratio()),
+            MetricValue::Int(self.wavelengths as u64),
+            MetricValue::Int(self.blocked),
+            MetricValue::Int(self.alt_routed),
+            MetricValue::Float(self.blocking_ratio()),
+            MetricValue::Float(self.wavelength_utilization()),
+            MetricValue::Float(self.alt_route_rate()),
         ]
     }
 
@@ -192,6 +265,30 @@ mod tests {
         assert_eq!(m.throughput(), 0.0);
         assert_eq!(m.channel_utilization(), 0.0);
         assert!(m.delivery_ratio().is_nan());
+        // Wavelength layer off: its statistics are undefined, not zero.
+        assert!(m.blocking_ratio().is_nan());
+        assert!(m.wavelength_utilization().is_nan());
+        assert!(m.alt_route_rate().is_nan());
+        // Layer on but an empty run: defined, and zero where sensible.
+        let mut on = SimMetrics::new(0, 0);
+        on.wavelengths = 4;
+        assert!(on.blocking_ratio().is_nan(), "zero injections stay NaN");
+        assert_eq!(on.wavelength_utilization(), 0.0);
+    }
+
+    #[test]
+    fn wavelength_statistics_follow_their_counters() {
+        let mut m = SimMetrics::new(8, 4);
+        m.slots = 100;
+        m.wavelengths = 2;
+        m.injected = 50;
+        m.blocked = 5;
+        m.alt_routed = 10;
+        m.grants = 400;
+        assert!((m.blocking_ratio() - 0.1).abs() < 1e-12);
+        assert!((m.alt_route_rate() - 0.2).abs() < 1e-12);
+        // 400 grants over 100 slots * 4 channels * 2 wavelengths.
+        assert!((m.wavelength_utilization() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -228,6 +325,56 @@ mod tests {
             .filter(|(_, v)| matches!(v, MetricValue::Float(x) if x.is_nan()))
             .map(|(&n, _)| n)
             .collect();
-        assert_eq!(nan_fields, ["avg_latency", "avg_hops", "delivery_ratio"]);
+        assert_eq!(
+            nan_fields,
+            [
+                "avg_latency",
+                "avg_hops",
+                "delivery_ratio",
+                "blocking_ratio",
+                "wavelength_utilization",
+                "alt_route_rate",
+            ]
+        );
+    }
+
+    #[test]
+    fn core_prefix_is_the_legacy_schema() {
+        assert_eq!(SimMetrics::CORE_FIELD_COUNT, 15);
+        assert_eq!(
+            &SimMetrics::FIELD_NAMES[..SimMetrics::CORE_FIELD_COUNT],
+            [
+                "processors",
+                "slots",
+                "injected",
+                "delivered",
+                "dropped",
+                "in_flight",
+                "throughput",
+                "avg_latency",
+                "max_latency",
+                "avg_hops",
+                "max_hops",
+                "grants",
+                "channels",
+                "utilization",
+                "delivery_ratio",
+            ]
+        );
+        // Every wavelength-layer float is NaN for a legacy run, so core-only
+        // serialization loses nothing.
+        let m = SimMetrics::new(4, 2);
+        for (name, value) in SimMetrics::FIELD_NAMES
+            .iter()
+            .zip(m.field_values())
+            .skip(SimMetrics::CORE_FIELD_COUNT)
+        {
+            match value {
+                MetricValue::Int(x) => assert_eq!(x, 0, "{name} must be 0 when the layer is off"),
+                MetricValue::Float(x) => {
+                    assert!(x.is_nan(), "{name} must be NaN when the layer is off")
+                }
+            }
+        }
     }
 }

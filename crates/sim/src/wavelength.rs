@@ -1,0 +1,84 @@
+//! Wavelength-layer configuration shared by both simulation kernels.
+//!
+//! The paper models each OPS coupler (and each point-to-point link) as a
+//! capacity-1 optical channel: one message per slot.  Real OTIS-class
+//! lightwave networks multiplex `W` wavelengths per channel, which turns the
+//! simulator from a topology checker into a capacity-planning tool: at
+//! `W > 1` a channel carries up to `W` messages per slot, contention shows
+//! up as a *blocking ratio* instead of queueing delay, and alternate routes
+//! absorb part of the overflow.
+//!
+//! [`WavelengthConfig`] selects the capacity and the wavelength-assignment
+//! discipline.  The default (`count = 1`, first-fit) leaves both kernels on
+//! their legacy capacity-1 slot loops, byte-identical to previous releases;
+//! the wavelength-mode loops only engage at `count > 1` (or, for the
+//! multi-OPS kernel, when alternate routes were prepared).
+
+/// How a free wavelength is chosen on a channel with spare capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WavelengthAssignment {
+    /// Lowest-indexed free wavelength — deterministic, draws no randomness,
+    /// and matches the first-fit discipline of classical RWA studies.
+    #[default]
+    FirstFit,
+    /// Uniformly random free wavelength; draws one value from the run's
+    /// seeded RNG stream per grant.
+    Random,
+}
+
+/// Wavelength capacity of every channel of a simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WavelengthConfig {
+    /// Wavelengths multiplexed per channel (per coupler for multi-OPS
+    /// networks, per link for point-to-point ones).  Must be at least 1;
+    /// `1` selects the legacy capacity-1 slot loop.
+    pub count: usize,
+    /// Assignment discipline for picking among free wavelengths.
+    pub assignment: WavelengthAssignment,
+}
+
+impl Default for WavelengthConfig {
+    /// Capacity 1, first-fit: the paper's single-wavelength model.
+    fn default() -> Self {
+        WavelengthConfig {
+            count: 1,
+            assignment: WavelengthAssignment::FirstFit,
+        }
+    }
+}
+
+impl WavelengthConfig {
+    /// A first-fit configuration with the given wavelength count.
+    pub fn with_count(count: usize) -> Self {
+        WavelengthConfig {
+            count,
+            ..Default::default()
+        }
+    }
+
+    /// Whether this configuration multiplexes more than one wavelength.
+    pub fn is_multiplexed(&self) -> bool {
+        self.count > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_legacy_capacity_one_model() {
+        let c = WavelengthConfig::default();
+        assert_eq!(c.count, 1);
+        assert_eq!(c.assignment, WavelengthAssignment::FirstFit);
+        assert!(!c.is_multiplexed());
+    }
+
+    #[test]
+    fn with_count_keeps_first_fit() {
+        let c = WavelengthConfig::with_count(8);
+        assert_eq!(c.count, 8);
+        assert_eq!(c.assignment, WavelengthAssignment::FirstFit);
+        assert!(c.is_multiplexed());
+    }
+}

@@ -1,0 +1,103 @@
+//! Blocking-ratio study of the wavelength/resource layer: how much traffic
+//! do the paper's two 72-processor multi-OPS designs — the multi-hop
+//! stack-Kautz `SK(6,3,2)` and the single-hop `POPS(9,8)` — lose to busy
+//! couplers, and how fast does wavelength multiplexing buy that loss back?
+//!
+//! The scenario engine sweeps the wavelength count as a first-class grid
+//! axis, so the whole study is one `ScenarioGrid`: for every
+//! `(load, wavelength count)` cell the simulator injects the same traffic
+//! (same seed, same pattern) and reports what fraction of it was blocked,
+//! how busy the spectrum was, and — combining the optical parts inventory
+//! with the delivered volume — what each delivered bit costs in hardware.
+//!
+//! ```text
+//! cargo run --release --example blocking_study
+//! ```
+//!
+//! The companion config `examples/wavelength_sweep.scn` runs the same sweep
+//! through the `scenarios` CLI and streams it as CSV.
+
+use otis_lightwave::net::{default_thread_count, run_grid, NetworkSpec, ScenarioGrid, ScenarioRow};
+
+/// Formats a possibly-undefined statistic for a fixed-width table cell.
+fn cell(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:>8.4}")
+    } else {
+        format!("{:>8}", "-")
+    }
+}
+
+fn main() {
+    let specs = ["SK(6,3,2)", "POPS(9,8)"];
+    let loads = [0.2, 0.5, 0.8];
+    let wavelengths = [1usize, 2, 4, 8];
+
+    let parsed: Vec<NetworkSpec> = specs.iter().map(|s| s.parse().unwrap()).collect();
+    let grid = ScenarioGrid::new(parsed)
+        .loads(&loads)
+        .seeds(&[2026])
+        .slots(800)
+        .wavelengths(&wavelengths)
+        .alt_paths(2);
+    let rows = run_grid(&grid, default_thread_count()).expect("the grid is valid");
+
+    // Index the rows by their grid coordinates.  The wavelength axis is
+    // outermost, then workloads, then specs (one seed, one fault set here).
+    let row_at = |w_index: usize, load_index: usize, spec_index: usize| -> &ScenarioRow {
+        &rows[(w_index * loads.len() + load_index) * specs.len() + spec_index]
+    };
+
+    println!("Blocking under capacity contention, 800 slots, 2 routes tried per hop.");
+    println!("Even the W=1 column accounts blocking here: alternate routing keeps the");
+    println!("wavelength-aware kernel active at every capacity in this grid.");
+    for (spec_index, spec) in specs.iter().enumerate() {
+        println!();
+        println!("{spec} — blocking ratio (blocked / injected):");
+        print!("  {:>6}", "load");
+        for w in wavelengths {
+            print!("  {:>8}", format!("W={w}"));
+        }
+        println!();
+        for (load_index, load) in loads.iter().enumerate() {
+            print!("  {load:>6.2}");
+            for w_index in 0..wavelengths.len() {
+                let row = row_at(w_index, load_index, spec_index);
+                print!("  {}", cell(row.metrics.blocking_ratio()));
+            }
+            println!();
+        }
+    }
+
+    // The composite economics column: parts inventory over delivered volume.
+    // More wavelengths always deliver at least as much traffic, so the cost
+    // per delivered bit falls monotonically — until the network is no longer
+    // capacity-limited and extra wavelengths stop paying for themselves.
+    println!();
+    println!("Hardware cost per delivered bit (optical parts / delivered messages):");
+    print!("  {:>9}  {:>6}", "spec", "load");
+    for w in wavelengths {
+        print!("  {:>8}", format!("W={w}"));
+    }
+    println!();
+    for (spec_index, spec) in specs.iter().enumerate() {
+        for (load_index, load) in loads.iter().enumerate() {
+            print!("  {spec:>9}  {load:>6.2}");
+            for w_index in 0..wavelengths.len() {
+                let row = row_at(w_index, load_index, spec_index);
+                print!("  {}", cell(row.cost_per_delivered_bit()));
+            }
+            println!();
+        }
+    }
+
+    println!();
+    println!("Reading the tables:");
+    println!("  - SK(6,3,2) pays for its multi-hop routes under contention: every packet");
+    println!("    re-competes for a coupler at each of its k hops, so blocking is severe");
+    println!("    at W=1 and each doubling of the wavelength budget buys a lot back;");
+    println!("  - POPS(9,8) is single-hop, so a packet contends exactly once and a small");
+    println!("    wavelength budget (W=2) already makes blocking negligible;");
+    println!("  - cost per delivered bit falls with W while blocking dominates, then");
+    println!("    flattens once the injection rate, not the spectrum, is the limit.");
+}

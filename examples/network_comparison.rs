@@ -43,14 +43,23 @@ fn main() {
     let parsed: Vec<NetworkSpec> = specs.iter().map(|s| s.parse().unwrap()).collect();
     let points = frontier_scan(&parsed, &loads, 2000, 2024).expect("specs are valid");
     println!();
-    println!("Load/latency frontier (saturation = first point within 95% of peak throughput):");
+    println!("Load/latency frontier (saturation = first point within 95% of peak throughput,");
+    println!("confirmed by at least one probe beyond it):");
     for (i, spec) in parsed.iter().enumerate() {
         let frontier = &points[i * loads.len()..(i + 1) * loads.len()];
-        let sat = saturation_point(frontier).expect("traffic was delivered");
-        println!(
-            "  {spec}: saturates near load {:.2} at throughput {:.4} ({:.2} slots latency)",
-            sat.offered_load, sat.throughput, sat.average_latency
-        );
+        match saturation_point(frontier) {
+            Some(sat) => println!(
+                "  {spec}: saturates near load {:.2} at throughput {:.4} ({:.2} slots latency)",
+                sat.offered_load, sat.throughput, sat.average_latency
+            ),
+            // POPS(4,6) lands here: its throughput is still climbing at the
+            // last probed load, so the scan has no plateau evidence — the
+            // honest answer, rather than blaming the end of the probe range.
+            None => println!(
+                "  {spec}: still climbing at load {:.2} — no saturation within the probed range",
+                loads.last().copied().unwrap_or(f64::NAN)
+            ),
+        }
     }
 
     // Fault-injection sweep (§2.5 at system level): fail one quotient group

@@ -32,6 +32,7 @@ fn fresh_cell_metrics(
                 slots: options.slots,
                 seed: options.seed,
                 max_hops: options.max_hops,
+                wavelengths: options.wavelengths,
             },
             options.faults.clone(),
         )
@@ -43,6 +44,7 @@ fn fresh_cell_metrics(
                 seed: options.seed,
                 policy: options.policy,
                 queue_limit: options.queue_limit,
+                wavelengths: options.wavelengths,
             },
             options.faults.clone(),
         )
