@@ -4,14 +4,27 @@
 //! workloads, several seeds, the full `d − 1` fault sweep of §2.5 — which
 //! is exactly the shape where the engine's prepared-kernel cache pays off:
 //! 168 cells share 7 distinct `(spec, fault-pattern)` kernels, so the
-//! routing state is built 7 times instead of 168 and every cell only pays
-//! for its slot loop.  The `fresh_kernel_per_cell` baseline simulates the
-//! pre-cache behaviour (prepare + run per cell, serially) for comparison,
-//! and `wavelength_sweep` prices the wavelength layer: the same study with
-//! the wavelength-count axis swept over `{1, 4, 16}`.
+//! routing state is materialised 7 times instead of 168 and every cell only
+//! pays for its slot loop.  The `fresh_kernel_per_cell` baseline simulates
+//! the pre-cache behaviour (prepare + run per cell, serially) for
+//! comparison, and `wavelength_sweep` prices the wavelength layer: the same
+//! study with the wavelength-count axis swept over `{1, 4, 16}`.
+//!
+//! The `large_n` group scales the node count three orders of magnitude past
+//! the study networks — DB(2,11), 2 048 processors — with a bounded slot
+//! count, and reports the size-independent throughput unit of the engine:
+//! **node-slots/second** (divide the printed node-slots per iteration by a
+//! bench's mean time).  Its three kernel-construction benches price the
+//! delta-repair path against a full rebuild: `base_prepare` and
+//! `fresh_faulted_prepare` both pay the from-scratch O(n²) routing-state
+//! construction, while `delta_repair` derives the same faulted kernel from
+//! a prebuilt base and should beat the rebuild by a wide margin.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use otis_net::{run_grid, NetworkSpec, ScenarioGrid, SimOptions, TrafficSpec};
+use otis_net::{
+    run_grid, run_grid_streaming, CollectSink, FaultSet, NetworkSpec, ScenarioGrid, SimOptions,
+    TrafficSpec,
+};
 use otis_routing::node_fault_patterns_up_to;
 use std::time::Duration;
 
@@ -100,5 +113,63 @@ fn bench_scenario_grid(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scenario_grid);
+/// DB(2,11) — 2 048 processors, degree 2 — at a bounded 64 slots:
+/// 1 workload × 2 seeds × (intact + 2 single faults) = 6 cells.
+fn large_n_grid() -> ScenarioGrid {
+    let specs: Vec<NetworkSpec> = vec!["DB(2,11)".parse().unwrap()];
+    ScenarioGrid::new(specs)
+        .loads(&[0.3])
+        .seeds(&[1, 2])
+        .fault_sets(node_fault_patterns_up_to(2, 1))
+        .slots(64)
+}
+
+fn bench_large_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_n");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    let grid = large_n_grid();
+    let cells = grid.cell_count();
+    assert_eq!(cells, 6);
+    let network = otis_net::Network::new(grid.specs[0]).unwrap();
+    let nodes = network.node_count();
+    assert_eq!(nodes, 2048);
+
+    // One streaming run up front surfaces the work unit: dividing these
+    // node-slots by a bench's mean time gives node-slots/second.
+    let mut sink = CollectSink::new();
+    let summary = run_grid_streaming(&grid, 4, &mut sink).unwrap();
+    eprintln!(
+        "# large_n engine benches: {} node-slots per iteration \
+         ({cells} cells x {nodes} nodes x {} slots; kernels: {} built + {} repaired)",
+        summary.node_slots, grid.options.slots, summary.kernels_built, summary.kernels_repaired,
+    );
+
+    // The engine path at scale: one base build, two delta repairs, six slot
+    // loops over 2 048 nodes each.
+    group.bench_function(
+        format!("engine_cached_{cells}cells_{nodes}nodes_4threads"),
+        |b| b.iter(|| run_grid(&grid, 4).unwrap()),
+    );
+
+    // Kernel construction in isolation — the delta-vs-rebuild comparison.
+    let single_fault = FaultSet::from_nodes([0]);
+    group.bench_function(format!("base_prepare_{nodes}nodes"), |b| {
+        b.iter(|| network.prepare(&FaultSet::new()))
+    });
+    group.bench_function(format!("fresh_faulted_prepare_{nodes}nodes"), |b| {
+        b.iter(|| network.prepare(&single_fault))
+    });
+    group.bench_function(format!("delta_repair_{nodes}nodes"), |b| {
+        let base = network.prepare(&FaultSet::new());
+        b.iter(|| base.repair(&single_fault, 1))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_grid, bench_large_n);
 criterion_main!(benches);

@@ -194,7 +194,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             }
             "--wavelengths" => {
                 let counts = parse_list::<usize>(flag, value)?;
-                if counts.iter().any(|&w| w == 0) {
+                if counts.contains(&0) {
                     return Err("--wavelengths: counts must be at least 1".to_string());
                 }
                 grid.wavelengths = counts;
@@ -276,11 +276,16 @@ fn main() -> ExitCode {
     let started = Instant::now();
     match run_grid_streaming(&grid, args.threads, sink.as_mut()) {
         Ok(summary) => {
+            let elapsed = started.elapsed().as_secs_f64();
             eprintln!(
-                "# {} rows in {:.2}s wall-clock (peak reorder buffer: {} rows){}",
+                "# {} rows in {:.2}s wall-clock (peak reorder buffer: {} rows, \
+                 kernels: {} built + {} repaired, {:.0} node-slots/s){}",
                 summary.rows,
-                started.elapsed().as_secs_f64(),
+                elapsed,
                 summary.peak_buffered,
+                summary.kernels_built,
+                summary.kernels_repaired,
+                summary.node_slots as f64 / elapsed.max(f64::EPSILON),
                 args.output
                     .as_deref()
                     .map(|path| format!(", written to {path}"))

@@ -32,27 +32,36 @@
 //! is the collect-everything convenience: [`run_grid_streaming`] plus a
 //! [`CollectSink`].
 //!
-//! ## The prepared-kernel cache
+//! ## The prepared-kernel cache and delta repair
 //!
 //! Simulation is split into prepare/execute (see [`crate::prepared`]): the
 //! expensive routing state — fault-filtered graph, distance tables, flat
 //! route layouts — lives in an immutable [`PreparedSim`] kernel, and a
 //! cell's run only pays for its slot loop.  The engine keys a cache of
 //! these kernels on the `(spec, fault-pattern)` pair: one `OnceLock` slot
-//! per pair, shared by every worker, so a grid builds each distinct kernel
-//! **exactly once** no matter how many cells (seeds × workloads) share it
-//! or how many threads race to need it first.  A 1 000-cell sweep with a
-//! handful of distinct `(spec, fault)` pairs therefore performs a handful
-//! of routing-table constructions instead of 1 000.
-//! [`StreamSummary::kernels_built`] reports the constructions a run
-//! actually performed — the construction counter the cache tests pin.
+//! per pair, shared by every worker, so a grid materialises each distinct
+//! kernel **exactly once** no matter how many cells (seeds × workloads)
+//! share it or how many threads race to need it first.
 //!
-//! Cached kernels live for the whole run (exactly-once construction rules
-//! out eviction), so the cache's memory is O(specs × fault_sets) kernels on
-//! top of the engine's O(threads + window) row buffering — the trade-off is
-//! deliberate: fault axes are combinatorial in *patterns*, but each kernel
-//! is only a routing table, and rebuilding one mid-run would cost far more
-//! than holding it.
+//! Fault-pattern kernels are not built from scratch.  Each spec gets one
+//! *base* kernel — the fault-free preparation, built lazily on first need
+//! and counted in [`StreamSummary::kernels_built`] — and every other
+//! `(spec, fault-pattern)` slot is **delta-repaired** from that base
+//! ([`PreparedSim::repair`], counted in
+//! [`StreamSummary::kernels_repaired`]): only routing-table columns and
+//! route pairs the faults actually touch are recomputed, which is far
+//! cheaper than a full rebuild and bit-identical to one.  A fault-sweep
+//! grid therefore performs exactly one full routing-state construction per
+//! spec plus one cheap repair per non-empty fault pattern — the two
+//! counters the cache tests pin (`built + repaired` = distinct exercised
+//! pairs, with empty-fault slots sharing the base outright).
+//!
+//! Cached kernels live for the whole run (exactly-once materialisation
+//! rules out eviction), so the cache's memory is O(specs × fault_sets)
+//! kernels on top of the engine's O(threads + window) row buffering — the
+//! trade-off is deliberate: fault axes are combinatorial in *patterns*, but
+//! each kernel is only a routing table, and rebuilding one mid-run would
+//! cost far more than holding it.
 
 use crate::error::NetworkError;
 use crate::network::Network;
@@ -368,8 +377,9 @@ pub fn reorder_window(threads: usize) -> usize {
 
 /// What a streaming run did: how many rows reached the sink, the largest
 /// number of completed rows the reorder buffer ever held (always at most
-/// [`reorder_window`] of the requested thread count), and how many prepared
-/// kernels were constructed.
+/// [`reorder_window`] of the requested thread count), how many prepared
+/// kernels were constructed or delta-repaired, and how much simulation work
+/// the rows represent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamSummary {
     /// Rows delivered to the sink, equal to the grid's cell count on a
@@ -378,13 +388,25 @@ pub struct StreamSummary {
     /// Peak size of the reorder buffer — the memory high-water mark of the
     /// run, bounded by the reorder window, not the cell count.
     pub peak_buffered: usize,
-    /// Prepared simulation kernels constructed during the run — the
-    /// construction counter of the `(spec, fault-pattern)` cache.  On a
-    /// completed run this equals the number of distinct pairs the grid
-    /// exercised (`specs × fault_sets`), never the cell count: each kernel
-    /// is built exactly once and shared across every seed/workload cell and
-    /// every worker thread that needs it.
+    /// Fault-free base kernels constructed from scratch during the run.  On
+    /// a completed run this equals the number of specs the grid actually
+    /// exercised — one full routing-state construction per network, never
+    /// per fault pattern and never per cell: every other `(spec, fault)`
+    /// kernel is derived from its spec's base by delta repair.
     pub kernels_built: usize,
+    /// Kernels derived from a base by delta repair
+    /// ([`PreparedSim::repair`]) — one per distinct `(spec, fault-pattern)`
+    /// pair with a non-empty fault set, shared across every seed/workload
+    /// cell.  Empty-fault slots share the base outright and count in
+    /// neither counter's repair tally, so on a completed fault-sweep run
+    /// `kernels_built + kernels_repaired` equals the number of distinct
+    /// exercised pairs.
+    pub kernels_repaired: usize,
+    /// Total simulation work delivered, in node-slots: the sum over every
+    /// delivered row of `slots × processors`.  Dividing by wall-clock time
+    /// gives the engine's throughput in node-slots/second — the
+    /// size-independent rate large-N benchmarks report.
+    pub node_slots: u64,
 }
 
 /// Executes every cell of the grid across `threads` scoped workers (clamped
@@ -454,6 +476,8 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
         rows: 0,
         peak_buffered: 0,
         kernels_built: 0,
+        kernels_repaired: 0,
+        node_slots: 0,
     };
     if cell_count == 0 {
         sink.finish().map_err(sink_error)?;
@@ -462,14 +486,19 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
 
     // The prepared-kernel cache: one lazily-filled slot per
     // (spec, fault-pattern) pair, shared across workers.  `OnceLock`
-    // guarantees the expensive routing-state construction happens exactly
-    // once per pair even when several workers hit the same slot at the same
-    // time (late arrivals block until the winner finishes, then share the
-    // kernel).  `kernels_built` counts the constructions actually performed.
+    // guarantees each slot is materialised exactly once even when several
+    // workers hit it at the same time (late arrivals block until the winner
+    // finishes, then share the kernel).  Only the per-spec fault-free *base*
+    // is built from scratch (`kernels_built`); every faulted slot is
+    // delta-repaired from its spec's base (`kernels_repaired`), and
+    // empty-fault slots share the base outright.
     let kernels: Vec<OnceLock<PreparedSim>> = (0..grid.specs.len() * grid.fault_sets.len())
         .map(|_| OnceLock::new())
         .collect();
+    let bases: Vec<OnceLock<PreparedSim>> =
+        (0..grid.specs.len()).map(|_| OnceLock::new()).collect();
     let kernels_built = AtomicUsize::new(0);
+    let kernels_repaired = AtomicUsize::new(0);
 
     let workers = threads.max(1).min(cell_count);
     let window = reorder_window(workers);
@@ -489,7 +518,8 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             let tx = tx.clone();
             let (next, stop, watermark, advanced) = (&next, &stop, &watermark, &advanced);
             let (networks, patterns) = (&networks, &patterns);
-            let (kernels, kernels_built) = (&kernels, &kernels_built);
+            let (kernels, bases) = (&kernels, &bases);
+            let (kernels_built, kernels_repaired) = (&kernels_built, &kernels_repaired);
             let hardware_costs = &hardware_costs;
             scope.spawn(move || {
                 // A panicking cell must not strand the other workers parked
@@ -520,14 +550,25 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                     }
                     let cell = grid.cell_at(index);
                     // Look the cell's prepared kernel up in the shared
-                    // cache, building it on first use.
+                    // cache, materialising it on first use: the spec's
+                    // fault-free base is the only from-scratch build, and
+                    // every faulted kernel is delta-repaired from it.
                     let kernel = kernels[cell.spec * grid.fault_sets.len() + cell.fault_set]
                         .get_or_init(|| {
-                            kernels_built.fetch_add(1, Ordering::Relaxed);
-                            networks[cell.spec].prepare_with_alternates(
-                                &grid.fault_sets[cell.fault_set],
-                                grid.options.alt_paths,
-                            )
+                            let base = bases[cell.spec].get_or_init(|| {
+                                kernels_built.fetch_add(1, Ordering::Relaxed);
+                                networks[cell.spec].prepare_with_alternates(
+                                    &FaultSet::new(),
+                                    grid.options.alt_paths,
+                                )
+                            });
+                            let faults = &grid.fault_sets[cell.fault_set];
+                            if faults.is_empty() {
+                                base.clone()
+                            } else {
+                                kernels_repaired.fetch_add(1, Ordering::Relaxed);
+                                base.repair(faults, grid.options.alt_paths)
+                            }
                         });
                     let row = run_cell(
                         kernel,
@@ -560,6 +601,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             pending.insert(index, row);
             summary.peak_buffered = summary.peak_buffered.max(pending.len());
             while let Some(row) = pending.remove(&next_to_deliver) {
+                let row_node_slots = row.metrics.slots * row.metrics.processors as u64;
                 if let Err(e) = sink.on_row(next_to_deliver, row) {
                     sink_failure = Some(e);
                     // Set the stop flag *under the watermark lock*: a worker
@@ -576,6 +618,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                 }
                 next_to_deliver += 1;
                 summary.rows += 1;
+                summary.node_slots += row_node_slots;
                 *watermark.lock().expect("no panics hold the watermark") = next_to_deliver;
                 advanced.notify_all();
             }
@@ -589,6 +632,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
     });
 
     summary.kernels_built = kernels_built.load(Ordering::Relaxed);
+    summary.kernels_repaired = kernels_repaired.load(Ordering::Relaxed);
     match sink_failure {
         Some(e) => Err(sink_error(e)),
         None => {
@@ -999,10 +1043,11 @@ mod tests {
     #[test]
     fn hundred_cell_grid_builds_each_kernel_exactly_once() {
         // The prepared-kernel cache contract: a grid of 140 cells spanning
-        // 2 specs × 7 fault patterns constructs exactly 2 × 7 = 14 kernels —
-        // one per distinct (spec, fault-pattern) pair — at any thread count,
-        // while seeds and workloads reuse the cached routing state.  The
-        // construction counter is threaded out through the stream summary.
+        // 2 specs × 7 fault patterns materialises each distinct
+        // (spec, fault-pattern) pair exactly once at any thread count —
+        // 2 from-scratch fault-free bases plus 6 delta repairs per spec —
+        // while seeds and workloads reuse the cached routing state.  Both
+        // counters are threaded out through the stream summary.
         let specs: Vec<NetworkSpec> = ["SK(2,2,2)", "DB(2,3)"]
             .iter()
             .map(|s| s.parse().unwrap())
@@ -1021,8 +1066,18 @@ mod tests {
             let summary = run_grid_streaming(&grid, threads, &mut sink).unwrap();
             assert_eq!(summary.rows, 140);
             assert_eq!(
-                summary.kernels_built, 14,
-                "each distinct (spec, fault-pattern) pair must be prepared exactly once \
+                summary.kernels_built, 2,
+                "exactly one fault-free base per spec ({threads} threads)"
+            );
+            assert_eq!(
+                summary.kernels_repaired, 12,
+                "every non-empty fault pattern must be delta-repaired exactly once per spec \
+                 ({threads} threads)"
+            );
+            assert_eq!(
+                summary.kernels_built + summary.kernels_repaired,
+                14,
+                "built + repaired must cover each distinct (spec, fault-pattern) pair once \
                  ({threads} threads)"
             );
             let rows = sink.into_rows();

@@ -59,6 +59,25 @@ impl PreparedSim {
         }
     }
 
+    /// Derives the kernel for `faults` from this kernel by delta repair —
+    /// `self` must be fault-free (prepared with an empty fault set).  Only
+    /// routing state the faults actually touch is recomputed
+    /// ([`PreparedHotPotato::repair_from`],
+    /// [`PreparedMultiOps::repair_from`]); the result is bit-identical to
+    /// preparing the fault pattern from scratch.  `alt_paths` must equal
+    /// the value `self` was prepared with (hot-potato kernels ignore it,
+    /// exactly as they do at prepare time).
+    pub fn repair(&self, faults: &FaultSet, alt_paths: usize) -> PreparedSim {
+        match self {
+            PreparedSim::HotPotato(base) => {
+                PreparedSim::HotPotato(PreparedHotPotato::repair_from(base, faults))
+            }
+            PreparedSim::MultiOps(base) => {
+                PreparedSim::MultiOps(PreparedMultiOps::repair_from(base, faults, alt_paths))
+            }
+        }
+    }
+
     /// The fault pattern this kernel was prepared with.
     pub fn faults(&self) -> &FaultSet {
         match self {

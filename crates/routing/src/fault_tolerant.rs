@@ -107,25 +107,26 @@ pub fn surviving_subgraph(g: &Digraph, faults: &FaultSet) -> Digraph {
     builder.build()
 }
 
-/// Every fault set of exactly `size` failed nodes drawn from `0..n`, in
-/// lexicographic order of the node combination.  `size == 0` yields the
-/// single empty fault set; `size > n` yields nothing.
-///
-/// This is the exhaustive enumeration behind the `d − 1` sweeps of
-/// experiment T4 — small instances only (the count is `C(n, size)`).
-pub fn node_fault_patterns(n: usize, size: usize) -> Vec<FaultSet> {
-    if size > n {
-        return Vec::new();
-    }
-    if size == 0 {
-        return vec![FaultSet::new()];
-    }
-    let mut out = Vec::new();
-    let mut combo: Vec<usize> = (0..size).collect();
-    loop {
-        out.push(FaultSet::from_nodes(combo.iter().copied()));
+/// Lazy enumeration of the size-`size` node fault patterns from `0..n`, in
+/// lexicographic order of the node combination — see
+/// [`node_fault_patterns_iter`].
+#[derive(Debug, Clone)]
+pub struct NodeFaultPatterns {
+    n: usize,
+    size: usize,
+    /// The next combination to yield; `None` once exhausted.
+    combo: Option<Vec<usize>>,
+}
+
+impl Iterator for NodeFaultPatterns {
+    type Item = FaultSet;
+
+    fn next(&mut self) -> Option<FaultSet> {
+        let combo = self.combo.as_mut()?;
+        let faults = FaultSet::from_nodes(combo.iter().copied());
         // Advance to the next combination: find the rightmost index that can
         // still move, bump it, and reset everything to its right.
+        let (n, size) = (self.n, self.size);
         let mut i = size;
         let advanced = loop {
             if i == 0 {
@@ -141,18 +142,49 @@ pub fn node_fault_patterns(n: usize, size: usize) -> Vec<FaultSet> {
             }
         };
         if !advanced {
-            return out;
+            self.combo = None;
         }
+        Some(faults)
     }
 }
 
-/// Every fault set of at most `max_size` failed nodes drawn from `0..n`
-/// (including the empty baseline), sizes ascending — the input shape of a
-/// fault-injection sweep from 0 to `d − 1` faults.
+/// Lazily yields every fault set of exactly `size` failed nodes drawn from
+/// `0..n`, in lexicographic order of the node combination.  `size == 0`
+/// yields the single empty fault set; `size > n` yields nothing.
+///
+/// This is the exhaustive enumeration behind the `d − 1` sweeps of
+/// experiment T4.  The count is `C(n, size)` — the iterator holds only the
+/// current combination, so large-`d` sweeps can stream patterns into the
+/// scenario engine without materialising them all; [`node_fault_patterns`]
+/// is the collecting wrapper.
+pub fn node_fault_patterns_iter(n: usize, size: usize) -> NodeFaultPatterns {
+    let combo = if size > n {
+        None
+    } else {
+        Some((0..size).collect())
+    };
+    NodeFaultPatterns { n, size, combo }
+}
+
+/// Every fault set of exactly `size` failed nodes drawn from `0..n`, in
+/// lexicographic order: the eager form of [`node_fault_patterns_iter`].
+pub fn node_fault_patterns(n: usize, size: usize) -> Vec<FaultSet> {
+    node_fault_patterns_iter(n, size).collect()
+}
+
+/// Lazily yields every fault set of at most `max_size` failed nodes drawn
+/// from `0..n` (including the empty baseline), sizes ascending — the input
+/// shape of a fault-injection sweep from 0 to `d − 1` faults, without
+/// materialising the `Σ C(n, k)` sets up front.
+/// [`node_fault_patterns_up_to`] is the collecting wrapper.
+pub fn node_fault_patterns_up_to_iter(n: usize, max_size: usize) -> impl Iterator<Item = FaultSet> {
+    (0..=max_size).flat_map(move |size| node_fault_patterns_iter(n, size))
+}
+
+/// Every fault set of at most `max_size` failed nodes drawn from `0..n`,
+/// sizes ascending: the eager form of [`node_fault_patterns_up_to_iter`].
 pub fn node_fault_patterns_up_to(n: usize, max_size: usize) -> Vec<FaultSet> {
-    (0..=max_size)
-        .flat_map(|size| node_fault_patterns(n, size))
-        .collect()
+    node_fault_patterns_up_to_iter(n, max_size).collect()
 }
 
 /// Finds a shortest path from `src` to `dst` avoiding every fault in
@@ -341,6 +373,31 @@ mod tests {
         let sweep = node_fault_patterns_up_to(5, 2);
         assert_eq!(sweep.len(), 1 + 5 + 10);
         assert!(sweep[0].is_empty());
+    }
+
+    #[test]
+    fn lazy_iterators_match_the_eager_wrappers() {
+        for n in 0..6 {
+            for size in 0..=n + 1 {
+                let eager = node_fault_patterns(n, size);
+                let lazy: Vec<FaultSet> = node_fault_patterns_iter(n, size).collect();
+                assert_eq!(lazy, eager, "n={n} size={size}");
+                let eager_up = node_fault_patterns_up_to(n, size);
+                let lazy_up: Vec<FaultSet> = node_fault_patterns_up_to_iter(n, size).collect();
+                assert_eq!(lazy_up, eager_up, "n={n} max={size}");
+            }
+        }
+        // The iterator is genuinely lazy: taking a prefix of a huge sweep
+        // does constant work per item.
+        let mut it = node_fault_patterns_iter(64, 8);
+        assert_eq!(
+            it.next().unwrap().sorted_nodes(),
+            (0..8).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            it.next().unwrap().sorted_nodes(),
+            vec![0, 1, 2, 3, 4, 5, 6, 8]
+        );
     }
 
     #[test]

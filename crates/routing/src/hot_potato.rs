@@ -8,6 +8,7 @@
 //! free link.  This module provides the per-node decision procedure; the
 //! slotted simulator drives it.
 
+use crate::fault_tolerant::{surviving_subgraph, FaultSet};
 use crate::table::RoutingTable;
 use otis_graphs::{Digraph, NodeId};
 use rand::Rng;
@@ -36,6 +37,23 @@ impl HotPotatoRouter {
     pub fn from_shared(graph: Arc<Digraph>) -> Self {
         let table = RoutingTable::new(&graph);
         HotPotatoRouter { graph, table }
+    }
+
+    /// Delta-repair construction: derives the router for the surviving
+    /// subgraph of `base` under `faults` by patching only the distance-table
+    /// columns the faults actually touch, instead of recomputing all pairs.
+    ///
+    /// `base` is the fault-free router (its graph is the intact network);
+    /// the result is identical to
+    /// `HotPotatoRouter::new(surviving_subgraph(base.graph(), faults))` —
+    /// see [`RoutingTable::repaired`] for why the shortcut is exact.
+    pub fn from_repair(base: &HotPotatoRouter, faults: &FaultSet) -> Self {
+        let survivor = Arc::new(surviving_subgraph(&base.graph, faults));
+        let table = base.table.repaired(&survivor, faults).table;
+        HotPotatoRouter {
+            graph: survivor,
+            table,
+        }
     }
 
     /// The underlying digraph.
@@ -120,6 +138,54 @@ impl HotPotatoRouter {
         let mut best: Option<u32> = None;
         for (port, &next) in neighbors.iter().enumerate() {
             if !port_free[port] {
+                continue;
+            }
+            let d = self.table.distance(next, dst).unwrap_or(u32::MAX);
+            match best {
+                None => {
+                    best = Some(d);
+                    ties.push(port);
+                }
+                Some(bd) if d < bd => {
+                    best = Some(d);
+                    ties.clear();
+                    ties.push(port);
+                }
+                Some(bd) if d == bd => ties.push(port),
+                Some(_) => {}
+            }
+        }
+        if ties.is_empty() {
+            None
+        } else {
+            Some(ties[rng.gen_range(0..ties.len())])
+        }
+    }
+
+    /// Bitset form of [`HotPotatoRouter::choose_port_randomized_into`]: port
+    /// `p` is free when bit `p & 63` of `free_words[p >> 6]` is set, so the
+    /// per-slot simulation loop can keep its port occupancy as a few `u64`
+    /// words instead of a `Vec<bool>`.  Consumes the RNG identically to the
+    /// slice form (one draw per decision that finds a free port), so either
+    /// mask representation produces byte-identical simulations.
+    pub fn choose_port_randomized_masked<R: Rng>(
+        &self,
+        node: NodeId,
+        dst: NodeId,
+        free_words: &[u64],
+        rng: &mut R,
+        ties: &mut Vec<usize>,
+    ) -> Option<usize> {
+        let neighbors = self.graph.out_neighbors(node);
+        assert!(
+            free_words.len() * 64 >= neighbors.len(),
+            "port mask too short for out-degree {}",
+            neighbors.len()
+        );
+        ties.clear();
+        let mut best: Option<u32> = None;
+        for (port, &next) in neighbors.iter().enumerate() {
+            if free_words[port >> 6] & (1u64 << (port & 63)) == 0 {
                 continue;
             }
             let d = self.table.distance(next, dst).unwrap_or(u32::MAX);
@@ -249,6 +315,57 @@ mod tests {
                         || !g.has_arc(src, dst) && router.distance(src, dst) == Some(0)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn masked_chooser_matches_slice_chooser_and_rng_stream() {
+        let router = HotPotatoRouter::new(de_bruijn(2, 3));
+        let g = router.graph().clone();
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut ties_a = Vec::new();
+        let mut ties_b = Vec::new();
+        for src in 0..g.node_count() {
+            for dst in 0..g.node_count() {
+                for mask in 0..(1u64 << g.out_degree(src)) {
+                    let free: Vec<bool> =
+                        (0..g.out_degree(src)).map(|p| mask >> p & 1 == 1).collect();
+                    let a = router.choose_port_randomized_into(
+                        src,
+                        dst,
+                        &free,
+                        &mut rng_a,
+                        &mut ties_a,
+                    );
+                    let b = router.choose_port_randomized_masked(
+                        src,
+                        dst,
+                        &[mask],
+                        &mut rng_b,
+                        &mut ties_b,
+                    );
+                    assert_eq!(a, b, "src={src} dst={dst} mask={mask:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_repair_matches_from_scratch_on_survivor() {
+        use crate::fault_tolerant::node_fault_patterns_up_to;
+        let g = de_bruijn(2, 3);
+        let base = HotPotatoRouter::new(g.clone());
+        for faults in node_fault_patterns_up_to(g.node_count(), 1) {
+            let repaired = HotPotatoRouter::from_repair(&base, &faults);
+            let scratch = HotPotatoRouter::new(surviving_subgraph(&g, &faults));
+            assert!(repaired.graph().same_arcs(scratch.graph()));
+            assert_eq!(
+                repaired.table,
+                scratch.table,
+                "faults {:?}",
+                faults.sorted_nodes()
+            );
         }
     }
 

@@ -41,12 +41,12 @@ pub mod stack;
 pub mod table;
 
 pub use fault_tolerant::{
-    fault_tolerant_route, node_fault_patterns, node_fault_patterns_up_to, surviving_subgraph,
-    FaultSet,
+    fault_tolerant_route, node_fault_patterns, node_fault_patterns_iter, node_fault_patterns_up_to,
+    node_fault_patterns_up_to_iter, surviving_subgraph, FaultSet, NodeFaultPatterns,
 };
 pub use hot_potato::HotPotatoRouter;
 pub use imase_itoh::{imase_itoh_distance, imase_itoh_route};
 pub use kautz::{kautz_route, kautz_route_words};
 pub use pops::{PopsRouter, SlotSchedule};
-pub use stack::{StackHop, StackRoute, StackRouter};
-pub use table::RoutingTable;
+pub use stack::{StackHop, StackRepair, StackRoute, StackRouter};
+pub use table::{RoutingTable, TableRepair};

@@ -61,6 +61,23 @@ pub struct StackRouter {
     faults: FaultSet,
 }
 
+/// Result of [`StackRouter::from_repair`]: the repaired router plus which
+/// destination *groups* (quotient columns) changed relative to the
+/// fault-free base.  Callers caching per-destination route state — such as
+/// the flattened route tables of the prepared multi-OPS kernels — can keep
+/// every cached route towards an unchanged live group and rebuild only the
+/// rest.
+#[derive(Debug, Clone)]
+pub struct StackRepair {
+    /// The repaired router, identical to
+    /// [`StackRouter::from_shared`] with the same faults.
+    pub router: StackRouter,
+    /// `changed_groups[g]`: whether routes towards destination group `g`
+    /// may differ from the fault-free base (recomputed column or failed
+    /// group).
+    pub changed_groups: Vec<bool>,
+}
+
 impl StackRouter {
     /// Builds a router for the given stack-graph (precomputes the quotient
     /// routing table).
@@ -93,6 +110,39 @@ impl StackRouter {
             stack,
             quotient_table,
             faults,
+        }
+    }
+
+    /// Delta-repair construction: derives a fault-avoiding router from the
+    /// fault-free `base` by patching only the quotient-table columns the
+    /// faults touch (see [`RoutingTable::repaired`]) instead of recomputing
+    /// the all-pairs table.  The result routes identically to
+    /// `StackRouter::from_shared(stack, faults)`.
+    ///
+    /// # Panics
+    /// Panics when `base` already avoids faults — repairs always start from
+    /// the fault-free table.
+    pub fn from_repair(base: &StackRouter, faults: &FaultSet) -> StackRepair {
+        assert!(
+            base.faults.is_empty(),
+            "delta repair must start from a fault-free router"
+        );
+        let quotient = base.stack.quotient();
+        if faults.is_empty() {
+            return StackRepair {
+                router: base.clone(),
+                changed_groups: vec![false; quotient.node_count()],
+            };
+        }
+        let survivor = surviving_subgraph(quotient, faults);
+        let repair = base.quotient_table.repaired(&survivor, faults);
+        StackRepair {
+            router: StackRouter {
+                stack: base.stack.clone(),
+                quotient_table: repair.table,
+                faults: faults.clone(),
+            },
+            changed_groups: repair.changed,
         }
     }
 
@@ -356,6 +406,45 @@ mod tests {
                             "route passes through the failed group"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_repair_routes_identically_to_from_scratch() {
+        use crate::fault_tolerant::node_fault_patterns_up_to;
+        let sk = StackKautz::new(2, 2, 2);
+        let stack = Arc::new(sk.stack_graph().clone());
+        let base = StackRouter::from_shared(stack.clone(), FaultSet::new());
+        // d = 2: the §2.5 survivability claim covers every fault set of at
+        // most one group; check exhaustively that repair == from scratch.
+        for faults in node_fault_patterns_up_to(stack.group_count(), 1) {
+            let scratch = StackRouter::from_shared(stack.clone(), faults.clone());
+            let repair = StackRouter::from_repair(&base, &faults);
+            assert_eq!(repair.router.quotient_table, scratch.quotient_table);
+            for src in 0..sk.node_count() {
+                for dst in 0..sk.node_count() {
+                    assert_eq!(
+                        repair.router.route(src, dst),
+                        scratch.route(src, dst),
+                        "{src}->{dst} under faults {:?}",
+                        faults.sorted_nodes()
+                    );
+                }
+            }
+            // Routes towards unchanged live groups must be reusable as-is.
+            for dst in 0..sk.node_count() {
+                let g = stack.to_stack_node(dst).group;
+                if repair.changed_groups[g] {
+                    continue;
+                }
+                for src in 0..sk.node_count() {
+                    let gs = stack.to_stack_node(src).group;
+                    if faults.node_failed(gs) || gs == g {
+                        continue;
+                    }
+                    assert_eq!(repair.router.route(src, dst), base.route(src, dst));
                 }
             }
         }

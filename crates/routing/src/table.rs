@@ -8,12 +8,34 @@
 //! it is the routing oracle handed to the slotted simulator for topologies
 //! that have no label structure (meshes, hypercubes, …).
 
+use crate::fault_tolerant::FaultSet;
 use otis_graphs::algorithms::bfs::UNREACHABLE;
 use otis_graphs::{Digraph, NodeId};
 use std::collections::VecDeque;
 
-/// Precomputed next-hop table and distance matrix.
+/// Result of [`RoutingTable::repaired`]: the repaired table plus, per
+/// destination column, whether live-node entries may differ from the base.
+///
+/// `changed[dst]` is `true` when the column was recomputed by BFS or the
+/// destination itself failed; when it is `false` the column is a verbatim
+/// copy of the base except for failed-source rows (which become
+/// unreachable), so any cached route *between live nodes* towards `dst`
+/// remains valid.
 #[derive(Debug, Clone)]
+pub struct TableRepair {
+    /// The repaired table, identical to `RoutingTable::new` on the
+    /// surviving subgraph.
+    pub table: RoutingTable,
+    /// `changed[dst]`: whether live-node entries of column `dst` may differ
+    /// from the base table.
+    pub changed: Vec<bool>,
+    /// Number of destination columns recomputed by BFS (the rest were
+    /// copied).
+    pub recomputed: usize,
+}
+
+/// Precomputed next-hop table and distance matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTable {
     n: usize,
     /// `next[dst * n + u]`: next hop from `u` towards `dst` (`usize::MAX`
@@ -51,6 +73,110 @@ impl RoutingTable {
             }
         }
         RoutingTable { n, next, dist }
+    }
+
+    /// Delta-repairs a base table for a fault set instead of recomputing all
+    /// pairs.
+    ///
+    /// `self` must be the table of the intact graph and `survivor` its
+    /// surviving subgraph under `faults` (see
+    /// [`crate::surviving_subgraph`]); the result is **identical** — next
+    /// hops and distances — to `RoutingTable::new(survivor)`, but only the
+    /// destination columns actually touched by the faults pay for a BFS.
+    ///
+    /// A column for destination `dst` can be copied verbatim exactly when no
+    /// live node's tree arc `(u, next[u → dst])` is blocked by the faults:
+    /// every arc the faults remove is then a *non-tree* arc for that column,
+    /// examined by the reference BFS only after its tail was already
+    /// discovered, so deleting it cannot perturb the discovery order — the
+    /// from-scratch BFS on the survivor retraces the base BFS exactly.
+    /// Failed sources are patched to unreachable on copied columns (a failed
+    /// node has no surviving out-arcs, so the reference BFS never reaches
+    /// it).  Columns failing the criterion — and columns of failed
+    /// destinations — are recomputed with the same reverse BFS as
+    /// [`RoutingTable::new`].
+    pub fn repaired(&self, survivor: &Digraph, faults: &FaultSet) -> TableRepair {
+        let n = self.n;
+        assert_eq!(
+            survivor.node_count(),
+            n,
+            "survivor node count must match the base table"
+        );
+        if faults.is_empty() {
+            return TableRepair {
+                table: self.clone(),
+                changed: vec![false; n],
+                recomputed: 0,
+            };
+        }
+        let reverse = survivor.reverse();
+        let failed_nodes = faults.sorted_nodes();
+        // The copyable criterion scans every (node, column) pair; a bitmap
+        // keeps that O(n²) pass at an indexed load per node instead of a
+        // hash lookup, and the arc-fault set is only consulted at all when
+        // it is non-empty (node faults dominate the sweeps).
+        let mut node_failed = vec![false; n];
+        for &f in &failed_nodes {
+            node_failed[f] = true;
+        }
+        let has_arc_faults = !faults.sorted_arcs().is_empty();
+        let mut next = self.next.clone();
+        let mut dist = self.dist.clone();
+        let mut changed = vec![false; n];
+        let mut recomputed = 0usize;
+        let mut queue = VecDeque::new();
+        for dst in 0..n {
+            let base = dst * n;
+            if node_failed[dst] {
+                // A failed destination has no surviving in-arcs: the
+                // reference BFS discovers nothing beyond `dst` itself.
+                for u in 0..n {
+                    next[base + u] = usize::MAX;
+                    dist[base + u] = UNREACHABLE;
+                }
+                dist[base + dst] = 0;
+                changed[dst] = true;
+                continue;
+            }
+            let copyable = (0..n).all(|u| {
+                if u == dst || node_failed[u] || self.dist[base + u] == UNREACHABLE {
+                    return true;
+                }
+                let hop = self.next[base + u];
+                !(node_failed[hop] || has_arc_faults && faults.blocks(u, hop))
+            });
+            if copyable {
+                for &f in &failed_nodes {
+                    next[base + f] = usize::MAX;
+                    dist[base + f] = UNREACHABLE;
+                }
+                continue;
+            }
+            recomputed += 1;
+            changed[dst] = true;
+            for u in 0..n {
+                next[base + u] = usize::MAX;
+                dist[base + u] = UNREACHABLE;
+            }
+            dist[base + dst] = 0;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(w) = queue.pop_front() {
+                let dw = dist[base + w];
+                for &u in reverse.out_neighbors(w) {
+                    if dist[base + u] == UNREACHABLE {
+                        dist[base + u] = dw + 1;
+                        next[base + u] = w;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        TableRepair {
+            table: RoutingTable { n, next, dist },
+            changed,
+            recomputed,
+        }
     }
 
     /// Number of nodes the table covers.
@@ -157,6 +283,67 @@ mod tests {
         assert_eq!(table.next_hop(1, 0), None);
         assert_eq!(table.max_distance(), None);
         assert_eq!(table.distance(0, 1), Some(1));
+    }
+
+    #[test]
+    fn repaired_tables_equal_from_scratch_on_kautz_singles_and_pairs() {
+        use crate::fault_tolerant::{node_fault_patterns_up_to, surviving_subgraph};
+        let g = kautz(3, 2);
+        let base = RoutingTable::new(&g);
+        for faults in node_fault_patterns_up_to(g.node_count(), 2) {
+            let survivor = surviving_subgraph(&g, &faults);
+            let repair = base.repaired(&survivor, &faults);
+            assert_eq!(
+                repair.table,
+                RoutingTable::new(&survivor),
+                "faults {:?}",
+                faults.sorted_nodes()
+            );
+            if faults.is_empty() {
+                assert_eq!(repair.recomputed, 0);
+                assert!(repair.changed.iter().all(|&c| !c));
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_table_handles_arc_faults() {
+        use crate::fault_tolerant::{surviving_subgraph, FaultSet};
+        let g = de_bruijn(2, 3);
+        let base = RoutingTable::new(&g);
+        for arc in g.arcs() {
+            let mut faults = FaultSet::new();
+            faults.fail_arc(arc.source, arc.target);
+            let survivor = surviving_subgraph(&g, &faults);
+            assert_eq!(
+                base.repaired(&survivor, &faults).table,
+                RoutingTable::new(&survivor),
+                "arc fault {arc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unchanged_columns_keep_live_routes_valid() {
+        use crate::fault_tolerant::{surviving_subgraph, FaultSet};
+        let g = kautz(2, 3);
+        let base = RoutingTable::new(&g);
+        let faults = FaultSet::from_nodes([0]);
+        let survivor = surviving_subgraph(&g, &faults);
+        let repair = base.repaired(&survivor, &faults);
+        for dst in 0..g.node_count() {
+            if repair.changed[dst] {
+                continue;
+            }
+            for u in 0..g.node_count() {
+                if faults.node_failed(u) {
+                    assert_eq!(repair.table.distance(u, dst), None);
+                } else {
+                    assert_eq!(repair.table.next_hop(u, dst), base.next_hop(u, dst));
+                    assert_eq!(repair.table.distance(u, dst), base.distance(u, dst));
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,40 +12,45 @@
 //!
 //! * [`PreparedHotPotato`] is the immutable kernel — the fault-filtered
 //!   digraph (already a flat CSR port layout) plus the deflection router's
-//!   all-pairs distance table, built once per `(graph, fault-pattern)` pair;
-//! * [`PreparedHotPotato::run`] owns only per-run mutable state
-//!   ([`crate::kernel::RunCore`] plus reusable per-node message buffers) and
-//!   performs no per-slot allocations, so a scenario sweep pays the
-//!   expensive table construction once and every cell only pays for its
-//!   slot loop.
+//!   all-pairs distance table, built once per `(graph, fault-pattern)` pair.
+//!   A fault pattern's kernel can also be *delta-repaired* from the
+//!   fault-free base ([`PreparedHotPotato::repair_from`]): only the distance
+//!   columns the faults actually touch are recomputed, and the result is
+//!   bit-identical to building from scratch;
+//! * [`PreparedHotPotato::run`] owns only per-run mutable state and drives
+//!   the shared struct-of-arrays slot engine of [`crate::kernel`]: messages
+//!   live in a [`crate::kernel::MessageArena`] and the per-node buffers
+//!   hold `u32` handles, port occupancy is a [`crate::kernel::PortBits`]
+//!   bitset fed straight into the router's masked port chooser, and per-arc
+//!   wavelength occupancy is a reused [`SpectrumMap`] bitmask.  No per-slot
+//!   allocations, so a scenario sweep pays the expensive table construction
+//!   once and every cell only pays for its slot loop.
 //!
-//! ## Wavelength mode
-//!
-//! With `wavelengths.count > 1` every arc becomes a WDM link carrying up to
-//! `W` messages per slot; per-arc occupancy is tracked by a reused
-//! [`SpectrumMap`] bitmask (cleared per slot, never reallocated).  Hot-potato
-//! deflection *is* alternate routing — a deflected message already takes the
-//! next-best port — so the per-hop alternate-path count of the multi-OPS
-//! kernel has no analogue here and an `alt_paths` knob is a no-op; the
-//! `alt_routed` metric counts deflections off a shortest-path port instead.
-//! A transit message that finds every port exhausted (all `W` wavelengths of
-//! every out-arc busy) is counted *blocked* and dropped.  The legacy
-//! capacity-1 loop is untouched and remains byte-identical for default
-//! configurations.
+//! One loop serves both capacities.  With the default capacity 1 each
+//! granted port closes immediately and the wavelength layer stays off
+//! (`metrics.wavelengths == 0`).  With `wavelengths.count > 1` every arc
+//! becomes a WDM link carrying up to `W` messages per slot and a port only
+//! closes once its arc's spectrum is full.  Hot-potato deflection *is*
+//! alternate routing — a deflected message already takes the next-best
+//! port — so the per-hop alternate-path count of the multi-OPS kernel has no
+//! analogue here and an `alt_paths` knob is a no-op; the `alt_routed` metric
+//! counts deflections off a shortest-path port instead.  A transit message
+//! that finds every port exhausted (all `W` wavelengths of every out-arc
+//! busy) is counted *blocked* and dropped.  Both modes are byte-identical to
+//! the previous per-node `Vec<Message>` engine: same RNG draw order, same
+//! message ordering (handles sort by injection slot exactly as messages
+//! sorted by `created_slot`), same metrics.
 //!
 //! [`HotPotatoSim`] remains as the one-shot convenience: a prepared kernel
 //! bundled with one [`HotPotatoSimConfig`].
 
-use crate::kernel::RunCore;
-use crate::message::Message;
+use crate::kernel::{assign_wavelength, MessageArena, PortBits, RunCore};
 use crate::metrics::SimMetrics;
 use crate::traffic::TrafficPattern;
 use crate::wavelength::{WavelengthAssignment, WavelengthConfig};
 use otis_graphs::{Digraph, SpectrumMap};
 use otis_routing::fault_tolerant::surviving_subgraph;
 use otis_routing::{FaultSet, HotPotatoRouter};
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::sync::Arc;
 
 /// Configuration of one hot-potato simulation run.
@@ -114,6 +119,31 @@ impl PreparedHotPotato {
         Self::new(Arc::new(graph), faults)
     }
 
+    /// Derives the kernel for `faults` from a fault-free base kernel by
+    /// delta-repairing the routing table instead of rebuilding it from
+    /// scratch: only the distance columns the faults actually touch are
+    /// recomputed (see [`HotPotatoRouter::from_repair`]).  The result is
+    /// bit-identical to [`PreparedHotPotato::new`] over the base graph and
+    /// the same faults, so runs from a repaired kernel match runs from a
+    /// fresh one exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` was prepared with a non-empty fault set.
+    pub fn repair_from(base: &PreparedHotPotato, faults: &FaultSet) -> Self {
+        assert!(
+            base.faults.is_empty(),
+            "repair_from requires a fault-free base kernel"
+        );
+        if faults.is_empty() {
+            return base.clone();
+        }
+        PreparedHotPotato {
+            router: HotPotatoRouter::from_repair(&base.router, faults),
+            faults: faults.clone(),
+        }
+    }
+
     /// Number of nodes simulated.
     pub fn node_count(&self) -> usize {
         self.router.graph().node_count()
@@ -131,80 +161,110 @@ impl PreparedHotPotato {
 
     /// Executes one run: `config` carries the run-scoped knobs (slots, seed,
     /// livelock guard, wavelength capacity), `traffic` drives the
-    /// injections.  Dispatches to the legacy capacity-1 loop (byte-identical
-    /// to previous releases) unless the configuration multiplexes
-    /// wavelengths.  All mutable state is local to this call, and both slot
-    /// loops reuse their per-node message buffers, port masks and deflection
-    /// scratch across slots — no per-slot allocations.
+    /// injections.  One struct-of-arrays slot loop serves every capacity:
+    /// with capacity 1 a granted port closes immediately and the wavelength
+    /// layer stays off; with `W > 1` a port only closes once all `W`
+    /// wavelengths of its arc are occupied, a transit message with no usable
+    /// port counts as blocked, and deflections off a shortest-path port are
+    /// recorded as alternate-route events.  All mutable state is local to
+    /// this call — the message arena, handle buckets, port bitsets and
+    /// tie-break scratch are reused across slots, no per-slot allocations.
     pub fn run(&self, traffic: &TrafficPattern, config: &HotPotatoSimConfig) -> SimMetrics {
-        if config.wavelengths.is_multiplexed() {
-            self.run_wavelength(traffic, config)
-        } else {
-            self.run_legacy(traffic, config)
-        }
-    }
-
-    /// The legacy capacity-1 slot loop: one message per arc per slot.
-    fn run_legacy(&self, traffic: &TrafficPattern, config: &HotPotatoSimConfig) -> SimMetrics {
         let g = self.router.graph();
         let n = g.node_count();
+        let multiplexed = config.wavelengths.is_multiplexed();
         let mut core = RunCore::new(config.seed, n, g.arc_count());
+        let mut spectrum = if multiplexed {
+            core.metrics.wavelengths = config.wavelengths.count;
+            Some(SpectrumMap::new(g.arc_count(), config.wavelengths.count))
+        } else {
+            None
+        };
 
-        // Per-run reusable state: messages sitting at each node at the start
-        // of the slot, the buffers they arrive into, this slot's injection
-        // decisions, the per-node transit sort area, the per-node port mask
-        // and the deflection tie-break scratch.  Allocated once, reused
-        // every slot.
-        let mut at_node: Vec<Vec<Message>> = vec![Vec::new(); n];
-        let mut arriving: Vec<Vec<Message>> = vec![Vec::new(); n];
+        // Per-run reusable state: the struct-of-arrays message store, the
+        // handle buckets for messages at each node at the start of the slot
+        // and the buckets they arrive into, this slot's injection decisions,
+        // the per-node transit sort area, the per-node port bitset and the
+        // deflection tie-break scratch.  Allocated once, reused every slot.
+        let mut arena = MessageArena::new();
+        let mut at_node: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut arriving: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut injections: Vec<Option<usize>> = Vec::new();
-        let mut transit: Vec<Message> = Vec::new();
-        let mut port_free: Vec<bool> = Vec::new();
+        let mut transit: Vec<u32> = Vec::new();
+        let mut ports = PortBits::new();
         let mut ties: Vec<usize> = Vec::new();
 
         for slot in 0..config.slots {
             core.begin_slot(slot);
+            if let Some(spectrum) = spectrum.as_mut() {
+                spectrum.clear();
+            }
             traffic.injections_into(n, &mut core.rng, &mut injections);
 
             for node in 0..n {
-                let degree = g.out_degree(node);
-                port_free.clear();
-                port_free.resize(degree, true);
+                let arcs = g.out_arc_ids(node);
+                // Each arc is this node's exclusive output and the spectrum
+                // was cleared at the top of the slot, so every port opens
+                // free.
+                ports.reset(arcs.len());
                 // Deliver messages destined here; sort the rest oldest first
                 // so older traffic gets the better ports.
                 transit.clear();
-                for msg in at_node[node].drain(..) {
-                    if msg.destination == node {
-                        let latency = slot.saturating_sub(msg.created_slot);
-                        core.deliver(latency, msg.hops);
-                    } else if RunCore::livelock_exceeded(config.max_hops, msg.hops) {
+                for handle in at_node[node].drain(..) {
+                    if arena.dst(handle) == node {
+                        let latency = slot.saturating_sub(arena.injected_at(handle));
+                        core.deliver(latency, arena.hops(handle));
+                        arena.release(handle);
+                    } else if RunCore::livelock_exceeded(config.max_hops, arena.hops(handle)) {
                         core.drop_message();
+                        arena.release(handle);
                     } else {
-                        transit.push(msg);
+                        transit.push(handle);
                     }
                 }
-                transit.sort_by_key(|m| m.created_slot);
+                transit.sort_by_key(|&h| arena.injected_at(h));
 
-                for mut msg in transit.drain(..) {
-                    match self.router.choose_port_randomized_into(
+                for &handle in transit.iter() {
+                    let dst = arena.dst(handle);
+                    match self.router.choose_port_randomized_masked(
                         node,
-                        msg.destination,
-                        &port_free,
+                        dst,
+                        ports.words(),
                         &mut core.rng,
                         &mut ties,
                     ) {
                         Some(port) => {
-                            port_free[port] = false;
-                            msg.hops += 1;
+                            let lambda = claim_port(
+                                &self.router,
+                                node,
+                                dst,
+                                port,
+                                arcs,
+                                config.wavelengths.assignment,
+                                &mut spectrum,
+                                &mut ports,
+                                &mut core,
+                            );
+                            if let Some(lambda) = lambda {
+                                arena.set_wavelength(handle, lambda);
+                            }
+                            arena.add_hop(handle);
                             let next = g.out_neighbors(node)[port];
-                            arriving[next].push(msg);
+                            arriving[next].push(handle);
                             core.grant();
                         }
                         None => {
-                            // No free port: with in-degree == out-degree this
-                            // cannot happen for pure transit traffic, but a
-                            // loop arc or irregular graph can trigger it.
+                            // No free port.  Capacity 1: with in-degree ==
+                            // out-degree this cannot happen for pure transit
+                            // traffic, but a loop arc or irregular graph can
+                            // trigger it.  Multiplexed: every wavelength of
+                            // every out-arc is busy and the bufferless node
+                            // must discard the message, counted as blocked.
+                            if multiplexed {
+                                core.metrics.blocked += 1;
+                            }
                             core.drop_message();
+                            arena.release(handle);
                         }
                     }
                 }
@@ -219,26 +279,40 @@ impl PreparedHotPotato {
                             || self.router.distance(node, dst).is_none())
                     {
                         // Unservable under the faults: not counted as injected.
-                    } else if let Some(port) = self.router.choose_port_randomized_into(
+                    } else if let Some(port) = self.router.choose_port_randomized_masked(
                         node,
                         dst,
-                        &port_free,
+                        ports.words(),
                         &mut core.rng,
                         &mut ties,
                     ) {
-                        port_free[port] = false;
-                        let mut msg = core.inject(node, dst, slot);
-                        msg.hops = 1;
+                        let lambda = claim_port(
+                            &self.router,
+                            node,
+                            dst,
+                            port,
+                            arcs,
+                            config.wavelengths.assignment,
+                            &mut spectrum,
+                            &mut ports,
+                            &mut core,
+                        );
+                        let msg = core.inject(node, dst, slot);
+                        let handle = arena.insert(&msg);
+                        arena.set_hops(handle, 1);
+                        if let Some(lambda) = lambda {
+                            arena.set_wavelength(handle, lambda);
+                        }
                         let next = g.out_neighbors(node)[port];
-                        arriving[next].push(msg);
+                        arriving[next].push(handle);
                         core.grant();
                     }
                     // else: injection refused, not counted as injected.
                 }
             }
 
-            // Every node's vector in `at_node` was drained above, so after
-            // the swap `arriving` is a set of empty buffers (capacity kept)
+            // Every node's bucket in `at_node` was drained above, so after
+            // the swap `arriving` is a set of empty buckets (capacity kept)
             // ready for the next slot.
             std::mem::swap(&mut at_node, &mut arriving);
         }
@@ -248,152 +322,13 @@ impl PreparedHotPotato {
         // start of the *next* slot, which never comes for the last one.
         // Their delivery slot is `slots`, consistent with the in-loop
         // convention (a single-hop message costs exactly 1 slot).
-        for (node, messages) in at_node.iter_mut().enumerate() {
+        for (node, handles) in at_node.iter_mut().enumerate() {
             let metrics = &mut core.metrics;
-            messages.retain(|msg| {
-                if msg.destination == node {
-                    let latency = config.slots.saturating_sub(msg.created_slot);
-                    metrics.record_delivery(latency, msg.hops);
-                    false
-                } else {
-                    true
-                }
-            });
-        }
-
-        let in_flight = at_node.iter().map(|v| v.len() as u64).sum();
-        core.finish(in_flight)
-    }
-
-    /// The wavelength slot loop: every arc carries up to `W` messages per
-    /// slot.  Identical structure to the legacy loop — deliver, forward
-    /// oldest-first, then inject if capacity remains — but a port only
-    /// closes once all `W` wavelengths of its arc are occupied (per-arc
-    /// occupancy in a reused [`SpectrumMap`]), a transit message with no
-    /// usable port counts as blocked, and deflections off a shortest-path
-    /// port are recorded as alternate-route events.
-    fn run_wavelength(&self, traffic: &TrafficPattern, config: &HotPotatoSimConfig) -> SimMetrics {
-        let g = self.router.graph();
-        let n = g.node_count();
-        let w = config.wavelengths.count.max(1);
-        let mut core = RunCore::new(config.seed, n, g.arc_count());
-        core.metrics.wavelengths = w;
-
-        let mut spectrum = SpectrumMap::new(g.arc_count(), w);
-        let mut at_node: Vec<Vec<Message>> = vec![Vec::new(); n];
-        let mut arriving: Vec<Vec<Message>> = vec![Vec::new(); n];
-        let mut injections: Vec<Option<usize>> = Vec::new();
-        let mut transit: Vec<Message> = Vec::new();
-        let mut port_free: Vec<bool> = Vec::new();
-        let mut ties: Vec<usize> = Vec::new();
-
-        for slot in 0..config.slots {
-            core.begin_slot(slot);
-            spectrum.clear();
-            traffic.injections_into(n, &mut core.rng, &mut injections);
-
-            for node in 0..n {
-                let arcs = g.out_arc_ids(node);
-                let degree = arcs.len();
-                // Each arc is this node's exclusive output, and the spectrum
-                // was cleared at the top of the slot, so every port opens
-                // with all `w` wavelengths free.
-                port_free.clear();
-                port_free.resize(degree, true);
-                transit.clear();
-                for msg in at_node[node].drain(..) {
-                    if msg.destination == node {
-                        let latency = slot.saturating_sub(msg.created_slot);
-                        core.deliver(latency, msg.hops);
-                    } else if RunCore::livelock_exceeded(config.max_hops, msg.hops) {
-                        core.drop_message();
-                    } else {
-                        transit.push(msg);
-                    }
-                }
-                transit.sort_by_key(|m| m.created_slot);
-
-                for mut msg in transit.drain(..) {
-                    match self.router.choose_port_randomized_into(
-                        node,
-                        msg.destination,
-                        &port_free,
-                        &mut core.rng,
-                        &mut ties,
-                    ) {
-                        Some(port) => {
-                            if !self.router.is_progress_port(node, msg.destination, port) {
-                                core.metrics.alt_routed += 1;
-                            }
-                            assign_wavelength(
-                                &mut spectrum,
-                                arcs[port],
-                                config.wavelengths.assignment,
-                                &mut core.rng,
-                            );
-                            if spectrum.is_full(arcs[port]) {
-                                port_free[port] = false;
-                            }
-                            msg.hops += 1;
-                            let next = g.out_neighbors(node)[port];
-                            arriving[next].push(msg);
-                            core.grant();
-                        }
-                        None => {
-                            // Every wavelength of every out-arc is busy:
-                            // the bufferless node must discard the message.
-                            core.metrics.blocked += 1;
-                            core.drop_message();
-                        }
-                    }
-                }
-
-                if let Some(dst) = injections[node] {
-                    if !self.faults.is_empty()
-                        && (self.faults.node_failed(node)
-                            || self.faults.node_failed(dst)
-                            || self.router.distance(node, dst).is_none())
-                    {
-                        // Unservable under the faults: not counted as injected.
-                    } else if let Some(port) = self.router.choose_port_randomized_into(
-                        node,
-                        dst,
-                        &port_free,
-                        &mut core.rng,
-                        &mut ties,
-                    ) {
-                        if !self.router.is_progress_port(node, dst, port) {
-                            core.metrics.alt_routed += 1;
-                        }
-                        assign_wavelength(
-                            &mut spectrum,
-                            arcs[port],
-                            config.wavelengths.assignment,
-                            &mut core.rng,
-                        );
-                        if spectrum.is_full(arcs[port]) {
-                            port_free[port] = false;
-                        }
-                        let mut msg = core.inject(node, dst, slot);
-                        msg.hops = 1;
-                        let next = g.out_neighbors(node)[port];
-                        arriving[next].push(msg);
-                        core.grant();
-                    }
-                    // else: injection refused, not counted as injected.
-                }
-            }
-
-            std::mem::swap(&mut at_node, &mut arriving);
-        }
-
-        // Final-slot arrivals are delivered, exactly as in the legacy loop.
-        for (node, messages) in at_node.iter_mut().enumerate() {
-            let metrics = &mut core.metrics;
-            messages.retain(|msg| {
-                if msg.destination == node {
-                    let latency = config.slots.saturating_sub(msg.created_slot);
-                    metrics.record_delivery(latency, msg.hops);
+            let arena = &arena;
+            handles.retain(|&handle| {
+                if arena.dst(handle) == node {
+                    let latency = config.slots.saturating_sub(arena.injected_at(handle));
+                    metrics.record_delivery(latency, arena.hops(handle));
                     false
                 } else {
                     true
@@ -406,24 +341,39 @@ impl PreparedHotPotato {
     }
 }
 
-/// Occupies one free wavelength on `arc` per the assignment discipline.  The
-/// caller must have checked the arc still has a free wavelength (its port
-/// was marked free).
-fn assign_wavelength(
-    spectrum: &mut SpectrumMap,
-    arc: usize,
+/// Books the granted `port` at `node`: in multiplexed mode records a
+/// deflection if the port makes no progress toward `dst`, occupies one
+/// wavelength on the port's arc (returned) and closes the port only once
+/// the arc's spectrum is full; with the wavelength layer off the port
+/// closes unconditionally and no wavelength is assigned.
+#[allow(clippy::too_many_arguments)]
+fn claim_port(
+    router: &HotPotatoRouter,
+    node: usize,
+    dst: usize,
+    port: usize,
+    arcs: &[usize],
     assignment: WavelengthAssignment,
-    rng: &mut StdRng,
-) {
-    let lambda = match assignment {
-        WavelengthAssignment::FirstFit => spectrum.first_free(arc),
-        WavelengthAssignment::Random => {
-            let free = spectrum.free_count(arc);
-            spectrum.nth_free(arc, rng.gen_range(0..free))
+    spectrum: &mut Option<SpectrumMap>,
+    ports: &mut PortBits,
+    core: &mut RunCore,
+) -> Option<usize> {
+    match spectrum.as_mut() {
+        Some(spectrum) => {
+            if !router.is_progress_port(node, dst, port) {
+                core.metrics.alt_routed += 1;
+            }
+            let lambda = assign_wavelength(spectrum, arcs[port], assignment, &mut core.rng);
+            if spectrum.is_full(arcs[port]) {
+                ports.close(port);
+            }
+            Some(lambda)
+        }
+        None => {
+            ports.close(port);
+            None
         }
     }
-    .expect("caller checked the arc has a free wavelength");
-    spectrum.occupy(arc, lambda);
 }
 
 /// The hot-potato simulator: a [`PreparedHotPotato`] kernel bundled with one
@@ -692,9 +642,10 @@ mod tests {
     }
 
     #[test]
-    fn capacity_one_config_stays_on_the_legacy_loop() {
-        // wavelengths = 1 must not engage the wavelength loop: metrics carry
-        // the layer-off sentinel and match the default config bit for bit.
+    fn capacity_one_config_keeps_the_wavelength_layer_off() {
+        // wavelengths = 1 must not engage the wavelength layer: metrics
+        // carry the layer-off sentinel and match the default config bit for
+        // bit.
         let run = |wavelengths| {
             HotPotatoSim::new(
                 de_bruijn(2, 3),
@@ -710,6 +661,45 @@ mod tests {
         assert_eq!(legacy.wavelengths, 0, "layer off ⇒ sentinel 0");
         assert!(legacy.blocking_ratio().is_nan());
         assert_eq!(legacy, run(WavelengthConfig::with_count(1)));
+    }
+
+    #[test]
+    fn repaired_kernels_run_identically_to_fresh_ones() {
+        // Delta-repairing a fault pattern's kernel from the fault-free base
+        // must be indistinguishable from preparing it from scratch: every
+        // run, in both wavelength modes, produces identical metrics.
+        let g = kautz(2, 3);
+        let base = PreparedHotPotato::from_graph(g.clone(), FaultSet::new());
+        let traffic = TrafficPattern::Uniform { load: 0.6 };
+        let configs = [
+            HotPotatoSimConfig {
+                slots: 300,
+                ..Default::default()
+            },
+            HotPotatoSimConfig {
+                slots: 300,
+                wavelengths: WavelengthConfig::with_count(4),
+                ..Default::default()
+            },
+        ];
+        for node in 0..g.node_count() {
+            let faults = FaultSet::from_nodes([node]);
+            let repaired = PreparedHotPotato::repair_from(&base, &faults);
+            let fresh = PreparedHotPotato::from_graph(g.clone(), faults);
+            for config in &configs {
+                assert_eq!(
+                    repaired.run(&traffic, config),
+                    fresh.run(&traffic, config),
+                    "node {node}"
+                );
+            }
+        }
+        // Empty fault set: the repair is the base itself.
+        let same = PreparedHotPotato::repair_from(&base, &FaultSet::new());
+        assert_eq!(
+            same.run(&traffic, &configs[0]),
+            base.run(&traffic, &configs[0])
+        );
     }
 
     #[test]

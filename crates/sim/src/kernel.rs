@@ -1,14 +1,32 @@
-//! Shared slot-loop scaffolding of the prepare/execute simulator split.
+//! The shared struct-of-arrays slot engine of the prepare/execute
+//! simulator split.
 //!
 //! Both simulators — the multi-OPS coupler model and the hot-potato
 //! point-to-point baseline — drive the same outer loop: a slot clock, a
 //! seeded RNG, injection accounting (fresh message identifiers, the
 //! `injected` counter), delivery/drop accumulation into [`SimMetrics`] and a
-//! livelock guard.  [`RunCore`] owns exactly that per-run mutable state, so
-//! the prepared kernels ([`crate::hot_potato::PreparedHotPotato`],
-//! [`crate::multi_ops::PreparedMultiOps`]) stay immutable and shareable
-//! across threads while every `run` call builds one `RunCore` and drives it
-//! through the slots.
+//! livelock guard.  This module owns the pieces of that loop the two
+//! simulators share:
+//!
+//! * [`RunCore`] — the per-run mutable core (RNG, metrics, id counter), so
+//!   the prepared kernels ([`crate::hot_potato::PreparedHotPotato`],
+//!   [`crate::multi_ops::PreparedMultiOps`]) stay immutable and shareable
+//!   across threads while every `run` call builds one `RunCore` and drives
+//!   it through the slots;
+//! * [`MessageArena`] — struct-of-arrays storage for the messages in
+//!   flight: parallel `dst`/`injected_at`/`hops`/`wavelength` arrays
+//!   indexed by compact `u32` handles, with a free list so the arena's
+//!   footprint tracks the *peak live* population, not the total injected.
+//!   The slot loops move handles between per-node (or per-coupler) `u32`
+//!   buckets instead of shuffling whole `Message` structs, so a slot is a
+//!   few word-wide passes over dense arrays;
+//! * [`PortBits`] — `u64`-word bitset port occupancy for the hot-potato
+//!   loop (the mask consumed by
+//!   [`otis_routing::HotPotatoRouter::choose_port_randomized_masked`]);
+//!   per-channel *spectrum* masks are the word-wide
+//!   [`otis_graphs::SpectrumMap`];
+//! * [`assign_wavelength`] — the one wavelength-assignment rule (first-fit
+//!   or seeded-random) both kernels apply on a multiplexed grant.
 //!
 //! Keeping this state in one place also pins the conventions the
 //! cross-simulator tests rely on: message identifiers count up from zero per
@@ -18,8 +36,10 @@
 
 use crate::message::Message;
 use crate::metrics::SimMetrics;
+use crate::wavelength::WavelengthAssignment;
+use otis_graphs::SpectrumMap;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// The per-run mutable core shared by both simulators: seeded RNG, metrics
 /// accumulator and the injection identifier counter.  Everything else a
@@ -95,6 +115,203 @@ impl RunCore {
     }
 }
 
+/// Struct-of-arrays storage for the messages currently in flight.
+///
+/// Each live message occupies one slot across a set of parallel arrays and
+/// is referred to by a compact `u32` handle.  The slot loops keep handles in
+/// per-node or per-coupler buckets and index the columns they need
+/// (`dst` to test delivery, `injected_at` for latency and age-based
+/// ordering, `hops` for the livelock guard), touching one dense array per
+/// question instead of a 40-byte struct per message.  Released slots go on
+/// a free list and are reused, so the arena's footprint tracks the peak
+/// live population of the run.
+#[derive(Debug, Default, Clone)]
+pub struct MessageArena {
+    ids: Vec<u64>,
+    srcs: Vec<u32>,
+    dsts: Vec<u32>,
+    injected_at: Vec<u64>,
+    hops: Vec<u32>,
+    wavelengths: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl MessageArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        MessageArena::default()
+    }
+
+    /// Stores `message` and returns its handle, reusing a released slot when
+    /// one is available.  The wavelength column starts at zero and is only
+    /// meaningful after [`MessageArena::set_wavelength`].
+    pub fn insert(&mut self, message: &Message) -> u32 {
+        if let Some(handle) = self.free.pop() {
+            let i = handle as usize;
+            self.ids[i] = message.id;
+            self.srcs[i] = message.source as u32;
+            self.dsts[i] = message.destination as u32;
+            self.injected_at[i] = message.created_slot;
+            self.hops[i] = message.hops;
+            self.wavelengths[i] = 0;
+            handle
+        } else {
+            let handle = self.ids.len() as u32;
+            self.ids.push(message.id);
+            self.srcs.push(message.source as u32);
+            self.dsts.push(message.destination as u32);
+            self.injected_at.push(message.created_slot);
+            self.hops.push(message.hops);
+            self.wavelengths.push(0);
+            handle
+        }
+    }
+
+    /// Returns `handle`'s slot to the free list.  The handle must not be
+    /// used again until `insert` hands it back out.
+    pub fn release(&mut self, handle: u32) {
+        self.free.push(handle);
+    }
+
+    /// The message identifier stored at `handle`.
+    #[inline]
+    pub fn id(&self, handle: u32) -> u64 {
+        self.ids[handle as usize]
+    }
+
+    /// The source processor stored at `handle`.
+    #[inline]
+    pub fn src(&self, handle: u32) -> usize {
+        self.srcs[handle as usize] as usize
+    }
+
+    /// The destination processor stored at `handle`.
+    #[inline]
+    pub fn dst(&self, handle: u32) -> usize {
+        self.dsts[handle as usize] as usize
+    }
+
+    /// The slot in which the message at `handle` was injected.
+    #[inline]
+    pub fn injected_at(&self, handle: u32) -> u64 {
+        self.injected_at[handle as usize]
+    }
+
+    /// The hop count of the message at `handle`.
+    #[inline]
+    pub fn hops(&self, handle: u32) -> u32 {
+        self.hops[handle as usize]
+    }
+
+    /// Increments the hop count of the message at `handle`.
+    #[inline]
+    pub fn add_hop(&mut self, handle: u32) {
+        self.hops[handle as usize] += 1;
+    }
+
+    /// Overwrites the hop count of the message at `handle`.
+    #[inline]
+    pub fn set_hops(&mut self, handle: u32, hops: u32) {
+        self.hops[handle as usize] = hops;
+    }
+
+    /// The wavelength most recently assigned to the message at `handle`.
+    #[inline]
+    pub fn wavelength(&self, handle: u32) -> usize {
+        self.wavelengths[handle as usize] as usize
+    }
+
+    /// Records the wavelength granted to the message at `handle` for its
+    /// current hop.
+    #[inline]
+    pub fn set_wavelength(&mut self, handle: u32, wavelength: usize) {
+        self.wavelengths[handle as usize] = wavelength as u32;
+    }
+
+    /// The number of arena slots allocated so far (live plus free); an upper
+    /// bound on every handle, useful for sizing parallel side arrays.
+    pub fn capacity(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The number of live messages.
+    pub fn live(&self) -> usize {
+        self.ids.len() - self.free.len()
+    }
+}
+
+/// `u64`-word bitset of free output ports at one node, rebuilt each slot by
+/// the hot-potato loop and consumed as the mask argument of
+/// [`otis_routing::HotPotatoRouter::choose_port_randomized_masked`].
+#[derive(Debug, Default, Clone)]
+pub struct PortBits {
+    words: Vec<u64>,
+}
+
+impl PortBits {
+    /// An empty mask; call [`PortBits::reset`] before use.
+    pub fn new() -> Self {
+        PortBits::default()
+    }
+
+    /// Marks all of `ports` ports free.  Bits beyond `ports` may also be
+    /// set; callers must not ask about ports they did not declare.
+    pub fn reset(&mut self, ports: usize) {
+        self.words.clear();
+        self.words.resize(ports.div_ceil(64), !0u64);
+    }
+
+    /// Whether `port` is still free.
+    #[inline]
+    pub fn is_free(&self, port: usize) -> bool {
+        self.words[port >> 6] & (1u64 << (port & 63)) != 0
+    }
+
+    /// Marks `port` busy for the rest of the slot.
+    #[inline]
+    pub fn close(&mut self, port: usize) {
+        self.words[port >> 6] &= !(1u64 << (port & 63));
+    }
+
+    /// The raw words, bit `p % 64` of word `p / 64` set iff port `p` is
+    /// free — the layout `choose_port_randomized_masked` expects.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Picks and occupies a wavelength on `channel` under the given assignment
+/// discipline, returning the chosen wavelength index.
+///
+/// The caller must have checked `!spectrum.is_full(channel)`.  First-fit
+/// takes the lowest free wavelength without touching the RNG; random draws
+/// one `gen_range` over the free count, so the RNG stream depends only on
+/// the discipline, never on which wavelengths happen to be free.
+pub(crate) fn assign_wavelength(
+    spectrum: &mut SpectrumMap,
+    channel: usize,
+    assignment: WavelengthAssignment,
+    rng: &mut StdRng,
+) -> usize {
+    let lambda = match assignment {
+        WavelengthAssignment::FirstFit => spectrum
+            .first_free(channel)
+            .expect("assign_wavelength called on a full channel"),
+        WavelengthAssignment::Random => {
+            let free = spectrum.free_count(channel);
+            debug_assert!(free > 0, "assign_wavelength called on a full channel");
+            let pick = rng.gen_range(0..free);
+            spectrum
+                .nth_free(channel, pick)
+                .expect("nth_free within free_count")
+        }
+    };
+    let fresh = spectrum.occupy(channel, lambda);
+    debug_assert!(fresh, "assigned wavelength was already occupied");
+    lambda
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +367,85 @@ mod tests {
         let xs: Vec<usize> = (0..8).map(|_| a.rng.gen_range(0..1000)).collect();
         let ys: Vec<usize> = (0..8).map(|_| b.rng.gen_range(0..1000)).collect();
         assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn arena_reuses_released_slots() {
+        let mut arena = MessageArena::new();
+        let a = arena.insert(&Message::new(0, 1, 2, 3));
+        let b = arena.insert(&Message::new(1, 4, 5, 6));
+        assert_eq!(arena.capacity(), 2);
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.dst(a), 2);
+        assert_eq!(arena.injected_at(b), 6);
+        arena.release(a);
+        assert_eq!(arena.live(), 1);
+        let c = arena.insert(&Message::new(2, 7, 8, 9));
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(arena.capacity(), 2);
+        assert_eq!(arena.id(c), 2);
+        assert_eq!(arena.src(c), 7);
+        assert_eq!(arena.dst(c), 8);
+        assert_eq!(arena.hops(c), 0);
+        assert_eq!(arena.wavelength(c), 0);
+        arena.add_hop(c);
+        arena.set_hops(b, 5);
+        arena.set_wavelength(c, 3);
+        assert_eq!(arena.hops(c), 1);
+        assert_eq!(arena.hops(b), 5);
+        assert_eq!(arena.wavelength(c), 3);
+    }
+
+    #[test]
+    fn port_bits_track_closures_across_words() {
+        let mut bits = PortBits::new();
+        bits.reset(70);
+        assert_eq!(bits.words().len(), 2);
+        assert!(bits.is_free(0));
+        assert!(bits.is_free(69));
+        bits.close(0);
+        bits.close(65);
+        assert!(!bits.is_free(0));
+        assert!(!bits.is_free(65));
+        assert!(bits.is_free(64));
+        bits.reset(3);
+        assert_eq!(bits.words().len(), 1);
+        assert!(bits.is_free(0));
+    }
+
+    #[test]
+    fn first_fit_assignment_takes_lowest_free_without_rng() {
+        let mut spectrum = SpectrumMap::new(2, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let before: Vec<usize> = {
+            let mut probe = StdRng::seed_from_u64(1);
+            (0..4).map(|_| probe.gen_range(0..1_000_000)).collect()
+        };
+        assert_eq!(
+            assign_wavelength(&mut spectrum, 0, WavelengthAssignment::FirstFit, &mut rng),
+            0
+        );
+        assert_eq!(
+            assign_wavelength(&mut spectrum, 0, WavelengthAssignment::FirstFit, &mut rng),
+            1
+        );
+        let after: Vec<usize> = (0..4).map(|_| rng.gen_range(0..1_000_000)).collect();
+        assert_eq!(after, before, "first-fit must not consume the RNG");
+        assert_eq!(spectrum.occupied_count(0), 2);
+        assert_eq!(spectrum.occupied_count(1), 0);
+    }
+
+    #[test]
+    fn random_assignment_occupies_a_free_wavelength() {
+        let mut spectrum = SpectrumMap::new(1, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let lambda =
+                assign_wavelength(&mut spectrum, 0, WavelengthAssignment::Random, &mut rng);
+            assert!(!seen.contains(&lambda));
+            seen.push(lambda);
+        }
+        assert!(spectrum.is_full(0));
     }
 }

@@ -26,7 +26,7 @@
 //!   topology preconditions before handing a `TrafficPattern` to the
 //!   simulators.
 //!
-//! ## Prepare/execute split
+//! ## Prepare/execute split and delta-repaired kernels
 //!
 //! Every simulator is split into an immutable **prepared kernel** and a
 //! cheap **run**:
@@ -36,27 +36,48 @@
 //!   tables and (for multi-OPS) a flat CSR-style table of every
 //!   source/destination route — built once per `(network, fault-pattern)`
 //!   pair and shareable across threads (`Send + Sync`);
-//! * `run(traffic, config)` owns only per-run mutable state
-//!   ([`kernel::RunCore`]: seeded RNG, metrics, injection accounting) plus
-//!   reusable message buffers, and performs **no per-slot allocations**.
+//! * `run(traffic, config)` owns only per-run mutable state and performs
+//!   **no per-slot allocations**.
 //!
-//! A scenario sweep therefore pays routing-state construction once per
-//! distinct `(network, fault-pattern)` pair while every cell pays only for
-//! its slot loop; `otis_net::engine` caches prepared kernels on exactly that
-//! key.  [`HotPotatoSim`] and [`MultiOpsSim`] remain as one-shot
-//! conveniences (a kernel bundled with one config) and produce metrics
-//! byte-identical to calling the kernel directly.
+//! A fault pattern's kernel does not have to be built from scratch: both
+//! kernels have `repair_from` constructors that derive it from the
+//! fault-free base by **delta repair** — only routing-table columns and
+//! route pairs the faults actually touch are recomputed, and the result is
+//! bit-identical to a from-scratch build.  A fault-sweep grid therefore
+//! pays full routing-state construction once per network and a much
+//! cheaper repair per fault pattern; `otis_net::engine` derives its cached
+//! kernels exactly this way.  [`HotPotatoSim`] and [`MultiOpsSim`] remain
+//! as one-shot conveniences (a kernel bundled with one config) and produce
+//! metrics byte-identical to calling the kernel directly.
+//!
+//! ## The struct-of-arrays slot engine
+//!
+//! Both `run` implementations drive the shared slot engine of [`kernel`]:
+//!
+//! * [`kernel::RunCore`] — seeded RNG, metrics, injection accounting;
+//! * [`kernel::MessageArena`] — messages in flight as parallel
+//!   `dst`/`injected_at`/`hops`/`wavelength` arrays indexed by compact
+//!   `u32` handles (with a free list, so memory tracks the peak live
+//!   population).  Per-node and per-coupler buffers hold handles, not
+//!   message structs, so the hot paths are word-wide passes over dense
+//!   arrays;
+//! * [`kernel::PortBits`] and [`otis_graphs::SpectrumMap`] — `u64`-word
+//!   bitsets for port occupancy and per-channel spectrum occupancy.
+//!
+//! One loop per simulator covers every capacity; the engine reproduces the
+//! per-node `Vec<Message>` engine it replaced bit for bit (same RNG draw
+//! order, same message ordering, same metrics) at every thread count.
 //!
 //! ## Wavelength layer
 //!
 //! [`wavelength`] configures multi-wavelength channels: at `count > 1` the
-//! multi-OPS kernel runs a bufferless transmit-or-block loop (losers try
-//! Yen-precomputed alternate routes, then count as *blocked*) and the
-//! hot-potato kernel gives every link `W` parallel wavelengths (a node with
-//! all ports exhausted drops the message as blocked).  [`SimMetrics`] gains
-//! `blocking_ratio`, `wavelength_utilization` and `alt_route_rate`, all
-//! `NaN` (undefined) for capacity-1 runs where the layer is off — the
-//! legacy loops and their outputs are untouched.
+//! multi-OPS kernel runs its bufferless transmit-or-block discipline
+//! (losers try Yen-precomputed alternate routes, then count as *blocked*)
+//! and the hot-potato kernel gives every link `W` parallel wavelengths (a
+//! node with all ports exhausted drops the message as blocked).
+//! [`SimMetrics`] gains `blocking_ratio`, `wavelength_utilization` and
+//! `alt_route_rate`, all `NaN` (undefined) for capacity-1 runs where the
+//! layer is off — capacity-1 outputs are unchanged.
 //!
 //! The packaged head-to-head comparison scenarios (experiment T5) live in the
 //! `otis-net` facade crate (`otis_net::scenarios`), where any network is
@@ -77,7 +98,7 @@ pub mod wavelength;
 
 pub use arbitration::ArbitrationPolicy;
 pub use hot_potato::{HotPotatoSim, HotPotatoSimConfig, PreparedHotPotato};
-pub use kernel::RunCore;
+pub use kernel::{MessageArena, PortBits, RunCore};
 pub use message::Message;
 pub use metrics::{MetricValue, SimMetrics};
 pub use multi_ops::{MultiOpsSim, MultiOpsSimConfig, PreparedMultiOps};

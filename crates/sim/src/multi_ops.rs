@@ -20,42 +20,46 @@
 //! * [`PreparedMultiOps`] is the immutable kernel — the fault-filtered
 //!   [`StackRouter`] quotient plus a flat CSR-style table of every
 //!   source/destination route (one contiguous [`StackHop`] slice per pair),
-//!   built once per `(stack-graph, fault-pattern)` pair;
-//! * [`PreparedMultiOps::run`] owns only per-run mutable state
-//!   ([`crate::kernel::RunCore`] plus reusable coupler queues) and performs
-//!   no per-slot allocations: in-flight messages reference their
-//!   precomputed route slice instead of carrying an owned route, and the
+//!   built once per `(stack-graph, fault-pattern)` pair.  A fault pattern's
+//!   kernel can also be *delta-repaired* from the fault-free base
+//!   ([`PreparedMultiOps::repair_from`]): only quotient columns and route
+//!   pairs the faults actually touch are recomputed, and the result is
+//!   bit-identical to building from scratch;
+//! * [`PreparedMultiOps::run`] owns only per-run mutable state and drives
+//!   the shared struct-of-arrays slot engine of [`crate::kernel`]: messages
+//!   live in a [`crate::kernel::MessageArena`], the per-coupler queues hold
+//!   `u32` handles, and per-flight routing state (current route, hop
+//!   position, holder) sits in parallel arrays indexed by handle.  No
+//!   per-slot allocations: routes are precomputed slices, and the
 //!   arbitration candidate buffer is reused across couplers and slots.
 //!
-//! ## Wavelength mode
-//!
-//! With `wavelengths.count > 1` (or alternate routes prepared via
-//! [`PreparedMultiOps::with_alternates`]) the kernel switches to a
-//! *bufferless transmit-or-block* loop: every message must transmit in the
-//! slot it reaches a coupler.  Up to `W` messages win each coupler per slot
-//! (occupancy tracked by a reused [`SpectrumMap`] bitmask — no per-slot
-//! allocation); a loser tries the precomputed alternate routes from its
-//! current holder, taking the first whose leading coupler still has a free
-//! wavelength, and is otherwise counted *blocked* and dropped.  The
-//! `queue_limit` knob is ignored in this mode — there are no queues to
-//! limit.  The legacy capacity-1 queued loop is untouched and remains
-//! byte-identical for default configurations.
+//! One loop serves both transmission disciplines.  With the default
+//! capacity 1 and no alternates, couplers run the *queued* discipline:
+//! per-coupler queues, one grant per coupler per slot, back-pressure via
+//! `queue_limit`, wavelength layer off.  With `wavelengths.count > 1` (or
+//! alternate routes prepared via [`PreparedMultiOps::with_alternates`]) the
+//! couplers run the *bufferless transmit-or-block* discipline: every
+//! message must transmit in the slot it reaches a coupler.  Up to `W`
+//! messages win each coupler per slot (occupancy tracked by a reused
+//! [`SpectrumMap`] bitmask); a loser tries the precomputed alternate routes
+//! from its current holder, taking the first whose leading coupler still
+//! has a free wavelength, and is otherwise counted *blocked* and dropped.
+//! The `queue_limit` knob is ignored in bufferless mode — there are no
+//! queues to limit.  Both disciplines are byte-identical to the previous
+//! per-coupler `VecDeque<InFlight>` engine: same RNG draw order, same
+//! arbitration candidate order, same metrics.
 //!
 //! [`MultiOpsSim`] remains as the one-shot convenience: a prepared kernel
 //! bundled with one [`MultiOpsSimConfig`].
 
 use crate::arbitration::ArbitrationPolicy;
-use crate::kernel::RunCore;
-use crate::message::Message;
+use crate::kernel::{assign_wavelength, MessageArena, RunCore};
 use crate::metrics::SimMetrics;
 use crate::traffic::TrafficPattern;
-use crate::wavelength::{WavelengthAssignment, WavelengthConfig};
+use crate::wavelength::WavelengthConfig;
 use otis_graphs::algorithms::k_shortest_paths_avoiding;
 use otis_graphs::{SpectrumMap, StackGraph};
 use otis_routing::{FaultSet, StackHop, StackRouter};
-use rand::rngs::StdRng;
-use rand::Rng;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Configuration of one multi-OPS simulation run.
@@ -89,16 +93,75 @@ impl Default for MultiOpsSimConfig {
     }
 }
 
-/// A message in flight.  Its route is *not* carried along: it lives in the
-/// kernel's flat route table, indexed by the message's own
-/// `(source, destination)` pair, and `next_hop` tracks the position reached
-/// within that precomputed slice.
-#[derive(Debug, Clone)]
-struct InFlight {
-    message: Message,
-    next_hop: usize,
-    /// The processor currently holding the message (the sender of the next hop).
-    holder: usize,
+/// Per-flight routing state of the slot loop, parallel arrays indexed by
+/// [`MessageArena`] handle (the arena itself holds the message columns —
+/// destination, injection slot, hops).  A flight's route is *not* carried
+/// along: it lives in the kernel's flat route tables, identified by
+/// `(route_src, alt)` — the primary route from `route_src` when `alt == 0`
+/// (for never-rerouted traffic `route_src` is the original source), or the
+/// `(alt-1)`-th prepared alternate from `route_src` after an
+/// alternate-routing event.  `next_hop` is the position reached within that
+/// route slice and `holder` the processor currently holding the message.
+#[derive(Debug, Default)]
+struct FlightState {
+    route_src: Vec<u32>,
+    alt: Vec<u32>,
+    next_hop: Vec<u32>,
+    holder: Vec<u32>,
+}
+
+impl FlightState {
+    /// Initialises the state of a freshly injected flight at `handle`,
+    /// growing the arrays if the arena handed out a new slot.
+    fn init(&mut self, handle: u32, src: usize) {
+        let i = handle as usize;
+        if i >= self.route_src.len() {
+            let len = i + 1;
+            self.route_src.resize(len, 0);
+            self.alt.resize(len, 0);
+            self.next_hop.resize(len, 0);
+            self.holder.resize(len, 0);
+        }
+        self.route_src[i] = src as u32;
+        self.alt[i] = 0;
+        self.next_hop[i] = 0;
+        self.holder[i] = src as u32;
+    }
+
+    #[inline]
+    fn route_src(&self, handle: u32) -> usize {
+        self.route_src[handle as usize] as usize
+    }
+
+    #[inline]
+    fn alt(&self, handle: u32) -> usize {
+        self.alt[handle as usize] as usize
+    }
+
+    #[inline]
+    fn next_hop(&self, handle: u32) -> usize {
+        self.next_hop[handle as usize] as usize
+    }
+
+    #[inline]
+    fn holder(&self, handle: u32) -> usize {
+        self.holder[handle as usize] as usize
+    }
+
+    /// Re-roots the flight onto the `(alt-1)`-th alternate from `route_src`.
+    #[inline]
+    fn set_route(&mut self, handle: u32, route_src: usize, alt: usize) {
+        self.route_src[handle as usize] = route_src as u32;
+        self.alt[handle as usize] = alt as u32;
+    }
+
+    /// Advances the flight one hop: new position within its route and new
+    /// holding processor.
+    #[inline]
+    fn advance(&mut self, handle: u32, next_hop: usize, holder: usize) {
+        self.next_hop[handle as usize] = next_hop as u32;
+        self.holder[handle as usize] = holder as u32;
+    }
 }
 
 /// All routes of one prepared network, flattened CSR-style: the hops of the
@@ -151,26 +214,58 @@ impl FlatRoutes {
         let pair = src * self.n + dst;
         self.reachable[pair].then(|| &self.hops[self.offsets[pair]..self.offsets[pair + 1]])
     }
-}
 
-/// A message in flight under the wavelength-mode loop.  Unlike the legacy
-/// [`InFlight`], the route reference must be explicit: an alternate-routed
-/// message no longer follows the route of its original `(source,
-/// destination)` pair, so the flight carries the pair `(route_src, alt)`
-/// that identifies its current route — the primary from `route_src`
-/// (`alt == 0`) or the `alt`-th prepared alternate from `route_src`.
-#[derive(Debug, Clone)]
-struct InFlightW {
-    message: Message,
-    /// Source endpoint of the route currently followed (the node where the
-    /// message last (re-)entered a route; the original source, or the holder
-    /// at the last alternate-routing event).
-    route_src: usize,
-    /// `0` for the primary route, `a >= 1` for the `(a-1)`-th alternate.
-    alt: usize,
-    next_hop: usize,
-    /// The processor currently holding the message.
-    holder: usize,
+    /// Delta-rebuild against a fault-free `base`: `router` must be the
+    /// repaired (fault-filtered) router and `changed_groups` the per-group
+    /// dirty flags from [`StackRouter::from_repair`].  A pair's route is
+    /// copied from the base when the faults provably cannot have changed it
+    /// — both endpoint groups live and distinct, and the quotient column of
+    /// the destination group untouched by the repair — and recomputed
+    /// through the repaired router otherwise.  The result is bit-identical
+    /// to [`FlatRoutes::new`] over the repaired router.
+    fn repaired(base: &FlatRoutes, router: &StackRouter, changed_groups: &[bool]) -> Self {
+        let stack = router.stack_graph();
+        let n = stack.node_count();
+        let faults = router.faults();
+        let group_of: Vec<usize> = (0..n).map(|p| stack.to_stack_node(p).group).collect();
+        let group_live: Vec<bool> = (0..changed_groups.len())
+            .map(|g| !faults.node_failed(g))
+            .collect();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        offsets.push(0);
+        let mut reachable = Vec::with_capacity(n * n);
+        let mut hops: Vec<StackHop> = Vec::new();
+        for src in 0..n {
+            let gs = group_of[src];
+            for (dst, &gd) in group_of.iter().enumerate() {
+                let reuse = gs != gd && group_live[gs] && group_live[gd] && !changed_groups[gd];
+                if reuse {
+                    match base.get(src, dst) {
+                        Some(slice) => {
+                            reachable.push(true);
+                            hops.extend_from_slice(slice);
+                        }
+                        None => reachable.push(false),
+                    }
+                } else {
+                    match router.route(src, dst) {
+                        Some(route) => {
+                            reachable.push(true);
+                            hops.extend(route.hops);
+                        }
+                        None => reachable.push(false),
+                    }
+                }
+                offsets.push(hops.len());
+            }
+        }
+        FlatRoutes {
+            n,
+            offsets,
+            reachable,
+            hops,
+        }
+    }
 }
 
 /// Alternate routes for every source/destination pair, precomputed at
@@ -308,6 +403,43 @@ impl PreparedMultiOps {
         Self::new(Arc::new(stack), faults)
     }
 
+    /// Derives the kernel for `faults` from a fault-free base kernel by
+    /// delta-repair instead of rebuilding from scratch: the quotient routing
+    /// table is column-repaired (see [`StackRouter::from_repair`]) and only
+    /// the flat-route pairs the faults can have touched are recomputed
+    /// ([`FlatRoutes::repaired`]); alternate routes are recomputed in full
+    /// when `alt_paths > 1` (Yen alternates depend globally on the surviving
+    /// quotient).  The result is bit-identical to
+    /// [`PreparedMultiOps::with_alternates`] over the base stack-graph and
+    /// the same faults, so runs from a repaired kernel match runs from a
+    /// fresh one exactly.  `alt_paths` must equal the value the base was
+    /// prepared with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` was prepared with a non-empty fault set.
+    pub fn repair_from(base: &PreparedMultiOps, faults: &FaultSet, alt_paths: usize) -> Self {
+        assert!(
+            base.router.faults().is_empty(),
+            "repair_from requires a fault-free base kernel"
+        );
+        if faults.is_empty() {
+            return base.clone();
+        }
+        let repair = StackRouter::from_repair(&base.router, faults);
+        let routes = FlatRoutes::repaired(&base.routes, &repair.router, &repair.changed_groups);
+        let alts = if alt_paths > 1 {
+            AltRoutes::new(&repair.router, &routes, alt_paths)
+        } else {
+            AltRoutes::default()
+        };
+        PreparedMultiOps {
+            router: repair.router,
+            routes,
+            alts,
+        }
+    }
+
     /// Number of processors simulated.
     pub fn processor_count(&self) -> usize {
         self.router.stack_graph().node_count()
@@ -333,38 +465,77 @@ impl PreparedMultiOps {
         self.alts.has_any()
     }
 
-    /// Executes one run: `config` carries the run-scoped knobs (slots, seed,
-    /// arbitration policy, queue limit, wavelength capacity), `traffic`
-    /// drives the injections.  Dispatches to the legacy capacity-1 queued
-    /// loop (byte-identical to previous releases) unless the configuration
-    /// multiplexes wavelengths or this kernel carries alternate routes, in
-    /// which case the bufferless wavelength loop runs instead.
-    pub fn run(&self, traffic: &TrafficPattern, config: &MultiOpsSimConfig) -> SimMetrics {
-        if config.wavelengths.is_multiplexed() || self.has_alternates() {
-            self.run_wavelength(traffic, config)
+    /// The route slice the flight at `handle` is currently following:
+    /// primary from `route_src` when `alt == 0`, otherwise the `(alt-1)`-th
+    /// prepared alternate from `route_src`.
+    fn route_of(&self, route_src: usize, dst: usize, alt: usize) -> &[StackHop] {
+        if alt == 0 {
+            self.routes
+                .get(route_src, dst)
+                .expect("flights only enter precomputed routes")
         } else {
-            self.run_legacy(traffic, config)
+            &self.alts.get(route_src, dst)[alt - 1]
         }
     }
 
-    /// The legacy capacity-1 slot loop: per-coupler queues, one grant per
-    /// coupler per slot, back-pressure via `queue_limit`.  All mutable state
-    /// is local to this call; the slot loop reuses the coupler queues, the
-    /// injection buffer and the arbitration candidate buffer across slots —
-    /// it performs no per-slot allocations.
-    fn run_legacy(&self, traffic: &TrafficPattern, config: &MultiOpsSimConfig) -> SimMetrics {
+    /// Executes one run: `config` carries the run-scoped knobs (slots, seed,
+    /// arbitration policy, queue limit, wavelength capacity), `traffic`
+    /// drives the injections.  One struct-of-arrays slot loop serves both
+    /// transmission disciplines.
+    ///
+    /// *Queued* (capacity 1, no alternates): per-coupler queues, one grant
+    /// per coupler per slot, back-pressure via `queue_limit`, wavelength
+    /// layer off.
+    ///
+    /// *Bufferless transmit-or-block* (`W > 1` or alternates prepared):
+    /// couplers are processed in index order and grant up to `W`
+    /// transmissions each (winners chosen one at a time by the arbitration
+    /// policy, wavelengths by the assignment discipline — occupancy lives in
+    /// a reused [`SpectrumMap`], cleared per slot, never reallocated).  A
+    /// message that finds its coupler exhausted falls back to the prepared
+    /// alternate routes out of its current holder, taking the first whose
+    /// leading coupler still has a free wavelength — an alternate grant
+    /// bypasses that coupler's arbitration round, consuming spare capacity
+    /// directly.  If no alternate can carry it, the message is counted
+    /// blocked and dropped.  A forward whose next coupler has a higher index
+    /// transmits again within the same slot; otherwise it waits for the next
+    /// slot (in queued mode a lower-index forward simply sits in its queue
+    /// until the next slot comes around).
+    ///
+    /// All mutable state is local to this call — the message arena, the
+    /// handle buckets, the flight-state arrays and the arbitration candidate
+    /// buffer are reused across couplers and slots, no per-slot allocations.
+    pub fn run(&self, traffic: &TrafficPattern, config: &MultiOpsSimConfig) -> SimMetrics {
         let n = self.processor_count();
         let couplers = self.coupler_count();
+        let bufferless = config.wavelengths.is_multiplexed() || self.has_alternates();
         let mut core = RunCore::new(config.seed, n, couplers);
-        // One queue per coupler of messages waiting to use it, plus the
-        // reusable per-slot scratch buffers.
-        let mut queues: Vec<VecDeque<InFlight>> = (0..couplers).map(|_| VecDeque::new()).collect();
+        let mut spectrum = if bufferless {
+            let w = config.wavelengths.count.max(1);
+            core.metrics.wavelengths = w;
+            Some(SpectrumMap::new(couplers, w))
+        } else {
+            None
+        };
+
+        // Messages awaiting transmission this slot / next slot, per coupler
+        // (handles into the arena; `next_pending` stays empty in queued
+        // mode, where queues persist across slots), plus the reusable
+        // scratch buffers.
+        let mut arena = MessageArena::new();
+        let mut flights = FlightState::default();
+        let mut pending: Vec<Vec<u32>> = vec![Vec::new(); couplers];
+        let mut next_pending: Vec<Vec<u32>> = vec![Vec::new(); couplers];
         let mut last_winner: Vec<Option<usize>> = vec![None; couplers];
         let mut injections: Vec<Option<usize>> = Vec::new();
         let mut candidates: Vec<(usize, u64)> = Vec::new();
+        let mut overflow: Vec<u32> = Vec::new();
 
         for slot in 0..config.slots {
             core.begin_slot(slot);
+            if let Some(spectrum) = spectrum.as_mut() {
+                spectrum.clear();
+            }
 
             // 1. Injection.
             traffic.injections_into(n, &mut core.rng, &mut injections);
@@ -377,139 +548,39 @@ impl PreparedMultiOps {
                     continue;
                 }
                 let first_coupler = route[0].coupler;
-                if config.queue_limit > 0 && queues[first_coupler].len() >= config.queue_limit {
+                if !bufferless
+                    && config.queue_limit > 0
+                    && pending[first_coupler].len() >= config.queue_limit
+                {
                     // Back-pressure: the injection is refused, not counted.
+                    // (Bufferless mode has no queues, hence no back-pressure:
+                    // every message the routes can carry enters the slot's
+                    // contention.)
                     continue;
                 }
                 let message = core.inject(src, dst, slot);
-                queues[first_coupler].push_back(InFlight {
-                    message,
-                    next_hop: 0,
-                    holder: src,
-                });
+                let handle = arena.insert(&message);
+                flights.init(handle, src);
+                pending[first_coupler].push(handle);
             }
 
-            // 2. Per-coupler arbitration and transmission.
+            // 2. Per-coupler arbitration and transmission: one grant per
+            // coupler in queued mode, up to `W` in bufferless mode.
             for coupler in 0..couplers {
-                if queues[coupler].is_empty() {
-                    continue;
-                }
-                candidates.clear();
-                candidates.extend(
-                    queues[coupler]
-                        .iter()
-                        .map(|f| (f.holder, f.message.created_slot)),
-                );
-                let Some(winner_idx) =
-                    config
-                        .policy
-                        .pick(&candidates, last_winner[coupler], &mut core.rng)
-                else {
-                    continue;
-                };
-                let mut flight = queues[coupler].remove(winner_idx).expect("index valid");
-                last_winner[coupler] = Some(flight.holder);
-                core.grant();
-
-                let route = self
-                    .routes
-                    .get(flight.message.source, flight.message.destination)
-                    .expect("queued messages were injected along a precomputed route");
-                let hop = route[flight.next_hop];
-                flight.message.hops += 1;
-                flight.next_hop += 1;
-                flight.holder = hop.receiver;
-                if flight.next_hop == route.len() {
-                    // Delivered at the end of this slot.
-                    let latency = slot + 1 - flight.message.created_slot;
-                    core.deliver(latency, flight.message.hops);
-                } else {
-                    let next_coupler = route[flight.next_hop].coupler;
-                    queues[next_coupler].push_back(flight);
-                }
-            }
-        }
-
-        let in_flight = queues.iter().map(|q| q.len() as u64).sum();
-        core.finish(in_flight)
-    }
-
-    /// The route slice a wavelength-mode flight is currently following.
-    fn route_of(&self, flight: &InFlightW) -> &[StackHop] {
-        if flight.alt == 0 {
-            self.routes
-                .get(flight.route_src, flight.message.destination)
-                .expect("flights only enter precomputed routes")
-        } else {
-            &self.alts.get(flight.route_src, flight.message.destination)[flight.alt - 1]
-        }
-    }
-
-    /// The bufferless transmit-or-block wavelength loop.
-    ///
-    /// Each slot: injected messages and same-slot forwards gather at the
-    /// coupler of their next hop; couplers are processed in index order and
-    /// grant up to `W` transmissions each (winners chosen one at a time by
-    /// the arbitration policy, wavelengths by the assignment discipline —
-    /// occupancy lives in a reused [`SpectrumMap`], cleared per slot, never
-    /// reallocated).  A message that finds its coupler exhausted falls back
-    /// to the prepared alternate routes out of its current holder, taking
-    /// the first whose leading coupler still has a free wavelength — an
-    /// alternate grant bypasses that coupler's arbitration round, consuming
-    /// spare capacity directly.  If no alternate can carry it, the message
-    /// is counted blocked and dropped.  A forward whose next coupler has a
-    /// higher index transmits again within the same slot (the same
-    /// cascading-slot convention as the legacy loop); otherwise it waits for
-    /// the next slot.
-    fn run_wavelength(&self, traffic: &TrafficPattern, config: &MultiOpsSimConfig) -> SimMetrics {
-        let n = self.processor_count();
-        let couplers = self.coupler_count();
-        let w = config.wavelengths.count.max(1);
-        let mut core = RunCore::new(config.seed, n, couplers);
-        core.metrics.wavelengths = w;
-        let mut spectrum = SpectrumMap::new(couplers, w);
-        // Messages awaiting transmission this slot / next slot, per coupler,
-        // plus the reusable scratch buffers.
-        let mut pending: Vec<Vec<InFlightW>> = (0..couplers).map(|_| Vec::new()).collect();
-        let mut next_pending: Vec<Vec<InFlightW>> = (0..couplers).map(|_| Vec::new()).collect();
-        let mut last_winner: Vec<Option<usize>> = vec![None; couplers];
-        let mut injections: Vec<Option<usize>> = Vec::new();
-        let mut candidates: Vec<(usize, u64)> = Vec::new();
-        let mut overflow: Vec<InFlightW> = Vec::new();
-
-        for slot in 0..config.slots {
-            core.begin_slot(slot);
-            spectrum.clear();
-
-            // 1. Injection (no queues, hence no back-pressure: every message
-            // the routes can carry enters the slot's contention).
-            traffic.injections_into(n, &mut core.rng, &mut injections);
-            for (src, dst) in injections.iter().enumerate() {
-                let Some(dst) = *dst else { continue };
-                let Some(route) = self.routes.get(src, dst) else {
-                    continue;
-                };
-                if route.is_empty() {
-                    continue;
-                }
-                let message = core.inject(src, dst, slot);
-                pending[route[0].coupler].push(InFlightW {
-                    message,
-                    route_src: src,
-                    alt: 0,
-                    next_hop: 0,
-                    holder: src,
-                });
-            }
-
-            // 2. Per-coupler arbitration, up to `w` grants each.
-            for coupler in 0..couplers {
-                while !pending[coupler].is_empty() && !spectrum.is_full(coupler) {
+                loop {
+                    if pending[coupler].is_empty() {
+                        break;
+                    }
+                    if let Some(spectrum) = &spectrum {
+                        if spectrum.is_full(coupler) {
+                            break;
+                        }
+                    }
                     candidates.clear();
                     candidates.extend(
                         pending[coupler]
                             .iter()
-                            .map(|f| (f.holder, f.message.created_slot)),
+                            .map(|&h| (flights.holder(h), arena.injected_at(h))),
                     );
                     let Some(winner_idx) =
                         config
@@ -518,41 +589,59 @@ impl PreparedMultiOps {
                     else {
                         break;
                     };
-                    let mut flight = pending[coupler].remove(winner_idx);
-                    last_winner[coupler] = Some(flight.holder);
-                    assign_wavelength(
-                        &mut spectrum,
-                        coupler,
-                        config.wavelengths.assignment,
-                        &mut core.rng,
-                    );
+                    let handle = pending[coupler].remove(winner_idx);
+                    last_winner[coupler] = Some(flights.holder(handle));
+                    if let Some(spectrum) = spectrum.as_mut() {
+                        let lambda = assign_wavelength(
+                            spectrum,
+                            coupler,
+                            config.wavelengths.assignment,
+                            &mut core.rng,
+                        );
+                        arena.set_wavelength(handle, lambda);
+                    }
                     core.grant();
 
-                    let route = self.route_of(&flight);
-                    let hop = route[flight.next_hop];
-                    let remaining = route.len() - flight.next_hop - 1;
-                    let next_coupler = (remaining > 0).then(|| route[flight.next_hop + 1].coupler);
-                    flight.message.hops += 1;
-                    flight.next_hop += 1;
-                    flight.holder = hop.receiver;
+                    let route = self.route_of(
+                        flights.route_src(handle),
+                        arena.dst(handle),
+                        flights.alt(handle),
+                    );
+                    let hop_idx = flights.next_hop(handle);
+                    let hop = route[hop_idx];
+                    let next_coupler =
+                        (hop_idx + 1 < route.len()).then(|| route[hop_idx + 1].coupler);
+                    arena.add_hop(handle);
+                    flights.advance(handle, hop_idx + 1, hop.receiver);
                     match next_coupler {
                         None => {
-                            let latency = slot + 1 - flight.message.created_slot;
-                            core.deliver(latency, flight.message.hops);
+                            // Delivered at the end of this slot.
+                            let latency = slot + 1 - arena.injected_at(handle);
+                            core.deliver(latency, arena.hops(handle));
+                            arena.release(handle);
                         }
-                        Some(next) if next > coupler => pending[next].push(flight),
-                        Some(next) => next_pending[next].push(flight),
+                        Some(next) if !bufferless || next > coupler => pending[next].push(handle),
+                        Some(next) => next_pending[next].push(handle),
+                    }
+                    if !bufferless {
+                        break;
                     }
                 }
-                // 3. Overflow: the coupler is exhausted (or arbitration
-                // yielded nothing); the stranded messages must re-route or
-                // block — bufferless networks cannot hold them.
-                if pending[coupler].is_empty() {
+
+                // 3. Overflow, bufferless mode only: the coupler is exhausted
+                // (or arbitration yielded nothing); the stranded messages
+                // must re-route or block — bufferless networks cannot hold
+                // them.  (Queued mode leaves losers in their queue for the
+                // next slot.)
+                if !bufferless || pending[coupler].is_empty() {
                     continue;
                 }
                 overflow.append(&mut pending[coupler]);
-                for mut flight in overflow.drain(..) {
-                    let alts = self.alts.get(flight.holder, flight.message.destination);
+                for handle in overflow.drain(..) {
+                    let spectrum = spectrum.as_mut().expect("bufferless mode has a spectrum");
+                    let dst = arena.dst(handle);
+                    let holder = flights.holder(handle);
+                    let alts = self.alts.get(holder, dst);
                     let mut taken = false;
                     for (a, alt) in alts.iter().enumerate() {
                         let first = alt[0].coupler;
@@ -562,28 +651,28 @@ impl PreparedMultiOps {
                         // Re-root the flight onto the alternate and transmit
                         // its first hop immediately.
                         core.metrics.alt_routed += 1;
-                        flight.route_src = flight.holder;
-                        flight.alt = a + 1;
-                        assign_wavelength(
-                            &mut spectrum,
+                        flights.set_route(handle, holder, a + 1);
+                        let lambda = assign_wavelength(
+                            spectrum,
                             first,
                             config.wavelengths.assignment,
                             &mut core.rng,
                         );
+                        arena.set_wavelength(handle, lambda);
                         core.grant();
-                        last_winner[first] = Some(flight.holder);
-                        flight.message.hops += 1;
-                        flight.next_hop = 1;
-                        flight.holder = alt[0].receiver;
+                        last_winner[first] = Some(holder);
+                        arena.add_hop(handle);
+                        flights.advance(handle, 1, alt[0].receiver);
                         if alt.len() == 1 {
-                            let latency = slot + 1 - flight.message.created_slot;
-                            core.deliver(latency, flight.message.hops);
+                            let latency = slot + 1 - arena.injected_at(handle);
+                            core.deliver(latency, arena.hops(handle));
+                            arena.release(handle);
                         } else {
                             let next = alt[1].coupler;
                             if next > coupler {
-                                pending[next].push(flight);
+                                pending[next].push(handle);
                             } else {
-                                next_pending[next].push(flight);
+                                next_pending[next].push(handle);
                             }
                         }
                         taken = true;
@@ -592,38 +681,23 @@ impl PreparedMultiOps {
                     if !taken {
                         core.metrics.blocked += 1;
                         core.drop_message();
+                        arena.release(handle);
                     }
                 }
             }
-            debug_assert!(pending.iter().all(|p| p.is_empty()));
-            std::mem::swap(&mut pending, &mut next_pending);
+            if bufferless {
+                debug_assert!(pending.iter().all(|p| p.is_empty()));
+                std::mem::swap(&mut pending, &mut next_pending);
+            }
         }
 
         // Messages granted in the final slot but still short of their
-        // destination are in flight, exactly as in the legacy loop.
+        // destination — and, in queued mode, everything still queued — are
+        // in flight.
         let in_flight = pending.iter().map(|q| q.len() as u64).sum::<u64>()
             + next_pending.iter().map(|q| q.len() as u64).sum::<u64>();
         core.finish(in_flight)
     }
-}
-
-/// Occupies one free wavelength on `coupler` per the assignment discipline.
-/// The caller must have checked the coupler is not full.
-fn assign_wavelength(
-    spectrum: &mut SpectrumMap,
-    coupler: usize,
-    assignment: WavelengthAssignment,
-    rng: &mut StdRng,
-) {
-    let lambda = match assignment {
-        WavelengthAssignment::FirstFit => spectrum.first_free(coupler),
-        WavelengthAssignment::Random => {
-            let free = spectrum.free_count(coupler);
-            spectrum.nth_free(coupler, rng.gen_range(0..free))
-        }
-    }
-    .expect("caller checked the coupler has a free wavelength");
-    spectrum.occupy(coupler, lambda);
 }
 
 /// The multi-OPS network simulator: a [`PreparedMultiOps`] kernel bundled
@@ -681,6 +755,7 @@ impl MultiOpsSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wavelength::WavelengthAssignment;
     use otis_topologies::{Pops, StackKautz};
 
     fn pops_sim(load: f64, slots: u64) -> SimMetrics {
@@ -914,8 +989,8 @@ mod tests {
     }
 
     #[test]
-    fn capacity_one_kernel_stays_on_the_legacy_loop() {
-        // Without alternates and at W = 1 the legacy queued loop runs:
+    fn capacity_one_kernel_keeps_the_wavelength_layer_off() {
+        // Without alternates and at W = 1 the queued discipline runs:
         // metrics carry the layer-off sentinel and match the default config.
         let m = pops_sim(0.5, 500);
         assert_eq!(m.wavelengths, 0, "layer off ⇒ sentinel 0");
@@ -941,6 +1016,51 @@ mod tests {
             .run(&TrafficPattern::Uniform { load: 0.9 });
             assert!(m.delivered > 0, "{assignment:?}");
             assert_eq!(m.injected, m.delivered + m.in_flight + m.dropped);
+        }
+    }
+
+    #[test]
+    fn repaired_kernels_run_identically_to_fresh_ones() {
+        // Delta-repairing a fault pattern's kernel from the fault-free base
+        // must be indistinguishable from preparing it from scratch, with and
+        // without alternates, in both transmission disciplines.
+        let sk = StackKautz::new(2, 2, 2);
+        let stack = Arc::new(sk.stack_graph().clone());
+        let groups = stack.quotient().node_count();
+        let traffic = TrafficPattern::Uniform { load: 0.6 };
+        let configs = [
+            MultiOpsSimConfig {
+                slots: 300,
+                ..Default::default()
+            },
+            MultiOpsSimConfig {
+                slots: 300,
+                wavelengths: WavelengthConfig::with_count(2),
+                ..Default::default()
+            },
+        ];
+        for alt_paths in [1, 3] {
+            let base =
+                PreparedMultiOps::with_alternates(Arc::clone(&stack), FaultSet::new(), alt_paths);
+            for group in 0..groups {
+                let faults = FaultSet::from_nodes([group]);
+                let repaired = PreparedMultiOps::repair_from(&base, &faults, alt_paths);
+                let fresh =
+                    PreparedMultiOps::with_alternates(Arc::clone(&stack), faults, alt_paths);
+                for config in &configs {
+                    assert_eq!(
+                        repaired.run(&traffic, config),
+                        fresh.run(&traffic, config),
+                        "group {group} alt_paths {alt_paths}"
+                    );
+                }
+            }
+            // Empty fault set: the repair is the base itself.
+            let same = PreparedMultiOps::repair_from(&base, &FaultSet::new(), alt_paths);
+            assert_eq!(
+                same.run(&traffic, &configs[0]),
+                base.run(&traffic, &configs[0])
+            );
         }
     }
 

@@ -102,9 +102,11 @@ fn cached_kernels_match_fresh_per_cell_construction_at_any_thread_count() {
         let summary = run_grid_streaming(&grid, threads, &mut sink).unwrap();
         let rows = sink.into_rows();
         assert_eq!(rows.len(), fresh.len());
-        // Each distinct (spec, fault-pattern) pair was prepared exactly
-        // once: 2 specs × 7 fault patterns.
-        assert_eq!(summary.kernels_built, 14, "{threads} threads");
+        // Each distinct (spec, fault-pattern) pair was materialised exactly
+        // once: one fault-free base per spec, delta-repaired into the six
+        // non-empty fault patterns, 2 × 7 pairs in total.
+        assert_eq!(summary.kernels_built, 2, "{threads} threads");
+        assert_eq!(summary.kernels_repaired, 12, "{threads} threads");
         for (row, expected) in rows.iter().zip(&fresh) {
             assert_eq!(
                 &row.metrics,
