@@ -1,7 +1,11 @@
 //! Slotted-simulation throughput (experiment T5 substrate).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use otis_sim::{HotPotatoSim, HotPotatoSimConfig, MultiOpsSim, MultiOpsSimConfig, TrafficPattern};
+use otis_routing::FaultSet;
+use otis_sim::{
+    FaultSchedule, HotPotatoSim, HotPotatoSimConfig, MultiOpsSim, MultiOpsSimConfig,
+    PreparedHotPotato, PreparedMultiOps, TrafficPattern,
+};
 use otis_topologies::{de_bruijn, Pops, StackKautz};
 use std::time::Duration;
 
@@ -63,5 +67,54 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation);
+fn bench_fault_timeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_timeline");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    let traffic = TrafficPattern::Uniform { load: 0.5 };
+    let schedule: FaultSchedule = "fail(node 3)@150; recover@350".parse().unwrap();
+
+    // The delta-repair cost of deriving a whole timeline's epoch kernels
+    // from the fault-free base — the work the engine caches per
+    // (spec, fault set, schedule) triple.
+    let sk = StackKautz::new(6, 3, 2);
+    let sk_base = PreparedMultiOps::from_stack(sk.stack_graph().clone(), FaultSet::new());
+    group.bench_function("timeline_from_sk_6_3_2", |b| {
+        b.iter(|| PreparedMultiOps::timeline_from(&sk_base, &sk_base, &schedule, 1).unwrap())
+    });
+
+    // The run-time cost of the kernel swaps themselves, against the plain
+    // run of the same kernel: the delta is what a two-event schedule adds
+    // to a 500-slot multi-OPS run.
+    let sk_timeline = PreparedMultiOps::timeline_from(&sk_base, &sk_base, &schedule, 1).unwrap();
+    let multi_config = MultiOpsSimConfig {
+        slots: 500,
+        ..Default::default()
+    };
+    group.bench_function("multi_ops_sk_6_3_2_500_slots_static", |b| {
+        b.iter(|| sk_base.run(&traffic, &multi_config))
+    });
+    group.bench_function("multi_ops_sk_6_3_2_500_slots_two_swaps", |b| {
+        b.iter(|| sk_base.run_with_timeline(&sk_timeline, &traffic, &multi_config))
+    });
+
+    // Same comparison for the point-to-point deflection simulator.
+    let db_base = PreparedHotPotato::from_graph(de_bruijn(2, 8), FaultSet::new());
+    let db_timeline = PreparedHotPotato::timeline_from(&db_base, &db_base, &schedule).unwrap();
+    let hot_config = HotPotatoSimConfig {
+        slots: 500,
+        ..Default::default()
+    };
+    group.bench_function("hot_potato_db_2_8_500_slots_static", |b| {
+        b.iter(|| db_base.run(&traffic, &hot_config))
+    });
+    group.bench_function("hot_potato_db_2_8_500_slots_two_swaps", |b| {
+        b.iter(|| db_base.run_with_timeline(&db_timeline, &traffic, &hot_config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_fault_timeline);
 criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Command-line front end of the parallel scenario engine.
 //!
-//! Runs a `(spec × workload × seed × fault pattern × wavelength count)` grid
-//! across worker threads and **streams** one row per cell, in deterministic
-//! grid order, to stdout or a file, as a table, CSV or JSON Lines:
+//! Runs a `(spec × workload × seed × fault pattern × fault schedule ×
+//! wavelength count)` grid across worker threads and **streams** one row per
+//! cell, in deterministic grid order, to stdout or a file, as a table, CSV
+//! or JSON Lines:
 //!
 //! ```text
 //! cargo run -p otis-bench --bin scenarios -- \
@@ -23,8 +24,10 @@
 //! Flags given *after* `--file` override what the file declares.
 //! `--faults N` sweeps nested fault patterns `{}`, `{0}`, `{0,1}`, …,
 //! `{0..N-1}`: fault ids name quotient groups for multi-OPS networks and
-//! processors for point-to-point networks.  Results are independent of
-//! `--threads`; the flag only changes wall-clock time.
+//! processors for point-to-point networks.  `--fault-schedule` makes faults
+//! dynamic — `"fail(node 3)@32;recover@96"` swaps the active kernel
+//! mid-run and adds the restoration columns to every format.  Results are
+//! independent of `--threads`; the flag only changes wall-clock time.
 //!
 //! Rows are delivered by `otis_net::engine::run_grid_streaming` while later
 //! cells are still running — peak memory is bounded by the reorder window,
@@ -33,8 +36,8 @@
 //! `--format csv` and `--format jsonl`.
 
 use otis_net::{
-    parse_scenario_config, run_grid_streaming, split_top_level, FaultSet, NetworkSpec,
-    OutputFormat, ScenarioGrid, TrafficSpec,
+    parse_scenario_config, run_grid_streaming, split_top_level, FaultSchedule, FaultSet,
+    NetworkSpec, OutputFormat, ScenarioGrid, TrafficSpec,
 };
 use std::io::{self, BufWriter, Write};
 use std::process::ExitCode;
@@ -42,13 +45,16 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: scenarios [--file STUDY.scn] [--specs S1,S2,...] [--traffic W1,W2,...]
                  [--loads L1,L2,...] [--seeds N1,N2,...] [--slots N]
-                 [--faults N] [--wavelengths W1,W2,...] [--alt-paths N]
+                 [--faults N] [--fault-schedule SCH1,SCH2,...]
+                 [--wavelengths W1,W2,...] [--alt-paths N]
                  [--threads N] [--format table|csv|jsonl] [--output FILE]
 
   --file     scenario config file declaring the whole study (specs,
-             workloads, seeds, slots, faults, wavelengths, alt_paths,
-             threads, format, output); flags given after --file override it
+             workloads, seeds, slots, faults, fault_schedules, wavelengths,
+             alt_paths, threads, format, output); flags given after --file
+             override it
   --specs    comma-separated network specs        (default SK(4,2,2),POPS(4,6),DB(2,5))
+             (--spec is an alias)
   --traffic  comma-separated workload specs, e.g. uniform(0.3), perm(0.5,7),
              hotspot(0.4,0,0.2), transpose(0.5), bitrev(0.5)
   --loads    comma-separated offered loads — sugar for uniform workloads
@@ -58,6 +64,11 @@ const USAGE: &str = "usage: scenarios [--file STUDY.scn] [--specs S1,S2,...] [--
   --slots    slots simulated per cell             (default 2000)
   --faults   sweep 0..=N nested node faults       (default 0; ids are quotient
              groups for multi-OPS networks, processors for point-to-point)
+  --fault-schedule
+             comma-separated fault timelines to sweep, each a ';'-joined
+             event list like \"fail(node 3)@32;recover@96\" (default none =
+             static runs; any non-empty schedule swaps kernels mid-run and
+             adds the restoration columns; 'none' names the static entry)
   --wavelengths
              comma-separated wavelength counts to sweep, each >= 1
              (default 1 = the legacy capacity-1 simulators; any count > 1
@@ -175,7 +186,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 format = config.format.unwrap_or_default();
                 output = config.output;
             }
-            "--specs" => grid.specs = parse_specs(value)?,
+            "--spec" | "--specs" => grid.specs = parse_specs(value)?,
             "--traffic" => grid.workloads = parse_workloads(value)?,
             "--loads" => grid = grid.loads(&parse_list::<f64>(flag, value)?),
             "--seeds" => grid.seeds = parse_list(flag, value)?,
@@ -191,6 +202,15 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 grid.fault_sets = (0..=faults)
                     .map(|count| FaultSet::from_nodes(0..count))
                     .collect();
+            }
+            "--fault-schedule" | "--fault-schedules" => {
+                grid.fault_schedules = split_top_level(value)
+                    .into_iter()
+                    .map(|s| {
+                        s.parse::<FaultSchedule>()
+                            .map_err(|e| format!("{flag}: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
             }
             "--wavelengths" => {
                 let counts = parse_list::<usize>(flag, value)?;
@@ -249,12 +269,13 @@ fn main() -> ExitCode {
     // Metadata goes to stderr: stdout carries only the rows, so csv/jsonl
     // output stays machine-readable when piped.
     eprintln!(
-        "# {} cells ({} specs x {} workloads x {} seeds x {} fault patterns x {} wavelength counts), {} slots each, {} threads, {} format{}",
+        "# {} cells ({} specs x {} workloads x {} seeds x {} fault patterns x {} fault schedules x {} wavelength counts), {} slots each, {} threads, {} format{}{}",
         grid.cell_count(),
         grid.specs.len(),
         grid.workloads.len(),
         grid.seeds.len(),
         grid.fault_sets.len(),
+        grid.fault_schedules.len(),
         grid.wavelengths.len(),
         grid.options.slots,
         args.threads,
@@ -266,8 +287,16 @@ fn main() -> ExitCode {
             )
         } else {
             String::new()
+        },
+        if grid.fault_schedule_enabled() {
+            ", restoration columns on"
+        } else {
+            ""
         }
     );
+    for warning in grid.warnings() {
+        eprintln!("# warning: {warning}");
+    }
     let writer: Box<dyn Write> = match &args.output {
         Some(path) => Box::new(LazyFile::new(path.clone())),
         None => Box::new(BufWriter::new(io::stdout())),
@@ -279,12 +308,13 @@ fn main() -> ExitCode {
             let elapsed = started.elapsed().as_secs_f64();
             eprintln!(
                 "# {} rows in {:.2}s wall-clock (peak reorder buffer: {} rows, \
-                 kernels: {} built + {} repaired, {:.0} node-slots/s){}",
+                 kernels: {} built + {} repaired, {} mid-run swaps, {:.0} node-slots/s){}",
                 summary.rows,
                 elapsed,
                 summary.peak_buffered,
                 summary.kernels_built,
                 summary.kernels_repaired,
+                summary.kernel_swaps,
                 summary.node_slots as f64 / elapsed.max(f64::EPSILON),
                 args.output
                     .as_deref()

@@ -24,6 +24,7 @@
 //! | `seed` / `seeds`      | random seeds, appended across lines               |
 //! | `slots`               | slots simulated per cell (scalar, once)           |
 //! | `faults`              | sweep the nested fault patterns `{}`, `{0}`, …, `{0..N−1}` (scalar, once) |
+//! | `fault_schedule` / `fault_schedules` | fault timelines to sweep, e.g. `fail(node 3)@32; recover@96` — `none` is the static entry (list, appended across lines; default `none`) |
 //! | `wavelengths`         | wavelength counts to sweep (list, each ≥ 1; default `1`) |
 //! | `alt_paths`           | routes tried per hop in wavelength mode: primary + Yen alternates (scalar, once; default `1`) |
 //! | `threads`             | worker threads (scalar, once; results are thread-count independent) |
@@ -41,6 +42,7 @@ use crate::sink::OutputFormat;
 use crate::spec::NetworkSpec;
 use crate::traffic_spec::TrafficSpec;
 use otis_routing::FaultSet;
+use otis_sim::FaultSchedule;
 use std::fmt;
 
 /// A parsed scenario config file: the grid it declares, plus the execution
@@ -110,8 +112,9 @@ impl fmt::Display for ConfigError {
             ConfigError::UnknownKey { line, key } => write!(
                 f,
                 "line {line}: unknown key '{key}' (supported: spec(s), \
-                 workload(s), load(s), seed(s), slots, faults, wavelengths, \
-                 alt_paths, threads, format, output)"
+                 workload(s), load(s), seed(s), slots, faults, \
+                 fault_schedule(s), wavelengths, alt_paths, threads, format, \
+                 output)"
             ),
             ConfigError::DuplicateKey { line, key } => {
                 write!(f, "line {line}: key '{key}' was already set")
@@ -172,6 +175,7 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
     let mut specs: Vec<NetworkSpec> = Vec::new();
     let mut workloads: Vec<TrafficSpec> = Vec::new();
     let mut seeds: Vec<u64> = Vec::new();
+    let mut fault_schedules: Vec<FaultSchedule> = Vec::new();
     let mut wavelengths: Vec<usize> = Vec::new();
     let mut slots: Option<u64> = None;
     let mut faults: Option<u64> = None;
@@ -248,6 +252,15 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
                     );
                 }
             }
+            "fault_schedule" | "fault_schedules" => {
+                for entry in split_top_level(value) {
+                    fault_schedules.push(
+                        entry
+                            .parse::<FaultSchedule>()
+                            .map_err(|e| value_error(e.to_string()))?,
+                    );
+                }
+            }
             "wavelength" | "wavelengths" => {
                 for entry in split_top_level(value) {
                     let count = entry.parse::<usize>().map_err(|_| {
@@ -304,6 +317,9 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
         grid.fault_sets = (0..=faults as usize)
             .map(|count| FaultSet::from_nodes(0..count))
             .collect();
+    }
+    if !fault_schedules.is_empty() {
+        grid.fault_schedules = fault_schedules;
     }
     if !wavelengths.is_empty() {
         grid.wavelengths = wavelengths;
@@ -465,6 +481,38 @@ threads   4
             matches!(err, ConfigError::DuplicateKey { line: 4, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn fault_schedule_key_sets_the_timeline_axis() {
+        let config = parse_scenario_config(
+            "spec DB(2,4)\nload 0.3\nfault_schedules none, fail(node 3)@32; recover@96\n",
+        )
+        .unwrap();
+        assert_eq!(config.grid.fault_schedules.len(), 2);
+        assert!(config.grid.fault_schedules[0].is_empty());
+        assert_eq!(
+            config.grid.fault_schedules[1].to_string(),
+            "fail(node 3)@32; recover@96"
+        );
+        assert!(config.grid.fault_schedule_enabled());
+
+        // Appending across lines works like the other list keys.
+        let config = parse_scenario_config(
+            "spec DB(2,4)\nload 0.3\nfault_schedule fail(node 1)@10\nfault_schedule fail(node 2)@20\n",
+        )
+        .unwrap();
+        assert_eq!(config.grid.fault_schedules.len(), 2);
+
+        // The default keeps the axis static and the restoration tier off.
+        let config = parse_scenario_config("spec DB(2,4)\nload 0.3\n").unwrap();
+        assert_eq!(config.grid.fault_schedules.len(), 1);
+        assert!(!config.grid.fault_schedule_enabled());
+
+        // Malformed schedules are refused with line numbers.
+        let err = parse_scenario_config("spec DB(2,4)\nload 0.3\nfault_schedule fail(node)@\n")
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Value { line: 3, .. }), "{err}");
     }
 
     #[test]

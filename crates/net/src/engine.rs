@@ -18,11 +18,11 @@
 //! (transpose needs a square processor count, bit-reversal a power of two)
 //! surface as typed errors before any cell runs.
 //!
-//! Grid order is wavelength counts outermost, then workloads, then specs,
-//! then seeds, then fault sets — matching the table shape of experiment T5
-//! (the default single-entry wavelength axis leaves the historical order
-//! untouched), so [`crate::scenarios::compare_specs`] is a one-seed,
-//! no-fault grid.
+//! Grid order is wavelength counts outermost, then fault schedules, then
+//! workloads, then specs, then seeds, then fault sets — matching the table
+//! shape of experiment T5 (the default single-entry wavelength and schedule
+//! axes leave the historical order untouched), so
+//! [`crate::scenarios::compare_specs`] is a one-seed, no-fault grid.
 //!
 //! Results *stream*: [`run_grid_streaming`] hands each completed cell to a
 //! [`RowSink`] in grid order while later cells are still running, through a
@@ -62,17 +62,49 @@
 //! trade-off is deliberate: fault axes are combinatorial in *patterns*, but
 //! each kernel is only a routing table, and rebuilding one mid-run would
 //! cost far more than holding it.
+//!
+//! ## Fault schedules and mid-run kernel swaps
+//!
+//! The sixth grid axis, [`ScenarioGrid::fault_schedules`], makes faults
+//! *dynamic*: a [`FaultSchedule`] is an ordered list of
+//! `fail(node n)@slot` / `recover@slot` events, and a cell running under a
+//! non-empty schedule swaps its active kernel at each event slot instead of
+//! simulating one static fault pattern.  The swap kernels are prepared once
+//! per `(spec, fault-pattern, schedule)` triple — a [`PreparedTimeline`],
+//! cached in its own `OnceLock` lattice exactly like the static kernels —
+//! and every epoch kernel is delta-derived, never built from scratch:
+//! failures repair *forward* from the spec's fault-free base
+//! ([`PreparedSim::repair`]'s machinery), recoveries repair *backward*
+//! toward fewer faults reusing the routing state both epochs share.  Each
+//! epoch counts in [`StreamSummary::kernels_repaired`], and the number of
+//! swaps the delivered rows actually performed is threaded out through
+//! [`StreamSummary::kernel_swaps`].
+//!
+//! Schedules are bound up front — every `(spec, fault-pattern, schedule)`
+//! combination is validated before any cell runs, so an event naming a node
+//! outside the fault domain (processors for point-to-point networks,
+//! quotient groups for multi-OPS) or duplicating a static fault is a typed
+//! [`NetworkError::Schedule`] for the whole grid.  At the slot loop, a swap
+//! re-resolves every in-flight message against the new routing tables:
+//! messages stranded on a failed node (or whose destination became
+//! unreachable) are dropped and counted in `dropped_by_failure`, separately
+//! from congestion drops, and the restoration metrics (`fault_events`,
+//! `in_flight_at_failure`, `restore_slots`, `post_failure_latency_peak`)
+//! track how quickly delivery recovers.  The default single-entry axis is
+//! the empty schedule, which takes the exact legacy run path — cells under
+//! it stream rows byte-identical to a grid without the axis, at any thread
+//! count.
 
 use crate::error::NetworkError;
 use crate::network::Network;
-use crate::prepared::PreparedSim;
+use crate::prepared::{PreparedSim, PreparedTimeline};
 use crate::scenarios::fmt_stat;
 use crate::sim_options::SimOptions;
 use crate::sink::{CollectSink, RowSink};
 use crate::spec::NetworkSpec;
 use crate::traffic_spec::TrafficSpec;
 use otis_routing::FaultSet;
-use otis_sim::{SimMetrics, TrafficPattern, WavelengthConfig};
+use otis_sim::{FaultSchedule, SimMetrics, TrafficPattern, WavelengthConfig};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex, OnceLock};
@@ -94,6 +126,13 @@ pub struct ScenarioGrid {
     /// point-to-point networks they name processors (see
     /// [`SimOptions::faults`]).
     pub fault_sets: Vec<FaultSet>,
+    /// Fault timelines to sweep; `[FaultSchedule::empty()]` for static
+    /// runs.  A non-empty schedule swaps the cell's active kernel at each
+    /// event slot (see the module docs); event node ids live in the same
+    /// fault domain as [`ScenarioGrid::fault_sets`].  Every combination is
+    /// bound before execution starts, so out-of-range targets and overlaps
+    /// with static faults surface as typed errors for the whole grid.
+    pub fault_schedules: Vec<FaultSchedule>,
     /// Wavelength counts to sweep, outermost grid axis — the workhorse of
     /// the blocking-ratio studies.  Every count must be at least 1; the
     /// default `[1]` keeps the simulators on their legacy capacity-1 loops
@@ -118,6 +157,7 @@ impl ScenarioGrid {
             workloads: Vec::new(),
             seeds: vec![options.seed],
             fault_sets: vec![FaultSet::new()],
+            fault_schedules: vec![FaultSchedule::empty()],
             wavelengths: vec![options.wavelengths.count],
             options,
         }
@@ -151,6 +191,13 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the fault timelines to sweep; see
+    /// [`ScenarioGrid::fault_schedules`].
+    pub fn fault_schedules(mut self, fault_schedules: Vec<FaultSchedule>) -> Self {
+        self.fault_schedules = fault_schedules;
+        self
+    }
+
     /// Sets the wavelength counts to sweep (each must be at least 1).
     pub fn wavelengths(mut self, counts: &[usize]) -> Self {
         self.wavelengths = counts.to_vec();
@@ -174,6 +221,30 @@ impl ScenarioGrid {
         self.wavelengths.iter().any(|&w| w > 1) || self.options.alt_paths > 1
     }
 
+    /// Whether any cell of this grid runs under a non-empty fault schedule.
+    /// Sinks append the restoration column group (fault-event counts,
+    /// stranded-message drops, restore time, post-failure latency peak)
+    /// exactly when this is true, so static grids keep the legacy schema.
+    pub fn fault_schedule_enabled(&self) -> bool {
+        self.fault_schedules.iter().any(|s| !s.is_empty())
+    }
+
+    /// Non-fatal configuration smells: combinations the engine will run but
+    /// that almost certainly do not mean what the caller intended.  The
+    /// `scenarios` CLI prints these on stderr before the run starts.
+    pub fn warnings(&self) -> Vec<GridWarning> {
+        let mut warnings = Vec::new();
+        if self.options.alt_paths > 1
+            && !self.specs.is_empty()
+            && !self.specs.iter().any(NetworkSpec::is_multi_ops)
+        {
+            warnings.push(GridWarning::AltPathsIgnoredByHotPotato {
+                alt_paths: self.options.alt_paths,
+            });
+        }
+        warnings
+    }
+
     /// Sets the slot count.
     pub fn slots(mut self, slots: u64) -> Self {
         self.options.slots = slots;
@@ -189,33 +260,36 @@ impl ScenarioGrid {
         self.checked_cell_count().unwrap_or(usize::MAX)
     }
 
-    /// Checked axis product: `None` when
-    /// `specs × workloads × seeds × fault_sets × wavelengths` overflows
-    /// `usize`.
+    /// Checked axis product: `None` when `specs × workloads × seeds ×
+    /// fault_sets × fault_schedules × wavelengths` overflows `usize`.
     pub fn checked_cell_count(&self) -> Option<usize> {
         checked_product([
             self.specs.len(),
             self.workloads.len(),
             self.seeds.len(),
             self.fault_sets.len(),
+            self.fault_schedules.len(),
             self.wavelengths.len(),
         ])
     }
 
     /// The cell at flat `index` in grid order (wavelength counts outermost,
-    /// then workloads, then specs, then seeds, then fault sets).  Only
-    /// called for `index < cell_count()`, so every axis is non-empty.
+    /// then fault schedules, then workloads, then specs, then seeds, then
+    /// fault sets).  Only called for `index < cell_count()`, so every axis
+    /// is non-empty.
     fn cell_at(&self, index: usize) -> Cell {
         let faults = self.fault_sets.len();
         let seeds = self.seeds.len();
         let specs = self.specs.len();
         let workloads = self.workloads.len();
+        let schedules = self.fault_schedules.len();
         Cell {
             fault_set: index % faults,
             seed: self.seeds[(index / faults) % seeds],
             spec: (index / (faults * seeds)) % specs,
             workload: (index / (faults * seeds * specs)) % workloads,
-            wavelengths: self.wavelengths[index / (faults * seeds * specs * workloads)],
+            schedule: (index / (faults * seeds * specs * workloads)) % schedules,
+            wavelengths: self.wavelengths[index / (faults * seeds * specs * workloads * schedules)],
         }
     }
 
@@ -235,8 +309,40 @@ impl ScenarioGrid {
 }
 
 /// Checked product of the grid's axis lengths.
-fn checked_product(axes: [usize; 5]) -> Option<usize> {
+fn checked_product(axes: [usize; 6]) -> Option<usize> {
     axes.iter().try_fold(1usize, |acc, &n| acc.checked_mul(n))
+}
+
+/// The simulation work one row represents, in node-slots.  Saturating: a
+/// pathological `slots × processors` product must clamp at `u64::MAX`, not
+/// wrap the engine's throughput accounting around zero.
+fn row_node_slots(slots: u64, processors: usize) -> u64 {
+    slots.saturating_mul(processors as u64)
+}
+
+/// A non-fatal configuration smell reported by [`ScenarioGrid::warnings`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridWarning {
+    /// `alt_paths > 1` on a grid whose spec list is hot-potato only:
+    /// alternate routes are a multi-OPS routing mechanism (deflection
+    /// routing adapts per slot on its own), so the option changes nothing
+    /// on this grid.
+    AltPathsIgnoredByHotPotato {
+        /// The configured alternate-route count.
+        alt_paths: usize,
+    },
+}
+
+impl std::fmt::Display for GridWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridWarning::AltPathsIgnoredByHotPotato { alt_paths } => write!(
+                f,
+                "alt_paths = {alt_paths} has no effect: no spec in this grid is a multi-OPS \
+                 network, and hot-potato routing ignores prepared alternate routes"
+            ),
+        }
+    }
 }
 
 /// The result of one grid cell: the cell's coordinates plus the full
@@ -256,6 +362,8 @@ pub struct ScenarioRow {
     pub fault_count: usize,
     /// The exact fault pattern of this cell.
     pub faults: FaultSet,
+    /// The fault timeline this cell ran under; empty on static cells.
+    pub fault_schedule: FaultSchedule,
     /// The network's hardware cost in optical parts
     /// ([`Network::hardware_cost`]), carried only when the grid exercises
     /// the wavelength layer ([`ScenarioGrid::wavelength_layer_enabled`]) —
@@ -345,6 +453,51 @@ impl ScenarioRow {
             "cost_bit",
         )
     }
+
+    /// [`ScenarioRow::as_table_row_extended`] plus the restoration columns:
+    /// fault events, messages in flight at the first failure, messages
+    /// stranded by failures, slots until the delivery rate recovered, the
+    /// post-failure latency peak, and (last, variable-width) the schedule
+    /// itself.  Restoration statistics are undefined on cells where no
+    /// kernel swap happened and render as `-`.
+    pub fn as_table_row_restoration(&self) -> String {
+        let restoration = |value: u64| {
+            if self.metrics.fault_events == 0 {
+                f64::NAN
+            } else {
+                value as f64
+            }
+        };
+        let restore_slots = if self.metrics.restore_slots == u64::MAX {
+            f64::NAN
+        } else {
+            restoration(self.metrics.restore_slots)
+        };
+        format!(
+            "{} {:>7} {} {} {} {} {}",
+            self.as_table_row_extended(),
+            self.metrics.fault_events,
+            fmt_stat(restoration(self.metrics.in_flight_at_failure), 8, 0),
+            fmt_stat(restoration(self.metrics.dropped_by_failure), 8, 0),
+            fmt_stat(restore_slots, 8, 0),
+            fmt_stat(restoration(self.metrics.post_failure_latency_peak), 8, 0),
+            self.fault_schedule,
+        )
+    }
+
+    /// Header matching [`ScenarioRow::as_table_row_restoration`].
+    pub fn table_header_restoration() -> String {
+        format!(
+            "{} {:>7} {:>8} {:>8} {:>8} {:>8} {}",
+            Self::table_header_extended(),
+            "fevents",
+            "inflight",
+            "faildrop",
+            "restore",
+            "peak_lat",
+            "schedule",
+        )
+    }
 }
 
 /// One cell's coordinates into the grid's axes.  `wavelengths` is the
@@ -355,6 +508,7 @@ struct Cell {
     workload: usize,
     seed: u64,
     fault_set: usize,
+    schedule: usize,
     wavelengths: usize,
 }
 
@@ -402,10 +556,16 @@ pub struct StreamSummary {
     /// `kernels_built + kernels_repaired` equals the number of distinct
     /// exercised pairs.
     pub kernels_repaired: usize,
+    /// Mid-run kernel swaps the delivered rows performed — the sum of
+    /// `fault_events` across every row.  Zero on a schedule-free grid;
+    /// on a scheduled grid this equals scheduled cells × events per
+    /// schedule that fired within the slot budget.
+    pub kernel_swaps: u64,
     /// Total simulation work delivered, in node-slots: the sum over every
-    /// delivered row of `slots × processors`.  Dividing by wall-clock time
-    /// gives the engine's throughput in node-slots/second — the
-    /// size-independent rate large-N benchmarks report.
+    /// delivered row of `slots × processors` (saturating — an adversarial
+    /// product clamps at `u64::MAX` instead of wrapping).  Dividing by
+    /// wall-clock time gives the engine's throughput in node-slots/second —
+    /// the size-independent rate large-N benchmarks report.
     pub node_slots: u64,
 }
 
@@ -441,6 +601,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             workloads: grid.workloads.len(),
             seeds: grid.seeds.len(),
             fault_sets: grid.fault_sets.len(),
+            schedules: grid.fault_schedules.len(),
             wavelengths: grid.wavelengths.len(),
         })?;
     let networks: Vec<Network> = grid
@@ -448,6 +609,25 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
         .iter()
         .map(|&spec| Network::new(spec))
         .collect::<Result<_, _>>()?;
+
+    // Bind every non-empty schedule against every (spec, fault-pattern)
+    // pair up front: an out-of-range event target or an overlap with a
+    // static fault is a typed error for the whole grid, before any cell
+    // runs.  Binding is cheap (no kernels are prepared here); the timeline
+    // kernels themselves are materialised lazily in the cache below.
+    for spec in &grid.specs {
+        let domain = spec
+            .fault_domain_size()
+            .expect("Network::new validated the spec");
+        for schedule in &grid.fault_schedules {
+            if schedule.is_empty() {
+                continue;
+            }
+            for faults in &grid.fault_sets {
+                schedule.bind(domain, faults)?;
+            }
+        }
+    }
 
     // Hardware costs feed the cost-per-delivered-bit composite; they are
     // only carried (and only computed — the design construction is not free)
@@ -477,6 +657,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
         peak_buffered: 0,
         kernels_built: 0,
         kernels_repaired: 0,
+        kernel_swaps: 0,
         node_slots: 0,
     };
     if cell_count == 0 {
@@ -497,6 +678,15 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
         .collect();
     let bases: Vec<OnceLock<PreparedSim>> =
         (0..grid.specs.len()).map(|_| OnceLock::new()).collect();
+    // The timeline cache mirrors the kernel cache one axis deeper: one slot
+    // per (spec, fault-pattern, schedule) triple, only ever materialised
+    // for non-empty schedules.  Each epoch kernel inside a timeline is
+    // delta-derived from the spec's base (or its predecessor epoch) and
+    // counted in `kernels_repaired`.
+    let timelines: Vec<OnceLock<PreparedTimeline>> =
+        (0..grid.specs.len() * grid.fault_sets.len() * grid.fault_schedules.len())
+            .map(|_| OnceLock::new())
+            .collect();
     let kernels_built = AtomicUsize::new(0);
     let kernels_repaired = AtomicUsize::new(0);
 
@@ -518,7 +708,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             let tx = tx.clone();
             let (next, stop, watermark, advanced) = (&next, &stop, &watermark, &advanced);
             let (networks, patterns) = (&networks, &patterns);
-            let (kernels, bases) = (&kernels, &bases);
+            let (kernels, bases, timelines) = (&kernels, &bases, &timelines);
             let (kernels_built, kernels_repaired) = (&kernels_built, &kernels_repaired);
             let hardware_costs = &hardware_costs;
             scope.spawn(move || {
@@ -570,8 +760,37 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                                 base.repair(faults, grid.options.alt_paths)
                             }
                         });
+                    // A non-empty schedule additionally needs its timeline
+                    // of swap kernels — one cached preparation per
+                    // (spec, fault-pattern, schedule) triple.  Empty
+                    // schedules skip the lookup entirely: their cells take
+                    // the exact legacy run path.
+                    let schedule = &grid.fault_schedules[cell.schedule];
+                    let timeline = (!schedule.is_empty()).then(|| {
+                        let slot = (cell.spec * grid.fault_sets.len() + cell.fault_set)
+                            * grid.fault_schedules.len()
+                            + cell.schedule;
+                        timelines[slot].get_or_init(|| {
+                            // The base was materialised by the kernel
+                            // lookup above (every kernel slot fills its
+                            // spec's base first).
+                            let base = bases[cell.spec]
+                                .get()
+                                .expect("the kernel cache fills the base first");
+                            let timeline = PreparedSim::timeline(
+                                base,
+                                kernel,
+                                schedule,
+                                grid.options.alt_paths,
+                            )
+                            .expect("schedules were bound before execution started");
+                            kernels_repaired.fetch_add(timeline.len(), Ordering::Relaxed);
+                            timeline
+                        })
+                    });
                     let row = run_cell(
                         kernel,
+                        timeline,
                         &networks[cell.spec],
                         &patterns[cell.workload][cell.spec],
                         grid,
@@ -601,7 +820,8 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             pending.insert(index, row);
             summary.peak_buffered = summary.peak_buffered.max(pending.len());
             while let Some(row) = pending.remove(&next_to_deliver) {
-                let row_node_slots = row.metrics.slots * row.metrics.processors as u64;
+                let row_work = row_node_slots(row.metrics.slots, row.metrics.processors);
+                let row_swaps = row.metrics.fault_events;
                 if let Err(e) = sink.on_row(next_to_deliver, row) {
                     sink_failure = Some(e);
                     // Set the stop flag *under the watermark lock*: a worker
@@ -618,7 +838,8 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                 }
                 next_to_deliver += 1;
                 summary.rows += 1;
-                summary.node_slots += row_node_slots;
+                summary.kernel_swaps += row_swaps;
+                summary.node_slots = summary.node_slots.saturating_add(row_work);
                 *watermark.lock().expect("no panics hold the watermark") = next_to_deliver;
                 advanced.notify_all();
             }
@@ -689,9 +910,12 @@ pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>,
 /// here — the routing state was built when the kernel first entered the
 /// cache.  The cell's fault set is cloned once, into the options, and the
 /// row is built from that same copy.  The wavelength axis overrides the
-/// per-run wavelength count; the assignment policy is shared grid-wide.
+/// per-run wavelength count; the assignment policy is shared grid-wide.  A
+/// cell under a non-empty schedule runs the timeline path (mid-run kernel
+/// swaps); `None` takes the exact legacy run.
 fn run_cell(
     kernel: &PreparedSim,
+    timeline: Option<&PreparedTimeline>,
     network: &Network,
     pattern: &TrafficPattern,
     grid: &ScenarioGrid,
@@ -708,7 +932,10 @@ fn run_cell(
         ..grid.options.clone()
     };
     let traffic = grid.workloads[cell.workload];
-    let metrics = kernel.run(pattern, &options);
+    let metrics = match timeline {
+        Some(timeline) => kernel.run_with_timeline(timeline, pattern, &options),
+        None => kernel.run(pattern, &options),
+    };
     ScenarioRow {
         spec: *network.spec(),
         traffic,
@@ -716,6 +943,7 @@ fn run_cell(
         seed: cell.seed,
         fault_count: options.faults.len(),
         faults: options.faults,
+        fault_schedule: grid.fault_schedules[cell.schedule].clone(),
         hardware_cost,
         metrics,
     }
@@ -1090,12 +1318,26 @@ mod tests {
 
     #[test]
     fn cell_counts_use_checked_multiplication() {
-        assert_eq!(checked_product([3, 2, 2, 1, 1]), Some(12));
-        assert_eq!(checked_product([0, 5, 5, 5, 5]), Some(0));
-        assert_eq!(checked_product([usize::MAX, 2, 1, 1, 1]), None);
-        assert_eq!(checked_product([1 << 32, 1 << 32, 1, 2, 1]), None);
+        assert_eq!(checked_product([3, 2, 2, 1, 1, 1]), Some(12));
+        assert_eq!(checked_product([0, 5, 5, 5, 5, 5]), Some(0));
+        assert_eq!(checked_product([usize::MAX, 2, 1, 1, 1, 1]), None);
+        assert_eq!(checked_product([1 << 32, 1 << 32, 1, 2, 1, 1]), None);
         let grid = small_grid();
         assert_eq!(grid.checked_cell_count(), Some(grid.cell_count()));
+    }
+
+    #[test]
+    fn node_slot_accounting_saturates_instead_of_wrapping() {
+        // Satellite contract: the throughput accounting must clamp, not
+        // wrap, on adversarial slots × processors products.
+        assert_eq!(row_node_slots(120, 24), 2880);
+        assert_eq!(row_node_slots(u64::MAX, 2), u64::MAX);
+        assert_eq!(row_node_slots(u64::MAX, 1), u64::MAX);
+        assert_eq!(row_node_slots(0, usize::MAX), 0);
+        assert_eq!(
+            u64::MAX.saturating_add(row_node_slots(1 << 32, 1 << 31)),
+            u64::MAX
+        );
     }
 
     #[test]
@@ -1126,6 +1368,91 @@ mod tests {
             assert_eq!(swept_row.metrics, plain_row.metrics);
             assert_eq!(swept_row.spec, plain_row.spec);
         }
+    }
+
+    #[test]
+    fn fault_schedule_axis_multiplies_cells_and_counts_swaps() {
+        // One spec, two schedules: the empty one (legacy static run) and a
+        // fail/recover pair.  The axis doubles the cell count; the static
+        // cell reports no fault events, the scheduled cell exactly two, and
+        // the summary threads both the epoch preparations (as repairs) and
+        // the performed swaps out.  Byte-identical rows at any thread count.
+        let schedule: FaultSchedule = "fail(node 1)@20; recover@80".parse().unwrap();
+        let grid = ScenarioGrid::new(vec!["DB(2,4)".parse().unwrap()])
+            .loads(&[0.3])
+            .seeds(&[7])
+            .fault_schedules(vec![FaultSchedule::empty(), schedule.clone()])
+            .slots(200);
+        assert_eq!(grid.cell_count(), 2);
+        assert!(grid.fault_schedule_enabled());
+        assert!(!small_grid().fault_schedule_enabled());
+        let mut baseline = None;
+        for threads in [1usize, 2, 8] {
+            let mut sink = crate::sink::CollectSink::new();
+            let summary = run_grid_streaming(&grid, threads, &mut sink).unwrap();
+            assert_eq!(summary.rows, 2);
+            assert_eq!(summary.kernels_built, 1, "{threads} threads");
+            assert_eq!(
+                summary.kernels_repaired, 2,
+                "both timeline epochs must be delta-derived ({threads} threads)"
+            );
+            assert_eq!(summary.kernel_swaps, 2, "{threads} threads");
+            let rows = sink.into_rows();
+            assert!(rows[0].fault_schedule.is_empty());
+            assert_eq!(rows[0].metrics.fault_events, 0);
+            assert_eq!(rows[1].fault_schedule, schedule);
+            assert_eq!(rows[1].metrics.fault_events, 2);
+            assert!(rows[1].metrics.restore_slots < u64::MAX, "{:?}", rows[1]);
+            match &baseline {
+                None => baseline = Some(rows),
+                Some(expected) => assert_eq!(expected, &rows, "{threads} threads diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_validation_rejects_bad_targets_before_any_cell_runs() {
+        // An event outside the fault domain fails the whole grid with the
+        // typed error, before the sink is even opened.
+        let grid = ScenarioGrid::new(vec!["DB(2,3)".parse().unwrap()])
+            .loads(&[0.3])
+            .fault_schedules(vec!["fail(node 99)@5".parse().unwrap()])
+            .slots(50);
+        let mut sink = RecordingSink::default();
+        let err = run_grid_streaming(&grid, 2, &mut sink).unwrap_err();
+        assert!(matches!(err, NetworkError::Schedule(_)), "{err}");
+        assert_eq!(sink.started, 0);
+        // So does a scheduled failure duplicating a static fault.
+        let grid = ScenarioGrid::new(vec!["DB(2,3)".parse().unwrap()])
+            .loads(&[0.3])
+            .fault_sets(vec![FaultSet::from_nodes([1])])
+            .fault_schedules(vec!["fail(node 1)@5".parse().unwrap()])
+            .slots(50);
+        let err = run_grid(&grid, 2).unwrap_err();
+        assert!(matches!(err, NetworkError::Schedule(_)), "{err}");
+    }
+
+    #[test]
+    fn warnings_flag_alt_paths_on_hot_potato_only_grids() {
+        // Satellite contract: alt_paths on a grid with no multi-OPS spec
+        // was a silent no-op — now it is a typed warning.
+        let hot_potato_only =
+            ScenarioGrid::new(vec!["DB(2,4)".parse().unwrap(), "K(4)".parse().unwrap()]);
+        assert!(hot_potato_only.warnings().is_empty());
+        let warned = hot_potato_only.alt_paths(3);
+        let warnings = warned.warnings();
+        assert_eq!(
+            warnings,
+            vec![GridWarning::AltPathsIgnoredByHotPotato { alt_paths: 3 }]
+        );
+        assert!(warnings[0].to_string().contains("alt_paths = 3"));
+        // A multi-OPS spec anywhere in the list consumes the option.
+        let mixed = ScenarioGrid::new(vec![
+            "DB(2,4)".parse().unwrap(),
+            "SK(2,2,2)".parse().unwrap(),
+        ])
+        .alt_paths(3);
+        assert!(mixed.warnings().is_empty());
     }
 
     #[test]

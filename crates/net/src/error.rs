@@ -124,9 +124,15 @@ pub enum NetworkError {
         seeds: usize,
         /// Length of the fault-pattern axis.
         fault_sets: usize,
+        /// Length of the fault-schedule axis.
+        schedules: usize,
         /// Length of the wavelength-count axis.
         wavelengths: usize,
     },
+    /// A fault schedule could not be bound to a grid cell: an event targets
+    /// a node/group outside the network's fault domain, or a scheduled
+    /// failure duplicates one of the cell's static faults.
+    Schedule(otis_sim::FaultScheduleError),
 }
 
 impl fmt::Display for NetworkError {
@@ -146,15 +152,17 @@ impl fmt::Display for NetworkError {
                 workloads,
                 seeds,
                 fault_sets,
+                schedules,
                 wavelengths,
             } => {
                 write!(
                     f,
                     "scenario grid is too large: {specs} specs x {workloads} workloads x \
-                     {seeds} seeds x {fault_sets} fault patterns x {wavelengths} wavelength \
-                     counts overflows the cell count"
+                     {seeds} seeds x {fault_sets} fault patterns x {schedules} fault \
+                     schedules x {wavelengths} wavelength counts overflows the cell count"
                 )
             }
+            NetworkError::Schedule(e) => write!(f, "fault schedule cannot be bound: {e}"),
         }
     }
 }
@@ -168,7 +176,14 @@ impl std::error::Error for NetworkError {
             NetworkError::Structure { .. } => None,
             NetworkError::Sink { .. } => None,
             NetworkError::GridTooLarge { .. } => None,
+            NetworkError::Schedule(e) => Some(e),
         }
+    }
+}
+
+impl From<otis_sim::FaultScheduleError> for NetworkError {
+    fn from(e: otis_sim::FaultScheduleError) -> Self {
+        NetworkError::Schedule(e)
     }
 }
 
@@ -224,9 +239,17 @@ mod tests {
             workloads: 2,
             seeds: 1,
             fault_sets: 1,
+            schedules: 1,
             wavelengths: 1,
         };
         assert!(big.to_string().contains("too large"), "{big}");
         assert!(big.to_string().contains("overflows"), "{big}");
+        let sched: NetworkError = otis_sim::FaultScheduleError::TargetOutOfRange {
+            target: otis_sim::FaultTarget::Node(9),
+            nodes: 6,
+        }
+        .into();
+        assert!(sched.to_string().contains("fault schedule"), "{sched}");
+        assert!(sched.to_string().contains('9'), "{sched}");
     }
 }

@@ -39,6 +39,22 @@
 //!   alternate routes, threads, output format and output path for a whole
 //!   study ([`parse_scenario_config`]).
 //!
+//! ## The fault-timeline layer
+//!
+//! Faults can also be *dynamic*: a [`FaultSchedule`] (re-exported from
+//! `otis-sim`, round-trippable like the other spec languages —
+//! `"fail(node 3)@32; recover@96"`) swaps a run's active kernel at scheduled
+//! slots, delta-deriving every epoch kernel from the fault-free base and
+//! re-resolving in-flight messages against the new routing tables.  The
+//! grid sweeps schedules as a first-class axis
+//! ([`ScenarioGrid::fault_schedules`], the `.scn` `fault_schedule` key), the
+//! prepared surface exposes the same machinery as
+//! [`PreparedSim::timeline`] / [`PreparedTimeline`], and sinks append the
+//! restoration columns (`fault_events`, `in_flight_at_failure`,
+//! `dropped_by_failure`, `restore_slots`, `post_failure_latency_peak`)
+//! exactly when a grid schedules faults — schedule-free grids stream
+//! byte-identical legacy output.
+//!
 //! ## The wavelength layer
 //!
 //! Both simulators optionally multiplex `W` wavelengths per optical channel
@@ -94,15 +110,18 @@ pub mod traffic_spec;
 pub use config::{parse_scenario_config, split_top_level, ConfigError, ScenarioConfig};
 pub use design::NetworkDesign;
 pub use engine::{
-    default_thread_count, reorder_window, run_grid, run_grid_streaming, ScenarioGrid, ScenarioRow,
-    StreamSummary,
+    default_thread_count, reorder_window, run_grid, run_grid_streaming, GridWarning, ScenarioGrid,
+    ScenarioRow, StreamSummary,
 };
 pub use error::{NetworkError, SpecError};
 pub use family::NetworkFamily;
 pub use network::Network;
 pub use otis_routing::FaultSet;
-pub use otis_sim::{WavelengthAssignment, WavelengthConfig};
-pub use prepared::PreparedSim;
+pub use otis_sim::{
+    FaultAction, FaultEvent, FaultSchedule, FaultScheduleError, FaultTarget, WavelengthAssignment,
+    WavelengthConfig,
+};
+pub use prepared::{PreparedSim, PreparedTimeline};
 pub use route::{Route, RouteOracle};
 pub use scenarios::{
     compare_networks, compare_spec_strs, compare_specs, frontier_scan, saturation_point,

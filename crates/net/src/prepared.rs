@@ -11,8 +11,8 @@
 use crate::sim_options::SimOptions;
 use otis_routing::FaultSet;
 use otis_sim::{
-    HotPotatoSimConfig, MultiOpsSimConfig, PreparedHotPotato, PreparedMultiOps, SimMetrics,
-    TrafficPattern,
+    FaultSchedule, FaultScheduleError, HotPotatoSimConfig, MultiOpsSimConfig, PreparedHotPotato,
+    PreparedMultiOps, SimMetrics, TrafficPattern,
 };
 
 /// A prepared simulation kernel for one network under one fault pattern —
@@ -93,6 +93,113 @@ impl PreparedSim {
             PreparedSim::MultiOps(kernel) => kernel.processor_count(),
         }
     }
+
+    /// Binds a [`FaultSchedule`] against this kernel's fault domain and
+    /// prepares one kernel per event slot, all delta-derived from `base`
+    /// (the fault-free kernel of the same spec): failures via
+    /// `repair_from`, recoveries via `recover_from` where the event only
+    /// removes faults relative to the preceding epoch.  `initial` is the
+    /// kernel the run starts on (it carries the cell's static fault
+    /// pattern); its faults are the floor every epoch unions onto.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` and `initial` come from different simulator
+    /// families — the engine only ever pairs kernels of one spec.
+    pub fn timeline(
+        base: &PreparedSim,
+        initial: &PreparedSim,
+        schedule: &FaultSchedule,
+        alt_paths: usize,
+    ) -> Result<PreparedTimeline, FaultScheduleError> {
+        match (base, initial) {
+            (PreparedSim::HotPotato(base), PreparedSim::HotPotato(initial)) => {
+                Ok(PreparedTimeline::HotPotato(
+                    PreparedHotPotato::timeline_from(base, initial, schedule)?,
+                ))
+            }
+            (PreparedSim::MultiOps(base), PreparedSim::MultiOps(initial)) => {
+                Ok(PreparedTimeline::MultiOps(PreparedMultiOps::timeline_from(
+                    base, initial, schedule, alt_paths,
+                )?))
+            }
+            _ => panic!("timeline base and initial kernels are from different simulator families"),
+        }
+    }
+
+    /// Executes one run under a fault timeline: at each event slot the
+    /// active kernel is swapped for the scheduled one, in-flight messages
+    /// are re-resolved against the new routing state, and the restoration
+    /// metrics ([`SimMetrics::fault_events`] and friends) are tracked.  An
+    /// empty timeline takes the exact code path of [`PreparedSim::run`] —
+    /// byte-identical metrics, no swap machinery touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and `timeline` come from different simulator
+    /// families.
+    pub fn run_with_timeline(
+        &self,
+        timeline: &PreparedTimeline,
+        traffic: &TrafficPattern,
+        options: &SimOptions,
+    ) -> SimMetrics {
+        match (self, timeline) {
+            (PreparedSim::HotPotato(kernel), PreparedTimeline::HotPotato(epochs)) => kernel
+                .run_with_timeline(
+                    epochs,
+                    traffic,
+                    &HotPotatoSimConfig {
+                        slots: options.slots,
+                        seed: options.seed,
+                        max_hops: options.max_hops,
+                        wavelengths: options.wavelengths,
+                    },
+                ),
+            (PreparedSim::MultiOps(kernel), PreparedTimeline::MultiOps(epochs)) => kernel
+                .run_with_timeline(
+                    epochs,
+                    traffic,
+                    &MultiOpsSimConfig {
+                        slots: options.slots,
+                        seed: options.seed,
+                        policy: options.policy,
+                        queue_limit: options.queue_limit,
+                        wavelengths: options.wavelengths,
+                    },
+                ),
+            _ => panic!("timeline and kernel are from different simulator families"),
+        }
+    }
+}
+
+/// A bound fault schedule, prepared once per `(spec, fault-pattern,
+/// schedule)` triple: the kernels the run swaps to, each tagged with the
+/// slot it activates at.  Built by [`PreparedSim::timeline`] and consumed
+/// by [`PreparedSim::run_with_timeline`]; the scenario engine caches these
+/// exactly like base kernels so a grid prepares each epoch once.
+#[derive(Debug, Clone)]
+pub enum PreparedTimeline {
+    /// Epoch kernels for a deflection-routing run.
+    HotPotato(Vec<(u64, PreparedHotPotato)>),
+    /// Epoch kernels for a coupler-arbitration run.
+    MultiOps(Vec<(u64, PreparedMultiOps)>),
+}
+
+impl PreparedTimeline {
+    /// Number of scheduled kernel swaps (epochs past the initial kernel).
+    pub fn len(&self) -> usize {
+        match self {
+            PreparedTimeline::HotPotato(epochs) => epochs.len(),
+            PreparedTimeline::MultiOps(epochs) => epochs.len(),
+        }
+    }
+
+    /// `true` when the schedule bound to no events — the run takes the
+    /// plain [`PreparedSim::run`] path.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +234,49 @@ mod tests {
             let kernel = network.prepare(&FaultSet::new());
             assert_eq!(kernel.node_count(), network.node_count(), "{spec}");
         }
+    }
+
+    #[test]
+    fn empty_timeline_run_matches_plain_run_for_both_families() {
+        // A schedule with no events must bind to an empty timeline and the
+        // timeline run must be the plain run, byte for byte.
+        let schedule = FaultSchedule::empty();
+        for spec in ["DB(2,4)", "SK(2,2,2)"] {
+            let network = Network::from_spec(spec).unwrap();
+            let kernel = network.prepare(&FaultSet::new());
+            let timeline = PreparedSim::timeline(&kernel, &kernel, &schedule, 1).unwrap();
+            assert!(timeline.is_empty(), "{spec}");
+            let options = SimOptions::new(200, 7);
+            let traffic = TrafficPattern::Uniform { load: 0.5 };
+            assert_eq!(
+                kernel.run_with_timeline(&timeline, &traffic, &options),
+                kernel.run(&traffic, &options),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_timeline_runs_and_counts_events_for_both_families() {
+        let schedule: FaultSchedule = "fail(node 1)@20; recover@120".parse().unwrap();
+        for spec in ["DB(2,4)", "SK(2,2,2)"] {
+            let network = Network::from_spec(spec).unwrap();
+            let kernel = network.prepare(&FaultSet::new());
+            let timeline = PreparedSim::timeline(&kernel, &kernel, &schedule, 1).unwrap();
+            assert_eq!(timeline.len(), 2, "{spec}");
+            let options = SimOptions::new(300, 7);
+            let traffic = TrafficPattern::Uniform { load: 0.5 };
+            let metrics = kernel.run_with_timeline(&timeline, &traffic, &options);
+            assert_eq!(metrics.fault_events, 2, "{spec}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_schedule_target_fails_to_bind() {
+        let network = Network::from_spec("DB(2,3)").unwrap();
+        let kernel = network.prepare(&FaultSet::new());
+        let schedule: FaultSchedule = "fail(node 99)@5".parse().unwrap();
+        let err = PreparedSim::timeline(&kernel, &kernel, &schedule, 1).unwrap_err();
+        assert!(err.to_string().contains("99"), "{err}");
     }
 }

@@ -20,7 +20,7 @@
 //! [`SimMetrics::FIELD_NAMES`] with the cell's grid coordinates.  The schema
 //! is append-only so downstream tooling can rely on existing columns.
 //!
-//! ## The two schema tiers
+//! ## The schema tiers
 //!
 //! Grids that exercise the wavelength layer
 //! ([`ScenarioGrid::wavelength_layer_enabled`]) stream the *extended*
@@ -33,6 +33,16 @@
 //! undefined render as the format's native undefined sentinel — `-` in the
 //! table, an empty field in CSV, `null` in JSON Lines — never the string
 //! `"NaN"`.
+//!
+//! Grids with a non-empty fault schedule on any axis entry
+//! ([`ScenarioGrid::fault_schedule_enabled`]) stream the *restoration*
+//! schema: the extended columns, then the `fault_schedule` coordinate (the
+//! schedule's round-trippable display form, `none` on static cells), then
+//! the restoration metrics (`fault_events`, `in_flight_at_failure`,
+//! `dropped_by_failure`, `restore_slots`, `post_failure_latency_peak`).
+//! On cells where no kernel swap happened the restoration statistics are
+//! undefined and render as the same native sentinels; schedule-free grids
+//! never see any of these columns.
 
 use crate::engine::{ScenarioGrid, ScenarioRow};
 use otis_routing::FaultSet;
@@ -174,11 +184,23 @@ impl ScenarioRow {
 
     /// Column names of the extended (wavelength-layer) schema: the legacy
     /// columns, then the wavelength metrics, then the `cost_per_bit`
-    /// composite.
+    /// composite.  Truncates [`SimMetrics::FIELD_NAMES`] at
+    /// [`SimMetrics::EXTENDED_FIELD_COUNT`], so schedule-free wavelength
+    /// runs stay byte-identical to the pre-restoration engine.
     pub fn field_names_extended() -> Vec<&'static str> {
         let mut names = COORDINATE_NAMES.to_vec();
-        names.extend(SimMetrics::FIELD_NAMES);
+        names.extend(&SimMetrics::FIELD_NAMES[..SimMetrics::EXTENDED_FIELD_COUNT]);
         names.push("cost_per_bit");
+        names
+    }
+
+    /// Column names of the restoration (fault-timeline) schema: the
+    /// extended columns, then the `fault_schedule` coordinate, then the
+    /// restoration metrics.
+    pub fn field_names_restoration() -> Vec<&'static str> {
+        let mut names = Self::field_names_extended();
+        names.push("fault_schedule");
+        names.extend(&SimMetrics::FIELD_NAMES[SimMetrics::EXTENDED_FIELD_COUNT..]);
         names
     }
 
@@ -216,9 +238,25 @@ impl ScenarioRow {
             self.metrics
                 .field_values()
                 .into_iter()
+                .take(SimMetrics::EXTENDED_FIELD_COUNT)
                 .map(FieldValue::from),
         );
         values.push(FieldValue::Float(self.cost_per_delivered_bit()));
+        values
+    }
+
+    /// The field values matching [`ScenarioRow::field_names_restoration`]
+    /// position by position.
+    pub fn field_values_restoration(&self) -> Vec<FieldValue> {
+        let mut values = self.field_values_extended();
+        values.push(FieldValue::Text(self.fault_schedule.to_string()));
+        values.extend(
+            self.metrics
+                .field_values()
+                .into_iter()
+                .skip(SimMetrics::EXTENDED_FIELD_COUNT)
+                .map(FieldValue::from),
+        );
         values
     }
 }
@@ -262,6 +300,7 @@ impl RowSink for CollectSink {
 pub struct TableSink<W: Write> {
     writer: W,
     extended: bool,
+    restoration: bool,
 }
 
 impl<W: Write> TableSink<W> {
@@ -270,6 +309,7 @@ impl<W: Write> TableSink<W> {
         TableSink {
             writer,
             extended: false,
+            restoration: false,
         }
     }
 
@@ -282,7 +322,10 @@ impl<W: Write> TableSink<W> {
 impl<W: Write> RowSink for TableSink<W> {
     fn on_start(&mut self, grid: &ScenarioGrid) -> io::Result<()> {
         self.extended = grid.wavelength_layer_enabled();
-        if self.extended {
+        self.restoration = grid.fault_schedule_enabled();
+        if self.restoration {
+            writeln!(self.writer, "{}", ScenarioRow::table_header_restoration())
+        } else if self.extended {
             writeln!(self.writer, "{}", ScenarioRow::table_header_extended())
         } else {
             writeln!(self.writer, "{}", ScenarioRow::table_header())
@@ -290,7 +333,9 @@ impl<W: Write> RowSink for TableSink<W> {
     }
 
     fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
-        if self.extended {
+        if self.restoration {
+            writeln!(self.writer, "{}", row.as_table_row_restoration())
+        } else if self.extended {
             writeln!(self.writer, "{}", row.as_table_row_extended())
         } else {
             writeln!(self.writer, "{}", row.as_table_row())
@@ -310,6 +355,7 @@ impl<W: Write> RowSink for TableSink<W> {
 pub struct CsvSink<W: Write> {
     writer: W,
     extended: bool,
+    restoration: bool,
 }
 
 impl<W: Write> CsvSink<W> {
@@ -318,6 +364,7 @@ impl<W: Write> CsvSink<W> {
         CsvSink {
             writer,
             extended: false,
+            restoration: false,
         }
     }
 
@@ -330,7 +377,10 @@ impl<W: Write> CsvSink<W> {
 impl<W: Write> RowSink for CsvSink<W> {
     fn on_start(&mut self, grid: &ScenarioGrid) -> io::Result<()> {
         self.extended = grid.wavelength_layer_enabled();
-        let names = if self.extended {
+        self.restoration = grid.fault_schedule_enabled();
+        let names = if self.restoration {
+            ScenarioRow::field_names_restoration()
+        } else if self.extended {
             ScenarioRow::field_names_extended()
         } else {
             ScenarioRow::field_names()
@@ -339,7 +389,9 @@ impl<W: Write> RowSink for CsvSink<W> {
     }
 
     fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
-        let values = if self.extended {
+        let values = if self.restoration {
+            row.field_values_restoration()
+        } else if self.extended {
             row.field_values_extended()
         } else {
             row.field_values()
@@ -361,6 +413,7 @@ impl<W: Write> RowSink for CsvSink<W> {
 pub struct JsonLinesSink<W: Write> {
     writer: W,
     extended: bool,
+    restoration: bool,
     /// The field names, fixed in [`RowSink::on_start`] (legacy schema until
     /// then): every row of a run shares the same schema.
     names: Vec<&'static str>,
@@ -372,6 +425,7 @@ impl<W: Write> JsonLinesSink<W> {
         JsonLinesSink {
             writer,
             extended: false,
+            restoration: false,
             names: ScenarioRow::field_names(),
         }
     }
@@ -385,7 +439,10 @@ impl<W: Write> JsonLinesSink<W> {
 impl<W: Write> RowSink for JsonLinesSink<W> {
     fn on_start(&mut self, grid: &ScenarioGrid) -> io::Result<()> {
         self.extended = grid.wavelength_layer_enabled();
-        self.names = if self.extended {
+        self.restoration = grid.fault_schedule_enabled();
+        self.names = if self.restoration {
+            ScenarioRow::field_names_restoration()
+        } else if self.extended {
             ScenarioRow::field_names_extended()
         } else {
             ScenarioRow::field_names()
@@ -394,7 +451,9 @@ impl<W: Write> RowSink for JsonLinesSink<W> {
     }
 
     fn on_row(&mut self, _index: usize, row: ScenarioRow) -> io::Result<()> {
-        let values = if self.extended {
+        let values = if self.restoration {
+            row.field_values_restoration()
+        } else if self.extended {
             row.field_values_extended()
         } else {
             row.field_values()
@@ -524,7 +583,10 @@ mod tests {
         let names = ScenarioRow::field_names_extended();
         let values = row.field_values_extended();
         assert_eq!(names.len(), values.len());
-        assert_eq!(names.len(), 6 + SimMetrics::FIELD_NAMES.len() + 1);
+        assert_eq!(names.len(), 6 + SimMetrics::EXTENDED_FIELD_COUNT + 1);
+        // The restoration columns belong to the next tier up, so
+        // schedule-free wavelength runs stay byte-identical.
+        assert!(!names.contains(&"fault_events"));
         // Append-only: the legacy schema is an exact prefix.
         let legacy = ScenarioRow::field_names();
         assert_eq!(&names[..legacy.len()], legacy.as_slice());
@@ -613,6 +675,107 @@ mod tests {
         run_grid_streaming(&grid, 1, &mut table).unwrap();
         let text = String::from_utf8(table.into_inner()).unwrap();
         assert!(!text.contains("wavel"), "{text}");
+    }
+
+    #[test]
+    fn restoration_schema_appends_schedule_and_restoration_columns() {
+        // A grid with a non-empty schedule on the axis streams the
+        // restoration tier in every format: the extended columns are an
+        // exact prefix, then fault_schedule, then the restoration metrics.
+        // Static cells inside the same grid render undefined sentinels.
+        let schedule: otis_sim::FaultSchedule = "fail(node 1)@10; recover@40".parse().unwrap();
+        let grid = crate::engine::ScenarioGrid::new(vec!["DB(2,3)".parse().unwrap()])
+            .loads(&[0.3])
+            .slots(80)
+            .fault_schedules(vec![otis_sim::FaultSchedule::empty(), schedule.clone()]);
+        assert!(grid.fault_schedule_enabled());
+
+        let names = ScenarioRow::field_names_restoration();
+        let extended = ScenarioRow::field_names_extended();
+        assert_eq!(&names[..extended.len()], extended.as_slice());
+        assert_eq!(
+            &names[extended.len()..],
+            &[
+                "fault_schedule",
+                "fault_events",
+                "in_flight_at_failure",
+                "dropped_by_failure",
+                "restore_slots",
+                "post_failure_latency_peak"
+            ]
+        );
+
+        let mut collect = CollectSink::new();
+        run_grid_streaming(&grid, 1, &mut collect).unwrap();
+        let rows = collect.into_rows();
+        for row in &rows {
+            assert_eq!(names.len(), row.field_values_restoration().len());
+        }
+
+        let mut csv = CsvSink::new(Vec::new());
+        run_grid_streaming(&grid, 1, &mut csv).unwrap();
+        let text = String::from_utf8(csv.into_inner()).unwrap();
+        assert!(
+            text.lines()
+                .next()
+                .unwrap()
+                .ends_with(",fault_schedule,fault_events,in_flight_at_failure,dropped_by_failure,restore_slots,post_failure_latency_peak"),
+            "{text}"
+        );
+
+        let mut jsonl = JsonLinesSink::new(Vec::new());
+        run_grid_streaming(&grid, 1, &mut jsonl).unwrap();
+        let text = String::from_utf8(jsonl.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // The static cell: schedule "none", undefined restoration stats.
+        assert!(
+            lines[0].contains("\"fault_schedule\":\"none\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"fault_events\":0"), "{}", lines[0]);
+        assert!(
+            lines[0].contains("\"in_flight_at_failure\":null"),
+            "{}",
+            lines[0]
+        );
+        // The scheduled cell: both events fired, exact counters.
+        assert!(
+            lines[1].contains(&format!("\"fault_schedule\":\"{schedule}\"")),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[1].contains("\"fault_events\":2"), "{}", lines[1]);
+        assert!(
+            !lines[1].contains("\"in_flight_at_failure\":null"),
+            "{}",
+            lines[1]
+        );
+
+        let mut table = TableSink::new(Vec::new());
+        run_grid_streaming(&grid, 1, &mut table).unwrap();
+        let text = String::from_utf8(table.into_inner()).unwrap();
+        assert!(text.lines().next().unwrap().ends_with("schedule"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(text.contains(&schedule.to_string()), "{text}");
+    }
+
+    #[test]
+    fn schedule_free_grids_never_see_restoration_columns() {
+        // The byte-identity guard one tier down: a wavelength-layer grid
+        // without schedules must not leak any restoration column.
+        let grid = crate::engine::ScenarioGrid::new(vec!["DB(2,3)".parse().unwrap()])
+            .loads(&[0.3])
+            .slots(60)
+            .alt_paths(3);
+        assert!(grid.wavelength_layer_enabled());
+        assert!(!grid.fault_schedule_enabled());
+        let mut csv = CsvSink::new(Vec::new());
+        run_grid_streaming(&grid, 1, &mut csv).unwrap();
+        let text = String::from_utf8(csv.into_inner()).unwrap();
+        assert!(text.lines().next().unwrap().ends_with(",cost_per_bit"));
+        assert!(!text.contains("fault_schedule"), "{text}");
+        assert!(!text.contains("fault_events"), "{text}");
     }
 
     #[test]

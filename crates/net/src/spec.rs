@@ -120,6 +120,20 @@ impl NetworkSpec {
         }
     }
 
+    /// The size of the family's fault domain — the id space fault-pattern
+    /// node ids (static [`otis_routing::FaultSet`]s and scheduled
+    /// fault-timeline events alike) are interpreted over: quotient groups
+    /// for multi-OPS families, processors for point-to-point families.
+    /// `None` when the closed form overflows `usize`.
+    pub fn fault_domain_size(&self) -> Option<usize> {
+        match *self {
+            NetworkSpec::Pops { g, .. } => Some(g),
+            NetworkSpec::StackKautz { d, k, .. } => kautz_nodes(d, k),
+            NetworkSpec::StackImaseItoh { n, .. } => Some(n),
+            _ => self.node_count(),
+        }
+    }
+
     /// Closed-form link count — arcs for point-to-point families, OPS
     /// couplers for multi-OPS families — or `None` when the family has no
     /// simple closed form (`SII`, whose `II⁺` loop count depends on `n`).

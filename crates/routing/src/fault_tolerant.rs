@@ -54,6 +54,47 @@ impl FaultSet {
         self
     }
 
+    /// Marks a failed node as recovered; returns whether it was failed.
+    pub fn recover_node(&mut self, node: NodeId) -> bool {
+        self.failed_nodes.remove(&node)
+    }
+
+    /// Marks a failed arc as recovered; returns whether it was failed.
+    pub fn recover_arc(&mut self, from: NodeId, to: NodeId) -> bool {
+        self.failed_arcs.remove(&(from, to))
+    }
+
+    /// Whether the arc `(from, to)` itself is in the set (endpoint-node
+    /// faults do **not** count, unlike [`FaultSet::blocks`]).
+    pub fn arc_failed(&self, from: NodeId, to: NodeId) -> bool {
+        self.failed_arcs.contains(&(from, to))
+    }
+
+    /// Whether every fault of `self` also appears in `other` — the test that
+    /// decides whether a mid-run kernel swap moves *toward* faults (a
+    /// repair) or away from them (a recovery).
+    pub fn is_subset_of(&self, other: &FaultSet) -> bool {
+        self.failed_nodes.is_subset(&other.failed_nodes)
+            && self.failed_arcs.is_subset(&other.failed_arcs)
+    }
+
+    /// The union of two fault sets — e.g. a static fault pattern overlaid
+    /// with the scheduled faults active at some slot.
+    pub fn union(&self, other: &FaultSet) -> FaultSet {
+        FaultSet {
+            failed_nodes: self
+                .failed_nodes
+                .union(&other.failed_nodes)
+                .copied()
+                .collect(),
+            failed_arcs: self
+                .failed_arcs
+                .union(&other.failed_arcs)
+                .copied()
+                .collect(),
+        }
+    }
+
     /// Total number of faults (failed nodes plus failed arcs).
     pub fn len(&self) -> usize {
         self.failed_nodes.len() + self.failed_arcs.len()
@@ -294,6 +335,26 @@ mod tests {
         assert!(!f.blocks(1, 0));
         assert!(f.node_failed(3));
         assert!(!f.node_failed(0));
+    }
+
+    #[test]
+    fn recovery_subset_and_union_operations() {
+        let mut f = FaultSet::from_nodes([1, 2]);
+        f.fail_arc(0, 3);
+        assert!(f.arc_failed(0, 3));
+        assert!(!f.arc_failed(3, 0));
+        assert!(FaultSet::from_nodes([1]).is_subset_of(&f));
+        assert!(!f.is_subset_of(&FaultSet::from_nodes([1, 2])));
+        assert!(f.recover_node(1));
+        assert!(!f.recover_node(1), "already recovered");
+        assert!(f.recover_arc(0, 3));
+        assert!(!f.arc_failed(0, 3));
+        assert_eq!(f.sorted_nodes(), vec![2]);
+        let u = FaultSet::from_nodes([0]).union(&f);
+        assert_eq!(u.sorted_nodes(), vec![0, 2]);
+        assert!(f.is_subset_of(&u));
+        assert!(FaultSet::new().is_subset_of(&f));
+        assert!(f.is_subset_of(&f));
     }
 
     #[test]

@@ -146,6 +146,47 @@ impl StackRouter {
         }
     }
 
+    /// Recovery construction: derives the router for `faults` — a *subset*
+    /// of the faults `current` avoids — from the fault-free `base`.  This is
+    /// the routing direction [`StackRouter::from_repair`] cannot express:
+    /// repairs always grow the fault set from a fault-free base, while a
+    /// mid-run recovery event shrinks it.  The resulting router is identical
+    /// to `StackRouter::from_shared(stack, faults)`, and `changed_groups` is
+    /// an exact per-column comparison *against `current`* (see
+    /// [`RoutingTable::recovered`]): kernel caches can keep every route
+    /// between groups that were live before the recovery and whose
+    /// destination column did not move, rebuilding only the rest.
+    ///
+    /// # Panics
+    /// Panics when `base` is not fault-free or (in debug builds) when
+    /// `faults` is not a subset of `current`'s faults.
+    pub fn from_recovery(
+        current: &StackRouter,
+        base: &StackRouter,
+        faults: &FaultSet,
+    ) -> StackRepair {
+        assert!(
+            base.faults.is_empty(),
+            "recovery must derive from a fault-free base"
+        );
+        let quotient = base.stack.quotient();
+        let survivor = surviving_subgraph(quotient, faults);
+        let repair = current.quotient_table.recovered(
+            &base.quotient_table,
+            &survivor,
+            &current.faults,
+            faults,
+        );
+        StackRepair {
+            router: StackRouter {
+                stack: base.stack.clone(),
+                quotient_table: repair.table,
+                faults: faults.clone(),
+            },
+            changed_groups: repair.changed,
+        }
+    }
+
     /// The stack-graph this router serves.
     pub fn stack_graph(&self) -> &StackGraph {
         &self.stack
@@ -445,6 +486,54 @@ mod tests {
                         continue;
                     }
                     assert_eq!(repair.router.route(src, dst), base.route(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_recovery_routes_identically_to_from_scratch() {
+        use crate::fault_tolerant::node_fault_patterns_up_to;
+        let sk = StackKautz::new(2, 2, 2);
+        let stack = Arc::new(sk.stack_graph().clone());
+        let base = StackRouter::from_shared(stack.clone(), FaultSet::new());
+        let previous = FaultSet::from_nodes([0, 3]);
+        let current = StackRouter::from_shared(stack.clone(), previous.clone());
+        // Every subset of the current faults is a legal recovery target.
+        for faults in node_fault_patterns_up_to(stack.group_count(), 2) {
+            if !faults.is_subset_of(&previous) {
+                continue;
+            }
+            let scratch = StackRouter::from_shared(stack.clone(), faults.clone());
+            let recovery = StackRouter::from_recovery(&current, &base, &faults);
+            assert_eq!(recovery.router.quotient_table, scratch.quotient_table);
+            for src in 0..sk.node_count() {
+                for dst in 0..sk.node_count() {
+                    assert_eq!(
+                        recovery.router.route(src, dst),
+                        scratch.route(src, dst),
+                        "{src}->{dst} recovering to {:?}",
+                        faults.sorted_nodes()
+                    );
+                }
+            }
+            // Routes between previously-live groups towards unchanged
+            // columns must be reusable from the *current* router as-is.
+            for dst in 0..sk.node_count() {
+                let gd = stack.to_stack_node(dst).group;
+                if recovery.changed_groups[gd] || previous.node_failed(gd) {
+                    continue;
+                }
+                for src in 0..sk.node_count() {
+                    let gs = stack.to_stack_node(src).group;
+                    if previous.node_failed(gs) || gs == gd {
+                        continue;
+                    }
+                    assert_eq!(
+                        recovery.router.route(src, dst),
+                        current.route(src, dst),
+                        "{src}->{dst} should carry over from the faulted router"
+                    );
                 }
             }
         }

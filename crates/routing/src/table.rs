@@ -179,6 +179,62 @@ impl RoutingTable {
         }
     }
 
+    /// Delta-repairs toward *fewer* faults — the direction
+    /// [`RoutingTable::repaired`] cannot express, since repairs always grow
+    /// the fault set from a fault-free base while a recovery event shrinks
+    /// it mid-run.
+    ///
+    /// `self` is the table currently in force under the fault set
+    /// `previous`, `base` the table of the intact graph, and `survivor` the
+    /// surviving subgraph under `faults` (a subset of `previous`).  The
+    /// returned table is **identical** to `RoutingTable::new(survivor)` —
+    /// it is produced by [`RoutingTable::repaired`] from the base, so the
+    /// bit-for-bit guarantee carries over.  What recovery adds is the
+    /// `changed` report *against the current table*: `changed[dst]` is an
+    /// exact comparison of column `dst` restricted to rows that live under
+    /// `previous`.  When it is `false`, every route between
+    /// `previous`-live nodes towards `dst` is unchanged — route-following
+    /// from a live node only visits live next hops, and all of their
+    /// entries compare equal — so downstream per-column caches (the
+    /// flattened multi-OPS route tables) can carry routes between
+    /// previously-live nodes across the recovery swap.  Routes from or to
+    /// newly-recovered nodes are *not* covered by an unchanged flag and
+    /// must be recomputed by the caller.
+    pub fn recovered(
+        &self,
+        base: &RoutingTable,
+        survivor: &Digraph,
+        previous: &FaultSet,
+        faults: &FaultSet,
+    ) -> TableRepair {
+        let n = self.n;
+        assert_eq!(base.n, n, "base node count must match the current table");
+        debug_assert!(
+            faults.is_subset_of(previous),
+            "recovery must move toward fewer faults"
+        );
+        let repair = base.repaired(survivor, faults);
+        let table = repair.table;
+        let mut changed = vec![false; n];
+        let mut live = vec![true; n];
+        for &f in &previous.sorted_nodes() {
+            live[f] = false;
+        }
+        for (dst, flag) in changed.iter_mut().enumerate() {
+            let col = dst * n;
+            *flag = (0..n).any(|u| {
+                live[u]
+                    && (table.next[col + u] != self.next[col + u]
+                        || table.dist[col + u] != self.dist[col + u])
+            });
+        }
+        TableRepair {
+            table,
+            changed,
+            recomputed: repair.recomputed,
+        }
+    }
+
     /// Number of nodes the table covers.
     pub fn node_count(&self) -> usize {
         self.n
@@ -342,6 +398,43 @@ mod tests {
                     assert_eq!(repair.table.next_hop(u, dst), base.next_hop(u, dst));
                     assert_eq!(repair.table.distance(u, dst), base.distance(u, dst));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn recovered_tables_equal_from_scratch_and_flag_exact_changes() {
+        use crate::fault_tolerant::{surviving_subgraph, FaultSet};
+        let g = kautz(3, 2);
+        let base = RoutingTable::new(&g);
+        let mut previous = FaultSet::from_nodes([0, 5]);
+        previous.fail_arc(2, 7);
+        let current = RoutingTable::new(&surviving_subgraph(&g, &previous));
+        let shrunk = [
+            FaultSet::from_nodes([0]),
+            FaultSet::from_nodes([5]),
+            FaultSet::new(),
+            previous.clone(),
+        ];
+        for faults in shrunk {
+            let survivor = surviving_subgraph(&g, &faults);
+            let rec = current.recovered(&base, &survivor, &previous, &faults);
+            let scratch = RoutingTable::new(&survivor);
+            assert_eq!(rec.table, scratch, "faults {:?}", faults.sorted_nodes());
+            // The changed flags are an exact column comparison restricted to
+            // previously-live rows.
+            for dst in 0..g.node_count() {
+                let differs = (0..g.node_count()).any(|u| {
+                    !previous.node_failed(u)
+                        && (scratch.next_hop(u, dst) != current.next_hop(u, dst)
+                            || scratch.distance(u, dst) != current.distance(u, dst))
+                });
+                assert_eq!(
+                    rec.changed[dst],
+                    differs,
+                    "dst {dst}, faults {:?}",
+                    faults.sorted_nodes()
+                );
             }
         }
     }

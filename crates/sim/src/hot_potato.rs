@@ -46,6 +46,7 @@
 
 use crate::kernel::{assign_wavelength, MessageArena, PortBits, RunCore};
 use crate::metrics::SimMetrics;
+use crate::schedule::{FaultSchedule, FaultScheduleError, RestoreTracker};
 use crate::traffic::TrafficPattern;
 use crate::wavelength::{WavelengthAssignment, WavelengthConfig};
 use otis_graphs::{Digraph, SpectrumMap};
@@ -170,16 +171,71 @@ impl PreparedHotPotato {
     /// this call — the message arena, handle buckets, port bitsets and
     /// tie-break scratch are reused across slots, no per-slot allocations.
     pub fn run(&self, traffic: &TrafficPattern, config: &HotPotatoSimConfig) -> SimMetrics {
-        let g = self.router.graph();
-        let n = g.node_count();
+        self.run_with_timeline(&[], traffic, config)
+    }
+
+    /// Builds the epoch timeline a [`FaultSchedule`] prescribes for runs of
+    /// the `initial` kernel: one `(slot, kernel)` pair per distinct event
+    /// slot, each kernel delta-repaired from the fault-free `base` toward
+    /// that epoch's fault set (the `initial` kernel's static faults overlaid
+    /// with every scheduled fault in force) and bit-identical to preparing
+    /// it from scratch.  The result feeds
+    /// [`PreparedHotPotato::run_with_timeline`].
+    ///
+    /// Fails with a typed [`FaultScheduleError`] when an event targets a
+    /// node outside the network or a scheduled failure duplicates one of
+    /// `initial`'s static faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` was prepared with a non-empty fault set.
+    pub fn timeline_from(
+        base: &PreparedHotPotato,
+        initial: &PreparedHotPotato,
+        schedule: &FaultSchedule,
+    ) -> Result<Vec<(u64, PreparedHotPotato)>, FaultScheduleError> {
+        let epochs = schedule.bind(base.node_count(), initial.faults())?;
+        Ok(epochs
+            .into_iter()
+            .map(|(slot, faults)| (slot, PreparedHotPotato::repair_from(base, &faults)))
+            .collect())
+    }
+
+    /// Executes one run under a fault timeline: `timeline` is a
+    /// chronological list of `(slot, kernel)` epochs (see
+    /// [`PreparedHotPotato::timeline_from`]); at the start of each epoch's
+    /// slot, before injections, the active kernel is swapped.  In-flight
+    /// messages are re-resolved against the new kernel — a message sitting
+    /// on a failed node, destined to one, or left unreachable is dropped and
+    /// counted in `dropped_by_failure` (as well as `dropped`); survivors
+    /// keep deflecting under the new routing table.  The restoration
+    /// metrics (`fault_events`, `in_flight_at_failure`, `restore_slots`,
+    /// `post_failure_latency_peak`) are anchored to the first swap that
+    /// introduces new failures.
+    ///
+    /// An empty timeline takes the exact legacy code path — same RNG draw
+    /// order, same metrics as [`PreparedHotPotato::run`], byte for byte.
+    pub fn run_with_timeline(
+        &self,
+        timeline: &[(u64, PreparedHotPotato)],
+        traffic: &TrafficPattern,
+        config: &HotPotatoSimConfig,
+    ) -> SimMetrics {
+        let n = self.router.graph().node_count();
         let multiplexed = config.wavelengths.is_multiplexed();
-        let mut core = RunCore::new(config.seed, n, g.arc_count());
+        let mut core = RunCore::new(config.seed, n, self.router.graph().arc_count());
         let mut spectrum = if multiplexed {
             core.metrics.wavelengths = config.wavelengths.count;
-            Some(SpectrumMap::new(g.arc_count(), config.wavelengths.count))
+            Some(SpectrumMap::new(
+                self.router.graph().arc_count(),
+                config.wavelengths.count,
+            ))
         } else {
             None
         };
+        let mut active = self;
+        let mut next_epoch = 0usize;
+        let mut tracker = RestoreTracker::default();
 
         // Per-run reusable state: the struct-of-arrays message store, the
         // handle buckets for messages at each node at the start of the slot
@@ -196,6 +252,39 @@ impl PreparedHotPotato {
 
         for slot in 0..config.slots {
             core.begin_slot(slot);
+            // Kernel swaps scheduled for this slot apply before injections:
+            // strand the messages the new fault set cuts off, re-point the
+            // routing state, and (in multiplexed mode) rebuild the spectrum
+            // over the new surviving subgraph's arc numbering.
+            while timeline.get(next_epoch).is_some_and(|(s, _)| *s <= slot) {
+                let kernel = &timeline[next_epoch].1;
+                next_epoch += 1;
+                let live: u64 = at_node.iter().map(|v| v.len() as u64).sum();
+                let introduces = !kernel.faults.is_subset_of(&active.faults);
+                tracker.on_swap(introduces, slot, live, &mut core.metrics);
+                for (node, bucket) in at_node.iter_mut().enumerate() {
+                    bucket.retain(|&handle| {
+                        let dst = arena.dst(handle);
+                        let stranded = kernel.faults.node_failed(node)
+                            || kernel.faults.node_failed(dst)
+                            || kernel.router.distance(node, dst).is_none();
+                        if stranded {
+                            core.metrics.dropped_by_failure += 1;
+                            core.drop_message();
+                            arena.release(handle);
+                        }
+                        !stranded
+                    });
+                }
+                active = kernel;
+                if multiplexed {
+                    spectrum = Some(SpectrumMap::new(
+                        active.router.graph().arc_count(),
+                        config.wavelengths.count,
+                    ));
+                }
+            }
+            let g = active.router.graph();
             if let Some(spectrum) = spectrum.as_mut() {
                 spectrum.clear();
             }
@@ -214,6 +303,7 @@ impl PreparedHotPotato {
                     if arena.dst(handle) == node {
                         let latency = slot.saturating_sub(arena.injected_at(handle));
                         core.deliver(latency, arena.hops(handle));
+                        tracker.observe_delivery(latency, &mut core.metrics);
                         arena.release(handle);
                     } else if RunCore::livelock_exceeded(config.max_hops, arena.hops(handle)) {
                         core.drop_message();
@@ -226,7 +316,7 @@ impl PreparedHotPotato {
 
                 for &handle in transit.iter() {
                     let dst = arena.dst(handle);
-                    match self.router.choose_port_randomized_masked(
+                    match active.router.choose_port_randomized_masked(
                         node,
                         dst,
                         ports.words(),
@@ -235,7 +325,7 @@ impl PreparedHotPotato {
                     ) {
                         Some(port) => {
                             let lambda = claim_port(
-                                &self.router,
+                                &active.router,
                                 node,
                                 dst,
                                 port,
@@ -273,13 +363,13 @@ impl PreparedHotPotato {
                 // admission control).  Traffic from, to or cut off from a
                 // failed region is refused at the source.
                 if let Some(dst) = injections[node] {
-                    if !self.faults.is_empty()
-                        && (self.faults.node_failed(node)
-                            || self.faults.node_failed(dst)
-                            || self.router.distance(node, dst).is_none())
+                    if !active.faults.is_empty()
+                        && (active.faults.node_failed(node)
+                            || active.faults.node_failed(dst)
+                            || active.router.distance(node, dst).is_none())
                     {
                         // Unservable under the faults: not counted as injected.
-                    } else if let Some(port) = self.router.choose_port_randomized_masked(
+                    } else if let Some(port) = active.router.choose_port_randomized_masked(
                         node,
                         dst,
                         ports.words(),
@@ -287,7 +377,7 @@ impl PreparedHotPotato {
                         &mut ties,
                     ) {
                         let lambda = claim_port(
-                            &self.router,
+                            &active.router,
                             node,
                             dst,
                             port,
@@ -315,6 +405,7 @@ impl PreparedHotPotato {
             // the swap `arriving` is a set of empty buckets (capacity kept)
             // ready for the next slot.
             std::mem::swap(&mut at_node, &mut arriving);
+            tracker.end_slot(slot, &mut core.metrics);
         }
 
         // Messages that reached their destination during the final slot are
@@ -329,6 +420,7 @@ impl PreparedHotPotato {
                 if arena.dst(handle) == node {
                     let latency = config.slots.saturating_sub(arena.injected_at(handle));
                     metrics.record_delivery(latency, arena.hops(handle));
+                    tracker.observe_delivery(latency, metrics);
                     false
                 } else {
                     true
@@ -700,6 +792,127 @@ mod tests {
             same.run(&traffic, &configs[0]),
             base.run(&traffic, &configs[0])
         );
+    }
+
+    #[test]
+    fn empty_timeline_is_the_legacy_run() {
+        // The schedule machinery must be inert when no timeline is bound:
+        // identical metrics (and therefore identical RNG draw order) in both
+        // wavelength modes.
+        let kernel = PreparedHotPotato::from_graph(kautz(2, 3), FaultSet::new());
+        let traffic = TrafficPattern::Uniform { load: 0.5 };
+        for config in [
+            HotPotatoSimConfig {
+                slots: 400,
+                ..Default::default()
+            },
+            HotPotatoSimConfig {
+                slots: 400,
+                wavelengths: WavelengthConfig::with_count(3),
+                ..Default::default()
+            },
+        ] {
+            let timed = kernel.run_with_timeline(&[], &traffic, &config);
+            let legacy = kernel.run(&traffic, &config);
+            assert_eq!(timed, legacy);
+            assert_eq!(timed.fault_events, 0);
+        }
+    }
+
+    #[test]
+    fn timeline_kernels_match_from_scratch_preparation() {
+        // The kernel-swap path must be bit-identical to swapping in kernels
+        // prepared from scratch: a timeline built by `timeline_from` (delta
+        // repair) and one rebuilt with fresh `from_graph` kernels produce
+        // the same run, metric for metric.
+        let g = kautz(2, 3);
+        let base = PreparedHotPotato::from_graph(g.clone(), FaultSet::new());
+        let schedule: FaultSchedule = "fail(node 3)@40; recover@160".parse().unwrap();
+        let timeline = PreparedHotPotato::timeline_from(&base, &base, &schedule).unwrap();
+        assert_eq!(timeline.len(), 2);
+        let fresh: Vec<(u64, PreparedHotPotato)> = timeline
+            .iter()
+            .map(|(slot, k)| {
+                (
+                    *slot,
+                    PreparedHotPotato::from_graph(g.clone(), k.faults().clone()),
+                )
+            })
+            .collect();
+        let traffic = TrafficPattern::Uniform { load: 0.6 };
+        let config = HotPotatoSimConfig {
+            slots: 320,
+            ..Default::default()
+        };
+        let repaired = base.run_with_timeline(&timeline, &traffic, &config);
+        let scratch = base.run_with_timeline(&fresh, &traffic, &config);
+        assert_eq!(repaired, scratch);
+        assert_eq!(repaired.fault_events, 2);
+        assert_eq!(
+            repaired.injected,
+            repaired.delivered + repaired.in_flight + repaired.dropped
+        );
+        assert!(repaired.dropped_by_failure <= repaired.dropped);
+    }
+
+    #[test]
+    fn failure_at_slot_zero_matches_the_static_faulted_run() {
+        // A swap before any traffic exists runs the whole simulation under
+        // the faulted kernel: everything but the restoration bookkeeping
+        // matches a statically faulted run bit for bit.
+        let g = kautz(2, 3);
+        let base = PreparedHotPotato::from_graph(g.clone(), FaultSet::new());
+        let schedule: FaultSchedule = "fail(node 0)@0".parse().unwrap();
+        let timeline = PreparedHotPotato::timeline_from(&base, &base, &schedule).unwrap();
+        let traffic = TrafficPattern::Uniform { load: 0.4 };
+        let config = HotPotatoSimConfig {
+            slots: 300,
+            ..Default::default()
+        };
+        let mut timed = base.run_with_timeline(&timeline, &traffic, &config);
+        let faulted = PreparedHotPotato::from_graph(g, FaultSet::from_nodes([0]));
+        let static_run = faulted.run(&traffic, &config);
+        assert_eq!(timed.fault_events, 1);
+        assert_eq!(timed.in_flight_at_failure, 0);
+        assert_eq!(timed.dropped_by_failure, 0);
+        assert_eq!(
+            timed.restore_slots,
+            u64::MAX,
+            "slot-0 failure has no baseline"
+        );
+        timed.fault_events = 0;
+        timed.restore_slots = 0;
+        timed.post_failure_latency_peak = 0;
+        // The timeline run reports the channel count of the kernel it
+        // started from (the intact network); the static run reports the
+        // surviving subgraph's.
+        timed.channels = static_run.channels;
+        assert_eq!(timed, static_run);
+    }
+
+    #[test]
+    fn mid_run_failure_strands_in_flight_messages_and_recovery_restores() {
+        // A node failure mid-run strands the messages sitting on or destined
+        // to the dead node (counted separately from congestion drops), and
+        // after the scheduled recovery the deflection network restores its
+        // pre-failure delivery rate.
+        let g = kautz(2, 3);
+        let base = PreparedHotPotato::from_graph(g, FaultSet::new());
+        let schedule: FaultSchedule = "fail(node 2)@200; recover@400".parse().unwrap();
+        let timeline = PreparedHotPotato::timeline_from(&base, &base, &schedule).unwrap();
+        let traffic = TrafficPattern::Uniform { load: 0.8 };
+        let config = HotPotatoSimConfig {
+            slots: 800,
+            ..Default::default()
+        };
+        let m = base.run_with_timeline(&timeline, &traffic, &config);
+        assert_eq!(m.fault_events, 2);
+        assert!(m.in_flight_at_failure > 0, "saturated run has live traffic");
+        assert!(m.dropped_by_failure > 0, "the dead node strands messages");
+        assert!(m.dropped_by_failure <= m.dropped);
+        assert_eq!(m.injected, m.delivered + m.in_flight + m.dropped);
+        assert_ne!(m.restore_slots, u64::MAX, "deflection routing must recover");
+        assert!(m.post_failure_latency_peak > 0);
     }
 
     #[test]

@@ -50,6 +50,27 @@
 //! as one-shot conveniences (a kernel bundled with one config) and produce
 //! metrics byte-identical to calling the kernel directly.
 //!
+//! ## Fault timelines and mid-run kernel swaps
+//!
+//! The prepare/execute split also powers *dynamic* fault injection: a
+//! [`schedule::FaultSchedule`] (`"fail(node 3)@32; recover@96"`) binds to a
+//! run as a **timeline** — a chronological list of `(slot, kernel)` epochs
+//! built by [`PreparedHotPotato::timeline_from`] /
+//! [`PreparedMultiOps::timeline_from`], each epoch kernel derived from the
+//! fault-free base (`repair_from` when the swap grows the fault set, the
+//! recovery constructors of `otis-routing` when it shrinks) and
+//! bit-identical to a from-scratch build.  `run_with_timeline` swaps the
+//! active kernel at the start of each epoch slot, before injections:
+//! in-flight messages are re-resolved against the new routing tables
+//! (multi-OPS flights restart their route from the holding processor;
+//! hot-potato messages keep deflecting), and messages stranded on a failed
+//! node/arc or left unreachable are dropped as `dropped_by_failure` —
+//! counted separately from congestion drops.  [`SimMetrics`] gains the
+//! restoration columns (`fault_events`, `in_flight_at_failure`,
+//! `dropped_by_failure`, `restore_slots`, `post_failure_latency_peak`), all
+//! undefined when no swap happened.  An empty timeline takes the exact
+//! legacy code path: same RNG draw order, same metrics, byte for byte.
+//!
 //! ## The struct-of-arrays slot engine
 //!
 //! Both `run` implementations drive the shared slot engine of [`kernel`]:
@@ -93,6 +114,7 @@ pub mod kernel;
 pub mod message;
 pub mod metrics;
 pub mod multi_ops;
+pub mod schedule;
 pub mod traffic;
 pub mod wavelength;
 
@@ -102,5 +124,6 @@ pub use kernel::{MessageArena, PortBits, RunCore};
 pub use message::Message;
 pub use metrics::{MetricValue, SimMetrics};
 pub use multi_ops::{MultiOpsSim, MultiOpsSimConfig, PreparedMultiOps};
+pub use schedule::{FaultAction, FaultEvent, FaultSchedule, FaultScheduleError, FaultTarget};
 pub use traffic::TrafficPattern;
 pub use wavelength::{WavelengthAssignment, WavelengthConfig};

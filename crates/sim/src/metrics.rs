@@ -55,6 +55,28 @@ pub struct SimMetrics {
     /// alternate one (multi-OPS alternate paths, or hot-potato deflections
     /// off a shortest-path port).  A message re-routed twice counts twice.
     pub alt_routed: u64,
+    /// Kernel swaps applied by a fault timeline during this run (one per
+    /// distinct event slot of the bound `FaultSchedule`).  The zero value is
+    /// the timeline flag, exactly like `wavelengths == 0` for the wavelength
+    /// layer: every restoration statistic is undefined (`NaN` to the sinks)
+    /// when it is `0`.
+    pub fault_events: u64,
+    /// Messages in flight at the first overlay-growing swap (the *failure*
+    /// the restoration metrics are anchored to), counted before stranding.
+    pub in_flight_at_failure: u64,
+    /// Messages stranded by kernel swaps — in flight on a node, group or
+    /// arc the new kernel fails, or left with no surviving route.  A subset
+    /// of `dropped` (conservation holds), counted separately from
+    /// congestion drops.
+    pub dropped_by_failure: u64,
+    /// Slots from the failure until the cumulative post-failure delivery
+    /// rate first recovered to ≥ 95% of the pre-failure baseline;
+    /// `u64::MAX` means it never did (also the sentinel when the failure
+    /// happened at slot 0 or nothing was delivered before it).
+    pub restore_slots: u64,
+    /// Largest end-to-end latency among messages delivered at or after the
+    /// failure slot.
+    pub post_failure_latency_peak: u64,
 }
 
 impl SimMetrics {
@@ -76,6 +98,11 @@ impl SimMetrics {
             wavelengths: 0,
             blocked: 0,
             alt_routed: 0,
+            fault_events: 0,
+            in_flight_at_failure: 0,
+            dropped_by_failure: 0,
+            restore_slots: 0,
+            post_failure_latency_peak: 0,
         }
     }
 
@@ -167,12 +194,22 @@ impl SimMetrics {
     /// capacity-1 runs truncate to this length.
     pub const CORE_FIELD_COUNT: usize = 15;
 
+    /// Number of fields of the *extended* (wavelength-layer) schema tier.
+    /// The first `EXTENDED_FIELD_COUNT` entries of
+    /// [`SimMetrics::FIELD_NAMES`] are exactly the schema as it stood before
+    /// the restoration columns, so serializers that must stay byte-identical
+    /// for schedule-free wavelength runs truncate to this length.
+    pub const EXTENDED_FIELD_COUNT: usize = 21;
+
     /// Names of the stable machine-readable fields, in the order
     /// [`SimMetrics::field_values`] emits them.  The schema is append-only:
     /// downstream tooling may rely on existing names and positions.  Fields
     /// past [`SimMetrics::CORE_FIELD_COUNT`] belong to the wavelength layer
-    /// and are undefined (`NaN` floats) for capacity-1 runs.
-    pub const FIELD_NAMES: [&'static str; 21] = [
+    /// and are undefined (`NaN` floats) for capacity-1 runs; fields past
+    /// [`SimMetrics::EXTENDED_FIELD_COUNT`] belong to the fault-timeline
+    /// restoration layer and are undefined when no kernel swap happened
+    /// (`fault_events == 0`).
+    pub const FIELD_NAMES: [&'static str; 26] = [
         "processors",
         "slots",
         "injected",
@@ -194,12 +231,17 @@ impl SimMetrics {
         "blocking_ratio",
         "wavelength_utilization",
         "alt_route_rate",
+        "fault_events",
+        "in_flight_at_failure",
+        "dropped_by_failure",
+        "restore_slots",
+        "post_failure_latency_peak",
     ];
 
     /// The field values matching [`SimMetrics::FIELD_NAMES`] position by
     /// position: the raw counters plus the derived statistics, with undefined
     /// averages as [`MetricValue::Float`]`(NaN)`.
-    pub fn field_values(&self) -> [MetricValue; 21] {
+    pub fn field_values(&self) -> [MetricValue; 26] {
         [
             MetricValue::Int(self.processors as u64),
             MetricValue::Int(self.slots),
@@ -222,7 +264,28 @@ impl SimMetrics {
             MetricValue::Float(self.blocking_ratio()),
             MetricValue::Float(self.wavelength_utilization()),
             MetricValue::Float(self.alt_route_rate()),
+            MetricValue::Int(self.fault_events),
+            self.restoration_counter(self.in_flight_at_failure),
+            self.restoration_counter(self.dropped_by_failure),
+            if self.restore_slots == u64::MAX {
+                MetricValue::Float(f64::NAN)
+            } else {
+                self.restoration_counter(self.restore_slots)
+            },
+            self.restoration_counter(self.post_failure_latency_peak),
         ]
+    }
+
+    /// A restoration-layer counter: an exact integer when a fault timeline
+    /// swapped kernels during the run, undefined (`NaN`) on static runs —
+    /// mirroring how `wavelengths == 0` marks the wavelength statistics
+    /// undefined.
+    fn restoration_counter(&self, value: u64) -> MetricValue {
+        if self.fault_events == 0 {
+            MetricValue::Float(f64::NAN)
+        } else {
+            MetricValue::Int(value)
+        }
     }
 
     /// Records a delivery.
@@ -334,7 +397,61 @@ mod tests {
                 "blocking_ratio",
                 "wavelength_utilization",
                 "alt_route_rate",
+                "in_flight_at_failure",
+                "dropped_by_failure",
+                "restore_slots",
+                "post_failure_latency_peak",
             ]
+        );
+    }
+
+    #[test]
+    fn restoration_fields_are_defined_exactly_when_kernels_swapped() {
+        let mut m = SimMetrics::new(4, 2);
+        m.fault_events = 2;
+        m.in_flight_at_failure = 7;
+        m.dropped_by_failure = 3;
+        m.restore_slots = 12;
+        m.post_failure_latency_peak = 9;
+        let values = m.field_values();
+        let field = |name: &str| {
+            let i = SimMetrics::FIELD_NAMES
+                .iter()
+                .position(|&n| n == name)
+                .unwrap_or_else(|| panic!("no field '{name}'"));
+            values[i]
+        };
+        assert_eq!(field("fault_events"), MetricValue::Int(2));
+        assert_eq!(field("in_flight_at_failure"), MetricValue::Int(7));
+        assert_eq!(field("dropped_by_failure"), MetricValue::Int(3));
+        assert_eq!(field("restore_slots"), MetricValue::Int(12));
+        assert_eq!(field("post_failure_latency_peak"), MetricValue::Int(9));
+        // Never restored: the sentinel serializes as undefined, not as MAX.
+        m.restore_slots = u64::MAX;
+        let i = SimMetrics::FIELD_NAMES
+            .iter()
+            .position(|&n| n == "restore_slots")
+            .unwrap();
+        assert!(matches!(m.field_values()[i], MetricValue::Float(x) if x.is_nan()));
+        // fault_events itself is always an exact counter, 0 on static runs.
+        let fresh = SimMetrics::new(4, 2);
+        let j = SimMetrics::FIELD_NAMES
+            .iter()
+            .position(|&n| n == "fault_events")
+            .unwrap();
+        assert_eq!(fresh.field_values()[j], MetricValue::Int(0));
+    }
+
+    #[test]
+    fn extended_prefix_is_the_wavelength_schema() {
+        assert_eq!(SimMetrics::EXTENDED_FIELD_COUNT, 21);
+        assert_eq!(
+            SimMetrics::FIELD_NAMES[SimMetrics::EXTENDED_FIELD_COUNT - 1],
+            "alt_route_rate"
+        );
+        assert_eq!(
+            SimMetrics::FIELD_NAMES[SimMetrics::EXTENDED_FIELD_COUNT],
+            "fault_events"
         );
     }
 

@@ -55,6 +55,7 @@
 use crate::arbitration::ArbitrationPolicy;
 use crate::kernel::{assign_wavelength, MessageArena, RunCore};
 use crate::metrics::SimMetrics;
+use crate::schedule::{FaultSchedule, FaultScheduleError, RestoreTracker};
 use crate::traffic::TrafficPattern;
 use crate::wavelength::WavelengthConfig;
 use otis_graphs::algorithms::k_shortest_paths_avoiding;
@@ -266,6 +267,66 @@ impl FlatRoutes {
             hops,
         }
     }
+
+    /// Delta-rebuild for *recovery* — the direction [`FlatRoutes::repaired`]
+    /// does not cover: `current` is the route table in force before the
+    /// swap (prepared under `previous` faults), `router` the recovered
+    /// router (fewer faults) and `changed_groups` the per-group dirty flags
+    /// from [`StackRouter::from_recovery`] — a group's flag is clear when
+    /// its quotient column is unchanged *on every previously-live row*.  A
+    /// pair's route is copied from `current` when recovery provably cannot
+    /// have changed it: endpoint groups distinct and live under `previous`
+    /// (cross-group routes only traverse previously-live rows of the
+    /// destination column, so an unchanged column pins the whole route),
+    /// and recomputed through the recovered router otherwise.  The result
+    /// is bit-identical to [`FlatRoutes::new`] over the recovered router.
+    fn recovered(
+        current: &FlatRoutes,
+        router: &StackRouter,
+        previous: &FaultSet,
+        changed_groups: &[bool],
+    ) -> Self {
+        let stack = router.stack_graph();
+        let n = stack.node_count();
+        let group_of: Vec<usize> = (0..n).map(|p| stack.to_stack_node(p).group).collect();
+        let prev_live: Vec<bool> = (0..changed_groups.len())
+            .map(|g| !previous.node_failed(g))
+            .collect();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        offsets.push(0);
+        let mut reachable = Vec::with_capacity(n * n);
+        let mut hops: Vec<StackHop> = Vec::new();
+        for src in 0..n {
+            let gs = group_of[src];
+            for (dst, &gd) in group_of.iter().enumerate() {
+                let reuse = gs != gd && prev_live[gs] && prev_live[gd] && !changed_groups[gd];
+                if reuse {
+                    match current.get(src, dst) {
+                        Some(slice) => {
+                            reachable.push(true);
+                            hops.extend_from_slice(slice);
+                        }
+                        None => reachable.push(false),
+                    }
+                } else {
+                    match router.route(src, dst) {
+                        Some(route) => {
+                            reachable.push(true);
+                            hops.extend(route.hops);
+                        }
+                        None => reachable.push(false),
+                    }
+                }
+                offsets.push(hops.len());
+            }
+        }
+        FlatRoutes {
+            n,
+            offsets,
+            reachable,
+            hops,
+        }
+    }
 }
 
 /// Alternate routes for every source/destination pair, precomputed at
@@ -440,6 +501,97 @@ impl PreparedMultiOps {
         }
     }
 
+    /// Derives the kernel for `faults` from the `current` kernel when the
+    /// fault set *shrinks* — the recovery direction
+    /// [`PreparedMultiOps::repair_from`] does not cover.  The quotient
+    /// routing table is rebuilt from the fault-free `base` by column repair
+    /// (bit-identical to from-scratch) while the per-group change flags are
+    /// computed against `current` restricted to previously-live rows (see
+    /// [`StackRouter::from_recovery`]), so [`FlatRoutes::recovered`] can
+    /// copy every route recovery provably cannot have changed from
+    /// `current` instead of recomputing it.  Alternate routes are recomputed
+    /// in full when `alt_paths > 1`, exactly as in `repair_from`.  The
+    /// result is bit-identical to [`PreparedMultiOps::with_alternates`]
+    /// over the base stack-graph and `faults`.  `alt_paths` must equal the
+    /// value `base` and `current` were prepared with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` was prepared with a non-empty fault set; debug
+    /// builds also assert `faults` is a subset of `current`'s.
+    pub fn recover_from(
+        current: &PreparedMultiOps,
+        base: &PreparedMultiOps,
+        faults: &FaultSet,
+        alt_paths: usize,
+    ) -> Self {
+        assert!(
+            base.router.faults().is_empty(),
+            "recover_from requires a fault-free base kernel"
+        );
+        if faults.is_empty() {
+            return base.clone();
+        }
+        let previous = current.router.faults().clone();
+        let repair = StackRouter::from_recovery(&current.router, &base.router, faults);
+        let routes = FlatRoutes::recovered(
+            &current.routes,
+            &repair.router,
+            &previous,
+            &repair.changed_groups,
+        );
+        let alts = if alt_paths > 1 {
+            AltRoutes::new(&repair.router, &routes, alt_paths)
+        } else {
+            AltRoutes::default()
+        };
+        PreparedMultiOps {
+            router: repair.router,
+            routes,
+            alts,
+        }
+    }
+
+    /// Builds the epoch timeline a [`FaultSchedule`] prescribes for runs of
+    /// the `initial` kernel: one `(slot, kernel)` pair per distinct event
+    /// slot (fault targets are quotient groups and couplers, the multi-OPS
+    /// fault domain), each kernel bit-identical to preparing its epoch's
+    /// fault set from scratch.  Epochs that grow the fault set are
+    /// delta-repaired from the fault-free `base`
+    /// ([`PreparedMultiOps::repair_from`]); epochs that shrink it are
+    /// derived from the preceding epoch's kernel by the recovery path
+    /// ([`PreparedMultiOps::recover_from`]).  The result feeds
+    /// [`PreparedMultiOps::run_with_timeline`].  `alt_paths` must equal the
+    /// value `base` and `initial` were prepared with.
+    ///
+    /// Fails with a typed [`FaultScheduleError`] when an event targets a
+    /// group outside the quotient or a scheduled failure duplicates one of
+    /// `initial`'s static faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` was prepared with a non-empty fault set.
+    pub fn timeline_from(
+        base: &PreparedMultiOps,
+        initial: &PreparedMultiOps,
+        schedule: &FaultSchedule,
+        alt_paths: usize,
+    ) -> Result<Vec<(u64, PreparedMultiOps)>, FaultScheduleError> {
+        let groups = base.router.stack_graph().quotient().node_count();
+        let epochs = schedule.bind(groups, initial.router.faults())?;
+        let mut timeline: Vec<(u64, PreparedMultiOps)> = Vec::with_capacity(epochs.len());
+        for (slot, faults) in epochs {
+            let prev = timeline.last().map(|(_, k)| k).unwrap_or(initial);
+            let kernel = if faults.is_subset_of(prev.router.faults()) {
+                PreparedMultiOps::recover_from(prev, base, &faults, alt_paths)
+            } else {
+                PreparedMultiOps::repair_from(base, &faults, alt_paths)
+            };
+            timeline.push((slot, kernel));
+        }
+        Ok(timeline)
+    }
+
     /// Number of processors simulated.
     pub fn processor_count(&self) -> usize {
         self.router.stack_graph().node_count()
@@ -506,9 +658,37 @@ impl PreparedMultiOps {
     /// handle buckets, the flight-state arrays and the arbitration candidate
     /// buffer are reused across couplers and slots, no per-slot allocations.
     pub fn run(&self, traffic: &TrafficPattern, config: &MultiOpsSimConfig) -> SimMetrics {
+        self.run_with_timeline(&[], traffic, config)
+    }
+
+    /// Executes one run under a fault timeline: `timeline` is a
+    /// chronological list of `(slot, kernel)` epochs (see
+    /// [`PreparedMultiOps::timeline_from`]); at the start of each epoch's
+    /// slot, before injections, the active kernel is swapped.  Every
+    /// in-flight message is re-resolved against the new routing tables —
+    /// its route restarts from the processor currently holding it; a
+    /// message held by or destined to a failed group, or left unreachable,
+    /// is dropped and counted in `dropped_by_failure` (as well as
+    /// `dropped`).  The transmission discipline is fixed for the whole run:
+    /// bufferless if any kernel of the run (initial or scheduled) has
+    /// alternates, or the wavelength layer is on.  The restoration metrics
+    /// (`fault_events`, `in_flight_at_failure`, `restore_slots`,
+    /// `post_failure_latency_peak`) are anchored to the first swap that
+    /// introduces new failures.
+    ///
+    /// An empty timeline takes the exact legacy code path — same RNG draw
+    /// order, same metrics as [`PreparedMultiOps::run`], byte for byte.
+    pub fn run_with_timeline(
+        &self,
+        timeline: &[(u64, PreparedMultiOps)],
+        traffic: &TrafficPattern,
+        config: &MultiOpsSimConfig,
+    ) -> SimMetrics {
         let n = self.processor_count();
         let couplers = self.coupler_count();
-        let bufferless = config.wavelengths.is_multiplexed() || self.has_alternates();
+        let bufferless = config.wavelengths.is_multiplexed()
+            || self.has_alternates()
+            || timeline.iter().any(|(_, k)| k.has_alternates());
         let mut core = RunCore::new(config.seed, n, couplers);
         let mut spectrum = if bufferless {
             let w = config.wavelengths.count.max(1);
@@ -530,9 +710,44 @@ impl PreparedMultiOps {
         let mut injections: Vec<Option<usize>> = Vec::new();
         let mut candidates: Vec<(usize, u64)> = Vec::new();
         let mut overflow: Vec<u32> = Vec::new();
+        let mut active = self;
+        let mut next_epoch = 0usize;
+        let mut tracker = RestoreTracker::default();
 
         for slot in 0..config.slots {
             core.begin_slot(slot);
+            // Kernel swaps scheduled for this slot apply before injections:
+            // drain every pending queue (coupler-ascending, preserving order)
+            // and re-resolve each flight against the new routing tables from
+            // the processor currently holding it; flights the new fault set
+            // cuts off are stranded.
+            while timeline.get(next_epoch).is_some_and(|(s, _)| *s <= slot) {
+                let kernel = &timeline[next_epoch].1;
+                next_epoch += 1;
+                let live: u64 = pending.iter().map(|q| q.len() as u64).sum();
+                let introduces = !kernel.router.faults().is_subset_of(active.router.faults());
+                tracker.on_swap(introduces, slot, live, &mut core.metrics);
+                for queue in pending.iter_mut() {
+                    overflow.append(queue);
+                }
+                for handle in overflow.drain(..) {
+                    let holder = flights.holder(handle);
+                    let dst = arena.dst(handle);
+                    match kernel.routes.get(holder, dst) {
+                        Some(route) if !route.is_empty() => {
+                            flights.set_route(handle, holder, 0);
+                            flights.advance(handle, 0, holder);
+                            pending[route[0].coupler].push(handle);
+                        }
+                        _ => {
+                            core.metrics.dropped_by_failure += 1;
+                            core.drop_message();
+                            arena.release(handle);
+                        }
+                    }
+                }
+                active = kernel;
+            }
             if let Some(spectrum) = spectrum.as_mut() {
                 spectrum.clear();
             }
@@ -541,7 +756,7 @@ impl PreparedMultiOps {
             traffic.injections_into(n, &mut core.rng, &mut injections);
             for (src, dst) in injections.iter().enumerate() {
                 let Some(dst) = *dst else { continue };
-                let Some(route) = self.routes.get(src, dst) else {
+                let Some(route) = active.routes.get(src, dst) else {
                     continue;
                 };
                 if route.is_empty() {
@@ -602,7 +817,7 @@ impl PreparedMultiOps {
                     }
                     core.grant();
 
-                    let route = self.route_of(
+                    let route = active.route_of(
                         flights.route_src(handle),
                         arena.dst(handle),
                         flights.alt(handle),
@@ -618,6 +833,7 @@ impl PreparedMultiOps {
                             // Delivered at the end of this slot.
                             let latency = slot + 1 - arena.injected_at(handle);
                             core.deliver(latency, arena.hops(handle));
+                            tracker.observe_delivery(latency, &mut core.metrics);
                             arena.release(handle);
                         }
                         Some(next) if !bufferless || next > coupler => pending[next].push(handle),
@@ -641,7 +857,7 @@ impl PreparedMultiOps {
                     let spectrum = spectrum.as_mut().expect("bufferless mode has a spectrum");
                     let dst = arena.dst(handle);
                     let holder = flights.holder(handle);
-                    let alts = self.alts.get(holder, dst);
+                    let alts = active.alts.get(holder, dst);
                     let mut taken = false;
                     for (a, alt) in alts.iter().enumerate() {
                         let first = alt[0].coupler;
@@ -666,6 +882,7 @@ impl PreparedMultiOps {
                         if alt.len() == 1 {
                             let latency = slot + 1 - arena.injected_at(handle);
                             core.deliver(latency, arena.hops(handle));
+                            tracker.observe_delivery(latency, &mut core.metrics);
                             arena.release(handle);
                         } else {
                             let next = alt[1].coupler;
@@ -689,6 +906,7 @@ impl PreparedMultiOps {
                 debug_assert!(pending.iter().all(|p| p.is_empty()));
                 std::mem::swap(&mut pending, &mut next_pending);
             }
+            tracker.end_slot(slot, &mut core.metrics);
         }
 
         // Messages granted in the final slot but still short of their
@@ -1062,6 +1280,184 @@ mod tests {
                 base.run(&traffic, &configs[0])
             );
         }
+    }
+
+    #[test]
+    fn recovered_kernels_run_identically_to_fresh_ones() {
+        // Deriving a smaller fault set's kernel from the current (larger)
+        // one via the recovery path must be indistinguishable from
+        // preparing it from scratch, with and without alternates, in both
+        // transmission disciplines.
+        let sk = StackKautz::new(2, 2, 2);
+        let stack = Arc::new(sk.stack_graph().clone());
+        let previous = FaultSet::from_nodes([0, 3]);
+        let traffic = TrafficPattern::Uniform { load: 0.6 };
+        let configs = [
+            MultiOpsSimConfig {
+                slots: 300,
+                ..Default::default()
+            },
+            MultiOpsSimConfig {
+                slots: 300,
+                wavelengths: WavelengthConfig::with_count(2),
+                ..Default::default()
+            },
+        ];
+        for alt_paths in [1, 3] {
+            let base =
+                PreparedMultiOps::with_alternates(Arc::clone(&stack), FaultSet::new(), alt_paths);
+            let current =
+                PreparedMultiOps::with_alternates(Arc::clone(&stack), previous.clone(), alt_paths);
+            for target in [
+                FaultSet::new(),
+                FaultSet::from_nodes([0]),
+                FaultSet::from_nodes([3]),
+                previous.clone(),
+            ] {
+                let recovered = PreparedMultiOps::recover_from(&current, &base, &target, alt_paths);
+                let fresh = PreparedMultiOps::with_alternates(
+                    Arc::clone(&stack),
+                    target.clone(),
+                    alt_paths,
+                );
+                for config in &configs {
+                    assert_eq!(
+                        recovered.run(&traffic, config),
+                        fresh.run(&traffic, config),
+                        "target {target:?} alt_paths {alt_paths}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_timeline_is_the_legacy_run() {
+        // The schedule machinery must be inert when no timeline is bound:
+        // identical metrics (and therefore identical RNG draw order) in
+        // both disciplines.
+        let sk = StackKautz::new(2, 2, 2);
+        let kernel = PreparedMultiOps::from_stack(sk.stack_graph().clone(), FaultSet::new());
+        let traffic = TrafficPattern::Uniform { load: 0.5 };
+        for config in [
+            MultiOpsSimConfig {
+                slots: 400,
+                ..Default::default()
+            },
+            MultiOpsSimConfig {
+                slots: 400,
+                wavelengths: WavelengthConfig::with_count(2),
+                ..Default::default()
+            },
+        ] {
+            let timed = kernel.run_with_timeline(&[], &traffic, &config);
+            let legacy = kernel.run(&traffic, &config);
+            assert_eq!(timed, legacy);
+            assert_eq!(timed.fault_events, 0);
+        }
+    }
+
+    #[test]
+    fn timeline_kernels_match_from_scratch_preparation() {
+        // The kernel-swap path must be bit-identical to swapping in kernels
+        // prepared from scratch, in both disciplines: a timeline built by
+        // `timeline_from` (repair for the failure epoch, recovery for the
+        // recover epoch) and one rebuilt with fresh `with_alternates`
+        // kernels produce the same run, metric for metric.
+        let sk = StackKautz::new(2, 2, 2);
+        let stack = Arc::new(sk.stack_graph().clone());
+        let schedule: FaultSchedule = "fail(node 1)@40; recover@160".parse().unwrap();
+        let traffic = TrafficPattern::Uniform { load: 0.7 };
+        for alt_paths in [1, 2] {
+            let base =
+                PreparedMultiOps::with_alternates(Arc::clone(&stack), FaultSet::new(), alt_paths);
+            let timeline =
+                PreparedMultiOps::timeline_from(&base, &base, &schedule, alt_paths).unwrap();
+            assert_eq!(timeline.len(), 2);
+            let fresh: Vec<(u64, PreparedMultiOps)> = timeline
+                .iter()
+                .map(|(slot, k)| {
+                    (
+                        *slot,
+                        PreparedMultiOps::with_alternates(
+                            Arc::clone(&stack),
+                            k.router.faults().clone(),
+                            alt_paths,
+                        ),
+                    )
+                })
+                .collect();
+            let config = MultiOpsSimConfig {
+                slots: 320,
+                ..Default::default()
+            };
+            let repaired = base.run_with_timeline(&timeline, &traffic, &config);
+            let scratch = base.run_with_timeline(&fresh, &traffic, &config);
+            assert_eq!(repaired, scratch, "alt_paths {alt_paths}");
+            assert_eq!(repaired.fault_events, 2);
+            assert_eq!(
+                repaired.injected,
+                repaired.delivered + repaired.in_flight + repaired.dropped
+            );
+            assert!(repaired.dropped_by_failure <= repaired.dropped);
+        }
+    }
+
+    #[test]
+    fn failure_at_slot_zero_matches_the_static_faulted_run() {
+        // A swap before any traffic exists runs the whole simulation under
+        // the faulted kernel: everything but the restoration bookkeeping
+        // matches a statically faulted run bit for bit.
+        let sk = StackKautz::new(2, 2, 2);
+        let base = PreparedMultiOps::from_stack(sk.stack_graph().clone(), FaultSet::new());
+        let schedule: FaultSchedule = "fail(node 2)@0".parse().unwrap();
+        let timeline = PreparedMultiOps::timeline_from(&base, &base, &schedule, 1).unwrap();
+        let traffic = TrafficPattern::Uniform { load: 0.4 };
+        let config = MultiOpsSimConfig {
+            slots: 300,
+            ..Default::default()
+        };
+        let mut timed = base.run_with_timeline(&timeline, &traffic, &config);
+        let faulted =
+            PreparedMultiOps::from_stack(sk.stack_graph().clone(), FaultSet::from_nodes([2]));
+        let static_run = faulted.run(&traffic, &config);
+        assert_eq!(timed.fault_events, 1);
+        assert_eq!(timed.in_flight_at_failure, 0);
+        assert_eq!(timed.dropped_by_failure, 0);
+        assert_eq!(
+            timed.restore_slots,
+            u64::MAX,
+            "slot-0 failure has no baseline"
+        );
+        timed.fault_events = 0;
+        timed.restore_slots = 0;
+        timed.post_failure_latency_peak = 0;
+        assert_eq!(timed, static_run);
+    }
+
+    #[test]
+    fn mid_run_group_failure_strands_and_recovery_restores() {
+        // A group failure mid-run strands the flights held by or destined
+        // to the dead group (counted separately from congestion drops), and
+        // after the scheduled recovery the network restores its pre-failure
+        // delivery rate.
+        let sk = StackKautz::new(2, 2, 2);
+        let base = PreparedMultiOps::from_stack(sk.stack_graph().clone(), FaultSet::new());
+        let schedule: FaultSchedule = "fail(node 2)@200; recover@260".parse().unwrap();
+        let timeline = PreparedMultiOps::timeline_from(&base, &base, &schedule, 1).unwrap();
+        let traffic = TrafficPattern::Uniform { load: 0.9 };
+        let config = MultiOpsSimConfig {
+            slots: 2000,
+            ..Default::default()
+        };
+        let m = base.run_with_timeline(&timeline, &traffic, &config);
+        assert_eq!(m.fault_events, 2);
+        assert!(m.in_flight_at_failure > 0, "saturated run has live flights");
+        assert!(m.dropped_by_failure > 0, "the dead group strands flights");
+        assert!(m.dropped_by_failure <= m.dropped);
+        assert_eq!(m.injected, m.delivered + m.in_flight + m.dropped);
+        assert_ne!(m.restore_slots, u64::MAX, "recovery must restore the rate");
+        assert!(m.post_failure_latency_peak > 0);
     }
 
     #[test]
