@@ -22,8 +22,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use otis_net::{
-    run_grid, run_grid_streaming, CollectSink, FaultSet, NetworkSpec, ScenarioGrid, SimOptions,
-    TrafficSpec,
+    run_grid, run_grid_streaming, CollectSink, DemandSpec, FaultSet, NetworkSpec, ScenarioGrid,
+    SimOptions, TrafficSpec,
 };
 use otis_routing::node_fault_patterns_up_to;
 use std::time::Duration;
@@ -91,7 +91,10 @@ fn bench_scenario_grid(c: &mut Criterion) {
             let mut delivered = 0u64;
             for workload in &grid.workloads {
                 for (network, _) in networks.iter().zip(&grid.specs) {
-                    let pattern = workload.bind(network.node_count()).unwrap();
+                    let pattern = match workload.bind(network.node_count()).unwrap() {
+                        DemandSpec::Pattern(pattern) => pattern,
+                        _ => unreachable!("this grid only sweeps stationary workloads"),
+                    };
                     for &seed in &grid.seeds {
                         for faults in &grid.fault_sets {
                             let options = SimOptions {

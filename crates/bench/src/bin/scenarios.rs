@@ -55,8 +55,11 @@ const USAGE: &str = "usage: scenarios [--file STUDY.scn] [--specs S1,S2,...] [--
              override it
   --specs    comma-separated network specs        (default SK(4,2,2),POPS(4,6),DB(2,5))
              (--spec is an alias)
-  --traffic  comma-separated workload specs, e.g. uniform(0.3), perm(0.5,7),
-             hotspot(0.4,0,0.2), transpose(0.5), bitrev(0.5)
+  --traffic  comma-separated workload specs: stationary patterns
+             uniform(0.3), perm(0.5,7), hotspot(0.4,0,0.2), transpose(0.5),
+             bitrev(0.5), or demand processes poisson(0.3), poisson(0.3,0),
+             onoff(0.6,16,48), mix(0.1,0.9,0.05), trace(file.trc)
+             (--workload is an alias)
   --loads    comma-separated offered loads — sugar for uniform workloads
              (default 0.05,0.2,0.5,0.9; --traffic and --loads both set the
              workload axis, last one wins)
@@ -187,7 +190,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 output = config.output;
             }
             "--spec" | "--specs" => grid.specs = parse_specs(value)?,
-            "--traffic" => grid.workloads = parse_workloads(value)?,
+            "--traffic" | "--workload" | "--workloads" => grid.workloads = parse_workloads(value)?,
             "--loads" => grid = grid.loads(&parse_list::<f64>(flag, value)?),
             "--seeds" => grid.seeds = parse_list(flag, value)?,
             "--slots" => {

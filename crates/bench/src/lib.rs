@@ -17,7 +17,7 @@
 //!   |-------------|--------------------------------------------------|---------|
 //!   | `--file`    | scenario config file declaring the whole study; flags given after it override it | — |
 //!   | `--specs`   | comma-separated network specs                    | `SK(4,2,2),POPS(4,6),DB(2,5)` |
-//!   | `--traffic` | comma-separated workload specs (`uniform(0.3)`, `perm(0.5,7)`, `hotspot(0.4,0,0.2)`, `transpose(0.5)`, `bitrev(0.5)`) | uniform at the default loads |
+//!   | `--traffic` | comma-separated workload specs — see the traffic grammar below (`--workload` is an alias) | uniform at the default loads |
 //!   | `--loads`   | comma-separated offered loads — sugar for uniform workloads (`--traffic`/`--loads` both set the workload axis, last one wins) | `0.05,0.2,0.5,0.9` |
 //!   | `--seeds`   | comma-separated random seeds                     | `42` |
 //!   | `--slots`   | slots simulated per cell                         | `2000` |
@@ -25,6 +25,29 @@
 //!   | `--threads` | worker threads (results are thread-count independent) | available parallelism |
 //!   | `--format`  | result format: `table`, `csv` or `jsonl` (undefined averages render `-` / empty field / `null` respectively, never `NaN`) | `table` |
 //!   | `--output`  | stream results to a file instead of stdout       | stdout |
+//!
+//!   The traffic grammar (`otis_net::TrafficSpec`) covers stationary
+//!   patterns and, since PR 9, the demand subsystem's arrival processes:
+//!
+//!   | workload | meaning | offered load column |
+//!   |----------|---------|---------------------|
+//!   | `uniform(L)` | every processor injects with probability `L`, destination uniform | `L` |
+//!   | `perm(L,K)` | fixed permutation `dst = (src + K) mod N` at load `L` | `L` |
+//!   | `hotspot(L,H,F)` | uniform at `L`, fraction `F` redirected to hot node `H` | `L` |
+//!   | `transpose(L)` | matrix-transpose partner (needs square `N`) | `L` |
+//!   | `bitrev(L)` | bit-reversal partner (needs `N` a power of two) | `L` |
+//!   | `poisson(R)` | Poisson arrivals at rate `R` per processor per slot, destination uniform | `1 − e^−R` |
+//!   | `poisson(R,D)` | Poisson arrivals, all addressed to node `D` | `1 − e^−R` |
+//!   | `onoff(R,B,I)` | each source cycles a `B`-slot burst at rate `R` and `I` idle slots (phases staggered per seed) | `(1 − e^−R) · B/(B+I)` |
+//!   | `mix(F,E,M)` | elephants-and-mice: fraction `F` of sources inject at rate `E`, the rest at `M` | `F·p(E) + (1−F)·p(M)` |
+//!   | `trace(PATH)` | replay of a recorded `.trc` demand stream, streamed lazily in bounded memory | undefined (`-`/empty/`null`) |
+//!
+//!   Rates are validated at parse time (finite, non-negative; NaN refused)
+//!   and trace node ids against the network size at bind time, with
+//!   line-numbered errors mirroring `.scn`.  Stochastic cells stay
+//!   deterministic per seed and thread-count independent; trace replay
+//!   ignores the seed entirely (the engine warns when a trace is crossed
+//!   with several seeds).
 //!
 //!   Run metadata (the cell-count banner, wall-clock timing) goes to
 //!   stderr, so `--format csv`/`jsonl` piped or written via `--output`

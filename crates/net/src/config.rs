@@ -19,7 +19,7 @@
 //! | key                   | value                                             |
 //! |-----------------------|---------------------------------------------------|
 //! | `spec` / `specs`      | network specs, appended across lines              |
-//! | `workload`/`workloads`| workload specs, appended across lines             |
+//! | `workload`/`workloads`| workload specs, appended across lines — stationary patterns (`uniform(0.2)`, `perm(0.5,7)`, `hotspot(0.4,0,0.2)`, `transpose(0.5)`, `bitrev(0.5)`) or demand processes (`poisson(0.3)`, `poisson(0.3,0)`, `onoff(0.6,16,48)`, `mix(0.1,0.9,0.05)`, `trace(file.trc)`) |
 //! | `load` / `loads`      | offered loads — sugar for uniform workloads       |
 //! | `seed` / `seeds`      | random seeds, appended across lines               |
 //! | `slots`               | slots simulated per cell (scalar, once)           |
@@ -226,11 +226,21 @@ pub fn parse_scenario_config(text: &str) -> Result<ScenarioConfig, ConfigError> 
             }
             "workload" | "workloads" => {
                 for entry in split_top_level(value) {
-                    workloads.push(
-                        entry
-                            .parse::<TrafficSpec>()
-                            .map_err(|e| value_error(e.to_string()))?,
-                    );
+                    let workload = entry
+                        .parse::<TrafficSpec>()
+                        .map_err(|e| value_error(e.to_string()))?;
+                    // A trace workload names a file the study will replay;
+                    // checking it exists *here* turns a typo into a
+                    // line-numbered error instead of a bind-time failure
+                    // after the whole file parsed.  (Content validation —
+                    // node ids against N, monotonic slots — still happens
+                    // at bind time, where the network size is known.)
+                    if let TrafficSpec::Trace { ref path } = workload {
+                        if !std::path::Path::new(path).is_file() {
+                            return Err(value_error(format!("trace file '{path}' does not exist")));
+                        }
+                    }
+                    workloads.push(workload);
                 }
             }
             "load" | "loads" => {
@@ -418,6 +428,64 @@ threads   4
         // Out-of-range loads are refused with the traffic spec's message.
         let err = parse_scenario_config("spec K(8)\nload 1.5\n").unwrap_err();
         assert!(err.to_string().contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn demand_workloads_parse_and_bad_ones_carry_line_numbers() {
+        // The demand grammar rides the workload key: stochastic processes
+        // parse like any other spec.
+        let config = parse_scenario_config(
+            "spec DB(2,4)\nworkloads poisson(0.3), onoff(0.9,8,24)\nworkload mix(0.25,0.9,0.05)\n",
+        )
+        .unwrap();
+        assert_eq!(config.grid.workloads.len(), 3);
+        assert_eq!(
+            config.grid.workloads[0],
+            TrafficSpec::Poisson {
+                rate: 0.3,
+                dst: None
+            }
+        );
+        // The declared grid actually runs.
+        let rows = {
+            let mut grid = config.grid;
+            grid.options.slots = 40;
+            grid.run(2).unwrap()
+        };
+        assert_eq!(rows.len(), 3);
+
+        // Bad rates are refused where they are written, not at bind time.
+        let err =
+            parse_scenario_config("spec DB(2,4)\nload 0.2\nworkload poisson(-1)\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Value { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let err = parse_scenario_config("spec DB(2,4)\nworkload onoff(NaN,8,24)\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Value { line: 2, .. }), "{err}");
+        let err = parse_scenario_config("spec DB(2,4)\nworkload onoff(0.5,0,24)\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Value { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("burst"), "{err}");
+        let err = parse_scenario_config("spec DB(2,4)\nworkload mix(1.5,0.9,0.05)\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Value { line: 2, .. }), "{err}");
+
+        // A trace workload must name an existing file — a typo is a
+        // line-numbered error before the study starts.
+        let err =
+            parse_scenario_config("spec DB(2,5)\nworkload trace(no_such_file.trc)\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Value { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("no_such_file.trc"), "{err}");
+        assert!(err.to_string().contains("does not exist"), "{err}");
+
+        // An existing trace parses; node ids against N stay a bind-time
+        // check (the config file alone does not fix the network size).
+        let path = std::env::temp_dir().join("otis_config_demand.trc");
+        std::fs::write(&path, "0 1 2\n5 3 0\n").unwrap();
+        let config = parse_scenario_config(&format!(
+            "spec DB(2,4)\nworkload trace({})\n",
+            path.display()
+        ))
+        .unwrap();
+        assert!(config.grid.workloads[0].is_trace());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -104,7 +104,7 @@ use crate::sink::{CollectSink, RowSink};
 use crate::spec::NetworkSpec;
 use crate::traffic_spec::TrafficSpec;
 use otis_routing::FaultSet;
-use otis_sim::{FaultSchedule, SimMetrics, TrafficPattern, WavelengthConfig};
+use otis_sim::{DemandSpec, FaultSchedule, SimMetrics, WavelengthConfig};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex, OnceLock};
@@ -242,6 +242,14 @@ impl ScenarioGrid {
                 alt_paths: self.options.alt_paths,
             });
         }
+        if self.seeds.len() > 1 {
+            for workload in self.workloads.iter().filter(|w| w.is_trace()) {
+                warnings.push(GridWarning::TraceWorkloadWithMultipleSeeds {
+                    workload: workload.to_string(),
+                    seeds: self.seeds.len(),
+                });
+            }
+        }
         warnings
     }
 
@@ -321,7 +329,7 @@ fn row_node_slots(slots: u64, processors: usize) -> u64 {
 }
 
 /// A non-fatal configuration smell reported by [`ScenarioGrid::warnings`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GridWarning {
     /// `alt_paths > 1` on a grid whose spec list is hot-potato only:
     /// alternate routes are a multi-OPS routing mechanism (deflection
@@ -330,6 +338,16 @@ pub enum GridWarning {
     AltPathsIgnoredByHotPotato {
         /// The configured alternate-route count.
         alt_paths: usize,
+    },
+    /// A `trace(file)` workload crossed with more than one seed: trace
+    /// replay is fully deterministic (the seed never reaches the injection
+    /// side), so every seed re-runs the identical cell and the extra rows
+    /// measure nothing new.
+    TraceWorkloadWithMultipleSeeds {
+        /// The trace workload in question, rendered as its spec string.
+        workload: String,
+        /// How many seeds the grid sweeps.
+        seeds: usize,
     },
 }
 
@@ -340,6 +358,11 @@ impl std::fmt::Display for GridWarning {
                 f,
                 "alt_paths = {alt_paths} has no effect: no spec in this grid is a multi-OPS \
                  network, and hot-potato routing ignores prepared alternate routes"
+            ),
+            GridWarning::TraceWorkloadWithMultipleSeeds { workload, seeds } => write!(
+                f,
+                "workload {workload} replays a recorded trace, which ignores the seed: all \
+                 {seeds} seeds of the grid will produce identical rows for it"
             ),
         }
     }
@@ -378,11 +401,11 @@ impl ScenarioRow {
     /// Undefined averages (zero deliveries) render as `-`.
     pub fn as_table_row(&self) -> String {
         format!(
-            "{:<16} {:<20} {:>6} {:>8.3} {:>6} {:>6} {:>10.4} {} {} {:>8} {:>8}",
+            "{:<16} {:<20} {:>6} {} {:>6} {:>6} {:>10.4} {} {} {:>8} {:>8}",
             self.spec.to_string(),
             self.traffic.to_string(),
             self.metrics.processors,
-            self.offered_load,
+            fmt_stat(self.offered_load, 8, 3),
             self.seed,
             self.fault_count,
             self.metrics.throughput(),
@@ -637,9 +660,11 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
         .wavelength_layer_enabled()
         .then(|| networks.iter().map(Network::hardware_cost).collect());
 
-    // Bind every workload to every network up front: patterns[w][s] is
-    // workload w ready to drive network s.
-    let patterns: Vec<Vec<TrafficPattern>> = grid
+    // Bind every workload to every network up front: demands[w][s] is
+    // workload w ready to drive network s.  Binding validates topology
+    // preconditions — including a full streaming pass over every trace
+    // file — so a bad workload is a typed error before any cell runs.
+    let demands: Vec<Vec<DemandSpec>> = grid
         .workloads
         .iter()
         .map(|workload| {
@@ -707,7 +732,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
         for _ in 0..workers {
             let tx = tx.clone();
             let (next, stop, watermark, advanced) = (&next, &stop, &watermark, &advanced);
-            let (networks, patterns) = (&networks, &patterns);
+            let (networks, demands) = (&networks, &demands);
             let (kernels, bases, timelines) = (&kernels, &bases, &timelines);
             let (kernels_built, kernels_repaired) = (&kernels_built, &kernels_repaired);
             let hardware_costs = &hardware_costs;
@@ -792,7 +817,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                         kernel,
                         timeline,
                         &networks[cell.spec],
-                        &patterns[cell.workload][cell.spec],
+                        &demands[cell.workload][cell.spec],
                         grid,
                         &cell,
                         hardware_costs.as_ref().map(|costs| costs[cell.spec]),
@@ -917,7 +942,7 @@ fn run_cell(
     kernel: &PreparedSim,
     timeline: Option<&PreparedTimeline>,
     network: &Network,
-    pattern: &TrafficPattern,
+    demand: &DemandSpec,
     grid: &ScenarioGrid,
     cell: &Cell,
     hardware_cost: Option<usize>,
@@ -931,15 +956,30 @@ fn run_cell(
         },
         ..grid.options.clone()
     };
-    let traffic = grid.workloads[cell.workload];
-    let metrics = match timeline {
-        Some(timeline) => kernel.run_with_timeline(timeline, pattern, &options),
-        None => kernel.run(pattern, &options),
+    let traffic = grid.workloads[cell.workload].clone();
+    let metrics = match demand {
+        // Stationary patterns take the exact legacy entry points — the
+        // byte-identity contract of the checked-in goldens.
+        DemandSpec::Pattern(pattern) => match timeline {
+            Some(timeline) => kernel.run_with_timeline(timeline, pattern, &options),
+            None => kernel.run(pattern, &options),
+        },
+        demand => {
+            // Stochastic and replayed workloads get a fresh per-cell
+            // source; trace files were already streamed once at bind time.
+            let mut source = demand
+                .source()
+                .expect("trace file vanished after bind-time validation");
+            match timeline {
+                Some(timeline) => kernel.run_demand_with_timeline(timeline, &mut source, &options),
+                None => kernel.run_demand(&mut source, &options),
+            }
+        }
     };
     ScenarioRow {
         spec: *network.spec(),
-        traffic,
         offered_load: traffic.offered_load(),
+        traffic,
         seed: cell.seed,
         fault_count: options.faults.len(),
         faults: options.faults,
@@ -1015,14 +1055,17 @@ mod tests {
         let grid = small_grid();
         let rows = run_grid(&grid, 4).unwrap();
         let mut expected = Vec::new();
-        for &workload in &grid.workloads {
+        for workload in &grid.workloads {
             for &spec in &grid.specs {
                 for &seed in &grid.seeds {
-                    expected.push((workload, spec, seed));
+                    expected.push((workload.clone(), spec, seed));
                 }
             }
         }
-        let got: Vec<_> = rows.iter().map(|r| (r.traffic, r.spec, r.seed)).collect();
+        let got: Vec<_> = rows
+            .iter()
+            .map(|r| (r.traffic.clone(), r.spec, r.seed))
+            .collect();
         assert_eq!(got, expected);
     }
 

@@ -12,9 +12,13 @@
 //!   [`Network::verify`], [`Network::router`] and [`Network::simulate`] give
 //!   every family the same five-layer surface;
 //! * [`TrafficSpec`] — the workload spec language, mirroring the network
-//!   one: `"uniform(0.3)"`, `"perm(0.5,7)"`, `"hotspot(0.4,0,0.2)"`,
-//!   `"transpose(0.5)"`, `"bitrev(0.5)"`, with typed validation at parse
-//!   time and topology-aware checks at bind time;
+//!   one: stationary patterns `"uniform(0.3)"`, `"perm(0.5,7)"`,
+//!   `"hotspot(0.4,0,0.2)"`, `"transpose(0.5)"`, `"bitrev(0.5)"` and the
+//!   demand processes `"poisson(0.3)"`, `"poisson(0.3,0)"`,
+//!   `"onoff(0.6,16,48)"`, `"mix(0.1,0.9,0.05)"`, `"trace(file.trc)"`,
+//!   with typed validation at parse time (NaN/negative rates refused) and
+//!   topology-aware checks at bind time (trace node ids validated against
+//!   the processor count, with the trace's own line numbers);
 //! * [`scenarios`] — comparison scenarios as *data*: a list of specs plus a
 //!   list of loads (experiment T5 of the reproduction harness);
 //! * [`engine`] — the parallel scenario engine: declarative
@@ -118,7 +122,8 @@ pub use family::NetworkFamily;
 pub use network::Network;
 pub use otis_routing::FaultSet;
 pub use otis_sim::{
-    FaultAction, FaultEvent, FaultSchedule, FaultScheduleError, FaultTarget, WavelengthAssignment,
+    validate_trace, DemandSource, DemandSpec, FaultAction, FaultEvent, FaultSchedule,
+    FaultScheduleError, FaultTarget, TraceError, TraceReplay, WavelengthAssignment,
     WavelengthConfig,
 };
 pub use prepared::{PreparedSim, PreparedTimeline};

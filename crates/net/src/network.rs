@@ -9,11 +9,11 @@ use crate::route::RouteOracle;
 use crate::sim_options::SimOptions;
 use crate::spec::NetworkSpec;
 use crate::topology::NetworkTopology;
-use crate::traffic_spec::TrafficSpec;
+use crate::traffic_spec::{TrafficError, TrafficSpec};
 use otis_core::VerificationReport;
 use otis_optics::HardwareInventory;
 use otis_routing::FaultSet;
-use otis_sim::{SimMetrics, TrafficPattern};
+use otis_sim::{DemandSpec, SimMetrics, TrafficPattern};
 use otis_topologies::TopologySummary;
 
 /// Any network of the reproduction, behind one uniform API.
@@ -176,17 +176,35 @@ impl Network {
     }
 
     /// Runs a slotted simulation under a parsed workload spec, binding it to
-    /// this network first: value errors (NaN loads) and topology
-    /// preconditions (transpose needs a square processor count, bit-reversal
-    /// a power of two, a hotspot's hot node must exist) are typed refusals,
-    /// never silently-degraded traffic.
+    /// this network first: value errors (NaN loads, negative rates) and
+    /// topology preconditions (transpose needs a square processor count,
+    /// bit-reversal a power of two, a hotspot's hot node or a Poisson
+    /// destination must exist, trace events must address real processors)
+    /// are typed refusals, never silently-degraded traffic.  Stationary
+    /// patterns take the exact [`Network::simulate`] path; demand processes
+    /// (`poisson`, `onoff`, `mix`, `trace`) prepare a kernel and drive it
+    /// through [`PreparedSim::run_demand`].
     pub fn simulate_workload(
         &self,
         workload: &TrafficSpec,
         options: &SimOptions,
     ) -> Result<SimMetrics, NetworkError> {
-        let pattern = workload.bind(self.node_count())?;
-        Ok(self.simulate(&pattern, options))
+        match workload.bind(self.node_count())? {
+            DemandSpec::Pattern(pattern) => Ok(self.simulate(&pattern, options)),
+            demand => {
+                let mut source = demand.source().map_err(|e| {
+                    NetworkError::from(TrafficError::TraceIo {
+                        path: match &demand {
+                            DemandSpec::Trace { path } => path.clone(),
+                            _ => unreachable!("only trace sources touch the filesystem"),
+                        },
+                        detail: e.to_string(),
+                    })
+                })?;
+                let kernel = self.prepare_with_alternates(&options.faults, options.alt_paths);
+                Ok(kernel.run_demand(&mut source, options))
+            }
+        }
     }
 }
 

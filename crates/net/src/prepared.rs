@@ -11,8 +11,8 @@
 use crate::sim_options::SimOptions;
 use otis_routing::FaultSet;
 use otis_sim::{
-    FaultSchedule, FaultScheduleError, HotPotatoSimConfig, MultiOpsSimConfig, PreparedHotPotato,
-    PreparedMultiOps, SimMetrics, TrafficPattern,
+    DemandSource, FaultSchedule, FaultScheduleError, HotPotatoSimConfig, MultiOpsSimConfig,
+    PreparedHotPotato, PreparedMultiOps, SimMetrics, TrafficPattern,
 };
 
 /// A prepared simulation kernel for one network under one fault pattern —
@@ -48,6 +48,35 @@ impl PreparedSim {
             ),
             PreparedSim::MultiOps(kernel) => kernel.run(
                 traffic,
+                &MultiOpsSimConfig {
+                    slots: options.slots,
+                    seed: options.seed,
+                    policy: options.policy,
+                    queue_limit: options.queue_limit,
+                    wavelengths: options.wavelengths,
+                },
+            ),
+        }
+    }
+
+    /// Executes one run driven by a [`DemandSource`] instead of a
+    /// stationary pattern — the entry point of the demand subsystem
+    /// (Poisson arrivals, on/off bursts, trace replay).  Reads the same
+    /// run-scoped options as [`PreparedSim::run`]; a
+    /// `DemandSource::Pattern` source reproduces `run` byte for byte.
+    pub fn run_demand(&self, demand: &mut DemandSource, options: &SimOptions) -> SimMetrics {
+        match self {
+            PreparedSim::HotPotato(kernel) => kernel.run_demand(
+                demand,
+                &HotPotatoSimConfig {
+                    slots: options.slots,
+                    seed: options.seed,
+                    max_hops: options.max_hops,
+                    wavelengths: options.wavelengths,
+                },
+            ),
+            PreparedSim::MultiOps(kernel) => kernel.run_demand(
+                demand,
                 &MultiOpsSimConfig {
                     slots: options.slots,
                     seed: options.seed,
@@ -160,6 +189,47 @@ impl PreparedSim {
                 .run_with_timeline(
                     epochs,
                     traffic,
+                    &MultiOpsSimConfig {
+                        slots: options.slots,
+                        seed: options.seed,
+                        policy: options.policy,
+                        queue_limit: options.queue_limit,
+                        wavelengths: options.wavelengths,
+                    },
+                ),
+            _ => panic!("timeline and kernel are from different simulator families"),
+        }
+    }
+
+    /// [`PreparedSim::run_with_timeline`] driven by a [`DemandSource`]:
+    /// kernel swaps at event slots plus a stochastic or replayed workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and `timeline` come from different simulator
+    /// families.
+    pub fn run_demand_with_timeline(
+        &self,
+        timeline: &PreparedTimeline,
+        demand: &mut DemandSource,
+        options: &SimOptions,
+    ) -> SimMetrics {
+        match (self, timeline) {
+            (PreparedSim::HotPotato(kernel), PreparedTimeline::HotPotato(epochs)) => kernel
+                .run_demand_with_timeline(
+                    epochs,
+                    demand,
+                    &HotPotatoSimConfig {
+                        slots: options.slots,
+                        seed: options.seed,
+                        max_hops: options.max_hops,
+                        wavelengths: options.wavelengths,
+                    },
+                ),
+            (PreparedSim::MultiOps(kernel), PreparedTimeline::MultiOps(epochs)) => kernel
+                .run_demand_with_timeline(
+                    epochs,
+                    demand,
                     &MultiOpsSimConfig {
                         slots: options.slots,
                         seed: options.seed,

@@ -44,6 +44,7 @@
 //! [`HotPotatoSim`] remains as the one-shot convenience: a prepared kernel
 //! bundled with one [`HotPotatoSimConfig`].
 
+use crate::demand::DemandSource;
 use crate::kernel::{assign_wavelength, MessageArena, PortBits, RunCore};
 use crate::metrics::SimMetrics;
 use crate::schedule::{FaultSchedule, FaultScheduleError, RestoreTracker};
@@ -174,6 +175,16 @@ impl PreparedHotPotato {
         self.run_with_timeline(&[], traffic, config)
     }
 
+    /// Executes one run driven by a [`DemandSource`] — the demand-side
+    /// generalization of [`PreparedHotPotato::run`].  The source is mutable
+    /// because demand processes carry mid-run state (burst phases, the
+    /// trace lookahead); build a fresh one per run with
+    /// [`crate::DemandSpec::source`].  A [`DemandSource::Pattern`] source
+    /// draws from the RNG exactly as `run` does — byte-identical metrics.
+    pub fn run_demand(&self, demand: &mut DemandSource, config: &HotPotatoSimConfig) -> SimMetrics {
+        self.run_demand_with_timeline(&[], demand, config)
+    }
+
     /// Builds the epoch timeline a [`FaultSchedule`] prescribes for runs of
     /// the `initial` kernel: one `(slot, kernel)` pair per distinct event
     /// slot, each kernel delta-repaired from the fault-free `base` toward
@@ -219,6 +230,20 @@ impl PreparedHotPotato {
         &self,
         timeline: &[(u64, PreparedHotPotato)],
         traffic: &TrafficPattern,
+        config: &HotPotatoSimConfig,
+    ) -> SimMetrics {
+        let mut demand = DemandSource::from_pattern(traffic.clone());
+        self.run_demand_with_timeline(timeline, &mut demand, config)
+    }
+
+    /// Executes one run under a fault timeline, driven by a
+    /// [`DemandSource`] — the entry point both
+    /// [`PreparedHotPotato::run_with_timeline`] and
+    /// [`PreparedHotPotato::run_demand`] reduce to.
+    pub fn run_demand_with_timeline(
+        &self,
+        timeline: &[(u64, PreparedHotPotato)],
+        demand: &mut DemandSource,
         config: &HotPotatoSimConfig,
     ) -> SimMetrics {
         let n = self.router.graph().node_count();
@@ -288,7 +313,7 @@ impl PreparedHotPotato {
             if let Some(spectrum) = spectrum.as_mut() {
                 spectrum.clear();
             }
-            traffic.injections_into(n, &mut core.rng, &mut injections);
+            demand.injections_into(n, &mut core.rng, &mut injections);
 
             for node in 0..n {
                 let arcs = g.out_arc_ids(node);

@@ -24,7 +24,14 @@
 //!   utilisation.  The parseable workload front door (`"hotspot(0.4,0,0.2)"`
 //!   and friends) is `otis_net::TrafficSpec`, which validates loads and
 //!   topology preconditions before handing a `TrafficPattern` to the
-//!   simulators.
+//!   simulators;
+//! * [`demand`] generalizes the injection side beyond stationary patterns:
+//!   a [`DemandSpec`] describes Poisson arrivals, on/off bursts, an
+//!   elephants-and-mice mix, or lazy bounded-memory replay of a recorded
+//!   `.trc` trace, and the per-run [`DemandSource`] it builds drives the
+//!   kernels' `run_demand` entry points through the same allocation-free
+//!   `injections_into` shape (stationary patterns wrap as
+//!   [`DemandSpec::Pattern`] with byte-identical RNG draws).
 //!
 //! ## Prepare/execute split and delta-repaired kernels
 //!
@@ -109,6 +116,7 @@
 #![warn(clippy::all)]
 
 pub mod arbitration;
+pub mod demand;
 pub mod hot_potato;
 pub mod kernel;
 pub mod message;
@@ -119,6 +127,7 @@ pub mod traffic;
 pub mod wavelength;
 
 pub use arbitration::ArbitrationPolicy;
+pub use demand::{validate_trace, DemandSource, DemandSpec, TraceError, TraceReplay};
 pub use hot_potato::{HotPotatoSim, HotPotatoSimConfig, PreparedHotPotato};
 pub use kernel::{MessageArena, PortBits, RunCore};
 pub use message::Message;

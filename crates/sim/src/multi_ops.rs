@@ -53,6 +53,7 @@
 //! bundled with one [`MultiOpsSimConfig`].
 
 use crate::arbitration::ArbitrationPolicy;
+use crate::demand::DemandSource;
 use crate::kernel::{assign_wavelength, MessageArena, RunCore};
 use crate::metrics::SimMetrics;
 use crate::schedule::{FaultSchedule, FaultScheduleError, RestoreTracker};
@@ -661,6 +662,16 @@ impl PreparedMultiOps {
         self.run_with_timeline(&[], traffic, config)
     }
 
+    /// Executes one run driven by a [`DemandSource`] — the demand-side
+    /// generalization of [`PreparedMultiOps::run`].  The source is mutable
+    /// because demand processes carry mid-run state (burst phases, the
+    /// trace lookahead); build a fresh one per run with
+    /// [`crate::DemandSpec::source`].  A [`DemandSource::Pattern`] source
+    /// draws from the RNG exactly as `run` does — byte-identical metrics.
+    pub fn run_demand(&self, demand: &mut DemandSource, config: &MultiOpsSimConfig) -> SimMetrics {
+        self.run_demand_with_timeline(&[], demand, config)
+    }
+
     /// Executes one run under a fault timeline: `timeline` is a
     /// chronological list of `(slot, kernel)` epochs (see
     /// [`PreparedMultiOps::timeline_from`]); at the start of each epoch's
@@ -682,6 +693,20 @@ impl PreparedMultiOps {
         &self,
         timeline: &[(u64, PreparedMultiOps)],
         traffic: &TrafficPattern,
+        config: &MultiOpsSimConfig,
+    ) -> SimMetrics {
+        let mut demand = DemandSource::from_pattern(traffic.clone());
+        self.run_demand_with_timeline(timeline, &mut demand, config)
+    }
+
+    /// Executes one run under a fault timeline, driven by a
+    /// [`DemandSource`] — the entry point both
+    /// [`PreparedMultiOps::run_with_timeline`] and
+    /// [`PreparedMultiOps::run_demand`] reduce to.
+    pub fn run_demand_with_timeline(
+        &self,
+        timeline: &[(u64, PreparedMultiOps)],
+        demand: &mut DemandSource,
         config: &MultiOpsSimConfig,
     ) -> SimMetrics {
         let n = self.processor_count();
@@ -753,7 +778,7 @@ impl PreparedMultiOps {
             }
 
             // 1. Injection.
-            traffic.injections_into(n, &mut core.rng, &mut injections);
+            demand.injections_into(n, &mut core.rng, &mut injections);
             for (src, dst) in injections.iter().enumerate() {
                 let Some(dst) = *dst else { continue };
                 let Some(route) = active.routes.get(src, dst) else {

@@ -24,7 +24,11 @@ fn fresh_cell_metrics(
     options: &SimOptions,
 ) -> SimMetrics {
     let network = Network::new(*spec).unwrap();
-    let pattern = workload.bind(network.node_count()).unwrap();
+    let pattern = workload
+        .bind(network.node_count())
+        .unwrap()
+        .into_pattern()
+        .expect("these cells sweep stationary workloads only");
     match *spec {
         NetworkSpec::DeBruijn { d, k } => HotPotatoSim::with_faults(
             de_bruijn(d, k),

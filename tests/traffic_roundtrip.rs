@@ -42,6 +42,59 @@ fn traffic_spec_roundtrip_sweep() {
     }
 }
 
+/// The same property sweep over the demand-process variants (PR 9):
+/// Poisson, on/off, elephants-and-mice mix and trace replay all round-trip
+/// through Display with their canonical spelling.
+#[test]
+fn demand_spec_roundtrip_sweep() {
+    let rates = [0.0, 0.05, 0.25, 0.5, 1.0, 2.5];
+    let mut specs: Vec<TrafficSpec> = Vec::new();
+    for &rate in &rates {
+        specs.push(TrafficSpec::Poisson { rate, dst: None });
+        for dst in [0, 3, 71] {
+            specs.push(TrafficSpec::Poisson {
+                rate,
+                dst: Some(dst),
+            });
+        }
+        for (burst_len, idle_len) in [(1, 0), (8, 24), (16, 48), (100, 1)] {
+            specs.push(TrafficSpec::OnOff {
+                rate,
+                burst_len,
+                idle_len,
+            });
+        }
+        for fraction in [0.0, 0.1, 0.5, 1.0] {
+            specs.push(TrafficSpec::Mix {
+                fraction,
+                elephant_rate: rate,
+                mice_rate: rate / 10.0,
+            });
+        }
+    }
+    for path in ["demand.trc", "examples/demand.trc", "a b/c.trc"] {
+        specs.push(TrafficSpec::Trace {
+            path: path.to_string(),
+        });
+    }
+    for spec in specs {
+        let rendered = spec.to_string();
+        let parsed: TrafficSpec = rendered
+            .parse()
+            .unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        assert_eq!(parsed, spec, "{rendered} must round-trip");
+        assert_eq!(parsed.to_string(), rendered, "{rendered} canonical form");
+        assert!(spec.validate().is_ok(), "{rendered} is a valid spec");
+        // Every stochastic variant has a finite expected load; only the
+        // trace defers its rate to replay time.
+        assert_eq!(
+            spec.offered_load().is_nan(),
+            spec.is_trace(),
+            "{rendered} offered load"
+        );
+    }
+}
+
 /// The canonical spellings of the issue parse to the expected variants.
 #[test]
 fn canonical_spellings_parse() {
