@@ -18,7 +18,10 @@
 //! delta-repair path against a full rebuild: `base_prepare` and
 //! `fresh_faulted_prepare` both pay the from-scratch O(n²) routing-state
 //! construction, while `delta_repair` derives the same faulted kernel from
-//! a prebuilt base and should beat the rebuild by a wide margin.
+//! a prebuilt base and should beat the rebuild by a wide margin.  The
+//! `*_alternates_sk632` pair prices the same contrast for multi-OPS
+//! kernels with Yen alternates, where the repair-aware path recomputes
+//! alternates only for fault-disturbed pairs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use otis_net::{
@@ -169,6 +172,21 @@ fn bench_large_n(c: &mut Criterion) {
     group.bench_function(format!("delta_repair_{nodes}nodes"), |b| {
         let base = network.prepare(&FaultSet::new());
         b.iter(|| base.repair(&single_fault, 1))
+    });
+
+    // Repair-aware Yen alternates: a faulted multi-OPS kernel prepared
+    // with alternates pays a full Yen k-shortest pass per group pair from
+    // scratch, while the delta path recomputes alternates only for the
+    // pairs the fault disturbs (undisturbed pairs reuse the base's cached
+    // paths, proven bit-identical in tests/delta_kernels.rs).
+    let sk = otis_net::Network::from_spec("SK(6,3,2)").unwrap();
+    let sk_fault = FaultSet::from_nodes([1]);
+    group.bench_function("fresh_alternates_prepare_sk632", |b| {
+        b.iter(|| sk.prepare_with_alternates(&sk_fault, 3))
+    });
+    group.bench_function("delta_repair_alternates_sk632", |b| {
+        let base = sk.prepare_with_alternates(&FaultSet::new(), 3);
+        b.iter(|| base.repair(&sk_fault, 3))
     });
 
     group.finish();

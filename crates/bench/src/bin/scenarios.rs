@@ -324,6 +324,20 @@ fn main() -> ExitCode {
                     .map(|path| format!(", written to {path}"))
                     .unwrap_or_default()
             );
+            // One machine-readable `key=value` perf line for harnesses (CI
+            // greps it): same numbers as the prose postamble above.
+            eprintln!(
+                "# perf node_slots_per_sec={:.0} node_slots={} rows={} scratch_reuses={} \
+                 kernels_built={} kernels_repaired={} kernel_swaps={} elapsed_s={:.3}",
+                summary.node_slots as f64 / elapsed.max(f64::EPSILON),
+                summary.node_slots,
+                summary.rows,
+                summary.scratch_reuses,
+                summary.kernels_built,
+                summary.kernels_repaired,
+                summary.kernel_swaps,
+                elapsed,
+            );
             ExitCode::SUCCESS
         }
         Err(error) => {

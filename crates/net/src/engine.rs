@@ -104,7 +104,7 @@ use crate::sink::{CollectSink, RowSink};
 use crate::spec::NetworkSpec;
 use crate::traffic_spec::TrafficSpec;
 use otis_routing::FaultSet;
-use otis_sim::{DemandSpec, FaultSchedule, SimMetrics, WavelengthConfig};
+use otis_sim::{DemandSpec, FaultSchedule, SimMetrics, SlotScratch, WavelengthConfig};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex, OnceLock};
@@ -376,8 +376,9 @@ pub struct ScenarioRow {
     pub spec: NetworkSpec,
     /// The workload driven through it.
     pub traffic: TrafficSpec,
-    /// Nominal offered load, derived from the workload spec (messages per
-    /// processor per slot).
+    /// Nominal offered load (messages per processor per slot) — derived
+    /// from the workload spec, except for traces, where it is the mean
+    /// measured by the bind-time validation pass over the file.
     pub offered_load: f64,
     /// The seed this cell ran under.
     pub seed: u64,
@@ -590,6 +591,13 @@ pub struct StreamSummary {
     /// wall-clock time gives the engine's throughput in node-slots/second —
     /// the size-independent rate large-N benchmarks report.
     pub node_slots: u64,
+    /// Cells that ran on a worker's already-used [`SlotScratch`] pool — the
+    /// arena, queues and port masks were reset, not reallocated.  Each
+    /// worker owns one pool for its lifetime, so on a completed run this is
+    /// `rows − workers'`, where `workers'` is the number of workers that ran
+    /// at least one cell: exactly `rows − 1` single-threaded, and at least
+    /// `rows − threads` otherwise.
+    pub scratch_reuses: usize,
 }
 
 /// Executes every cell of the grid across `threads` scoped workers (clamped
@@ -684,6 +692,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
         kernels_repaired: 0,
         kernel_swaps: 0,
         node_slots: 0,
+        scratch_reuses: 0,
     };
     if cell_count == 0 {
         sink.finish().map_err(sink_error)?;
@@ -714,6 +723,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             .collect();
     let kernels_built = AtomicUsize::new(0);
     let kernels_repaired = AtomicUsize::new(0);
+    let scratch_reuses = AtomicUsize::new(0);
 
     let workers = threads.max(1).min(cell_count);
     let window = reorder_window(workers);
@@ -735,6 +745,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
             let (networks, demands) = (&networks, &demands);
             let (kernels, bases, timelines) = (&kernels, &bases, &timelines);
             let (kernels_built, kernels_repaired) = (&kernels_built, &kernels_repaired);
+            let scratch_reuses = &scratch_reuses;
             let hardware_costs = &hardware_costs;
             scope.spawn(move || {
                 // A panicking cell must not strand the other workers parked
@@ -744,6 +755,11 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                     watermark,
                     advanced,
                 };
+                // One scratch pool per worker, alive for the worker's whole
+                // lifetime: every cell after the first runs on reset (not
+                // reallocated) hot state.
+                let mut scratch = SlotScratch::new();
+                let mut cells_run = 0usize;
                 loop {
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -821,11 +837,14 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
                         grid,
                         &cell,
                         hardware_costs.as_ref().map(|costs| costs[cell.spec]),
+                        &mut scratch,
                     );
+                    cells_run += 1;
                     if tx.send((index, row)).is_err() {
                         break;
                     }
                 }
+                scratch_reuses.fetch_add(cells_run.saturating_sub(1), Ordering::Relaxed);
             });
         }
         drop(tx);
@@ -879,6 +898,7 @@ pub fn run_grid_streaming<S: RowSink + ?Sized>(
 
     summary.kernels_built = kernels_built.load(Ordering::Relaxed);
     summary.kernels_repaired = kernels_repaired.load(Ordering::Relaxed);
+    summary.scratch_reuses = scratch_reuses.load(Ordering::Relaxed);
     match sink_failure {
         Some(e) => Err(sink_error(e)),
         None => {
@@ -937,7 +957,9 @@ pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<ScenarioRow>,
 /// row is built from that same copy.  The wavelength axis overrides the
 /// per-run wavelength count; the assignment policy is shared grid-wide.  A
 /// cell under a non-empty schedule runs the timeline path (mid-run kernel
-/// swaps); `None` takes the exact legacy run.
+/// swaps); `None` takes the exact legacy run.  The worker's scratch pool is
+/// threaded through so the slot loop reuses hot state across cells.
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     kernel: &PreparedSim,
     timeline: Option<&PreparedTimeline>,
@@ -946,6 +968,7 @@ fn run_cell(
     grid: &ScenarioGrid,
     cell: &Cell,
     hardware_cost: Option<usize>,
+    scratch: &mut SlotScratch,
 ) -> ScenarioRow {
     let options = SimOptions {
         seed: cell.seed,
@@ -958,27 +981,28 @@ fn run_cell(
     };
     let traffic = grid.workloads[cell.workload].clone();
     let metrics = match demand {
-        // Stationary patterns take the exact legacy entry points — the
-        // byte-identity contract of the checked-in goldens.
-        DemandSpec::Pattern(pattern) => match timeline {
-            Some(timeline) => kernel.run_with_timeline(timeline, pattern, &options),
-            None => kernel.run(pattern, &options),
-        },
+        // Stationary patterns take the scratch-pooled form of the legacy
+        // entry points — byte-identical to them, which is the contract of
+        // the checked-in goldens.
+        DemandSpec::Pattern(pattern) => {
+            kernel.run_with_timeline_scratch(timeline, pattern, &options, scratch)
+        }
         demand => {
             // Stochastic and replayed workloads get a fresh per-cell
             // source; trace files were already streamed once at bind time.
             let mut source = demand
                 .source()
                 .expect("trace file vanished after bind-time validation");
-            match timeline {
-                Some(timeline) => kernel.run_demand_with_timeline(timeline, &mut source, &options),
-                None => kernel.run_demand(&mut source, &options),
-            }
+            kernel.run_demand_with_timeline_scratch(timeline, &mut source, &options, scratch)
         }
     };
     ScenarioRow {
         spec: *network.spec(),
-        offered_load: traffic.offered_load(),
+        // The *bound* demand, not the raw workload spec: for traces the
+        // bind-time pass measured the file's mean load, which the raw spec
+        // cannot know (every other variant reports the same value either
+        // way).
+        offered_load: demand.offered_load(),
         traffic,
         seed: cell.seed,
         fault_count: options.faults.len(),

@@ -123,7 +123,7 @@ pub use network::Network;
 pub use otis_routing::FaultSet;
 pub use otis_sim::{
     validate_trace, DemandSource, DemandSpec, FaultAction, FaultEvent, FaultSchedule,
-    FaultScheduleError, FaultTarget, TraceError, TraceReplay, WavelengthAssignment,
+    FaultScheduleError, FaultTarget, TraceError, TraceReplay, TraceStats, WavelengthAssignment,
     WavelengthConfig,
 };
 pub use prepared::{PreparedSim, PreparedTimeline};

@@ -195,7 +195,7 @@ impl Network {
                 let mut source = demand.source().map_err(|e| {
                     NetworkError::from(TrafficError::TraceIo {
                         path: match &demand {
-                            DemandSpec::Trace { path } => path.clone(),
+                            DemandSpec::Trace { path, .. } => path.clone(),
                             _ => unreachable!("only trace sources touch the filesystem"),
                         },
                         detail: e.to_string(),

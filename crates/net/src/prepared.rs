@@ -12,8 +12,29 @@ use crate::sim_options::SimOptions;
 use otis_routing::FaultSet;
 use otis_sim::{
     DemandSource, FaultSchedule, FaultScheduleError, HotPotatoSimConfig, MultiOpsSimConfig,
-    PreparedHotPotato, PreparedMultiOps, SimMetrics, TrafficPattern,
+    PreparedHotPotato, PreparedMultiOps, SimMetrics, SlotScratch, TrafficPattern,
 };
+
+/// The hot-potato run-scoped knobs of `options`.
+fn hot_config(options: &SimOptions) -> HotPotatoSimConfig {
+    HotPotatoSimConfig {
+        slots: options.slots,
+        seed: options.seed,
+        max_hops: options.max_hops,
+        wavelengths: options.wavelengths,
+    }
+}
+
+/// The multi-OPS run-scoped knobs of `options`.
+fn ops_config(options: &SimOptions) -> MultiOpsSimConfig {
+    MultiOpsSimConfig {
+        slots: options.slots,
+        seed: options.seed,
+        policy: options.policy,
+        queue_limit: options.queue_limit,
+        wavelengths: options.wavelengths,
+    }
+}
 
 /// A prepared simulation kernel for one network under one fault pattern —
 /// either simulator family behind one surface.  `Send + Sync`, so one
@@ -37,25 +58,8 @@ impl PreparedSim {
     /// engine reuse one kernel across cells that share a fault pattern.
     pub fn run(&self, traffic: &TrafficPattern, options: &SimOptions) -> SimMetrics {
         match self {
-            PreparedSim::HotPotato(kernel) => kernel.run(
-                traffic,
-                &HotPotatoSimConfig {
-                    slots: options.slots,
-                    seed: options.seed,
-                    max_hops: options.max_hops,
-                    wavelengths: options.wavelengths,
-                },
-            ),
-            PreparedSim::MultiOps(kernel) => kernel.run(
-                traffic,
-                &MultiOpsSimConfig {
-                    slots: options.slots,
-                    seed: options.seed,
-                    policy: options.policy,
-                    queue_limit: options.queue_limit,
-                    wavelengths: options.wavelengths,
-                },
-            ),
+            PreparedSim::HotPotato(kernel) => kernel.run(traffic, &hot_config(options)),
+            PreparedSim::MultiOps(kernel) => kernel.run(traffic, &ops_config(options)),
         }
     }
 
@@ -66,25 +70,72 @@ impl PreparedSim {
     /// `DemandSource::Pattern` source reproduces `run` byte for byte.
     pub fn run_demand(&self, demand: &mut DemandSource, options: &SimOptions) -> SimMetrics {
         match self {
-            PreparedSim::HotPotato(kernel) => kernel.run_demand(
-                demand,
-                &HotPotatoSimConfig {
-                    slots: options.slots,
-                    seed: options.seed,
-                    max_hops: options.max_hops,
-                    wavelengths: options.wavelengths,
-                },
-            ),
-            PreparedSim::MultiOps(kernel) => kernel.run_demand(
-                demand,
-                &MultiOpsSimConfig {
-                    slots: options.slots,
-                    seed: options.seed,
-                    policy: options.policy,
-                    queue_limit: options.queue_limit,
-                    wavelengths: options.wavelengths,
-                },
-            ),
+            PreparedSim::HotPotato(kernel) => kernel.run_demand(demand, &hot_config(options)),
+            PreparedSim::MultiOps(kernel) => kernel.run_demand(demand, &ops_config(options)),
+        }
+    }
+
+    /// [`PreparedSim::run`] / [`PreparedSim::run_with_timeline`] through a
+    /// caller-owned [`SlotScratch`] pool: the arena, queues and port masks
+    /// of consecutive runs are reused instead of reallocated, byte-identical
+    /// to the plain entry points.  A `None` timeline takes the exact legacy
+    /// run path; the scenario engine hands each worker one pool for its
+    /// whole lifetime and threads every cell through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and the timeline come from different simulator
+    /// families.
+    pub fn run_with_timeline_scratch(
+        &self,
+        timeline: Option<&PreparedTimeline>,
+        traffic: &TrafficPattern,
+        options: &SimOptions,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
+        match (self, timeline) {
+            (PreparedSim::HotPotato(kernel), None) => {
+                kernel.run_scratch(traffic, &hot_config(options), scratch)
+            }
+            (PreparedSim::HotPotato(kernel), Some(PreparedTimeline::HotPotato(epochs))) => {
+                kernel.run_with_timeline_scratch(epochs, traffic, &hot_config(options), scratch)
+            }
+            (PreparedSim::MultiOps(kernel), None) => {
+                kernel.run_scratch(traffic, &ops_config(options), scratch)
+            }
+            (PreparedSim::MultiOps(kernel), Some(PreparedTimeline::MultiOps(epochs))) => {
+                kernel.run_with_timeline_scratch(epochs, traffic, &ops_config(options), scratch)
+            }
+            _ => panic!("timeline and kernel are from different simulator families"),
+        }
+    }
+
+    /// [`PreparedSim::run_with_timeline_scratch`] driven by a
+    /// [`DemandSource`] instead of a stationary pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and the timeline come from different simulator
+    /// families.
+    pub fn run_demand_with_timeline_scratch(
+        &self,
+        timeline: Option<&PreparedTimeline>,
+        demand: &mut DemandSource,
+        options: &SimOptions,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
+        match (self, timeline) {
+            (PreparedSim::HotPotato(kernel), None) => {
+                kernel.run_demand_scratch(demand, &hot_config(options), scratch)
+            }
+            (PreparedSim::HotPotato(kernel), Some(PreparedTimeline::HotPotato(epochs))) => kernel
+                .run_demand_with_timeline_scratch(epochs, demand, &hot_config(options), scratch),
+            (PreparedSim::MultiOps(kernel), None) => {
+                kernel.run_demand_scratch(demand, &ops_config(options), scratch)
+            }
+            (PreparedSim::MultiOps(kernel), Some(PreparedTimeline::MultiOps(epochs))) => kernel
+                .run_demand_with_timeline_scratch(epochs, demand, &ops_config(options), scratch),
+            _ => panic!("timeline and kernel are from different simulator families"),
         }
     }
 
@@ -104,6 +155,20 @@ impl PreparedSim {
             PreparedSim::MultiOps(base) => {
                 PreparedSim::MultiOps(PreparedMultiOps::repair_from(base, faults, alt_paths))
             }
+        }
+    }
+
+    /// Structural equality of the routing state underneath — distance
+    /// tables for hot-potato kernels; flat routes and Yen alternates for
+    /// multi-OPS kernels.  The bit-identity oracle of the delta-repair
+    /// acceptance tests; hidden from docs (not part of the simulation
+    /// surface).  Kernels of different families are never equal.
+    #[doc(hidden)]
+    pub fn routing_state_eq(&self, other: &PreparedSim) -> bool {
+        match (self, other) {
+            (PreparedSim::HotPotato(a), PreparedSim::HotPotato(b)) => a.routing_state_eq(b),
+            (PreparedSim::MultiOps(a), PreparedSim::MultiOps(b)) => a.routing_state_eq(b),
+            _ => false,
         }
     }
 
@@ -174,29 +239,12 @@ impl PreparedSim {
         options: &SimOptions,
     ) -> SimMetrics {
         match (self, timeline) {
-            (PreparedSim::HotPotato(kernel), PreparedTimeline::HotPotato(epochs)) => kernel
-                .run_with_timeline(
-                    epochs,
-                    traffic,
-                    &HotPotatoSimConfig {
-                        slots: options.slots,
-                        seed: options.seed,
-                        max_hops: options.max_hops,
-                        wavelengths: options.wavelengths,
-                    },
-                ),
-            (PreparedSim::MultiOps(kernel), PreparedTimeline::MultiOps(epochs)) => kernel
-                .run_with_timeline(
-                    epochs,
-                    traffic,
-                    &MultiOpsSimConfig {
-                        slots: options.slots,
-                        seed: options.seed,
-                        policy: options.policy,
-                        queue_limit: options.queue_limit,
-                        wavelengths: options.wavelengths,
-                    },
-                ),
+            (PreparedSim::HotPotato(kernel), PreparedTimeline::HotPotato(epochs)) => {
+                kernel.run_with_timeline(epochs, traffic, &hot_config(options))
+            }
+            (PreparedSim::MultiOps(kernel), PreparedTimeline::MultiOps(epochs)) => {
+                kernel.run_with_timeline(epochs, traffic, &ops_config(options))
+            }
             _ => panic!("timeline and kernel are from different simulator families"),
         }
     }
@@ -215,29 +263,12 @@ impl PreparedSim {
         options: &SimOptions,
     ) -> SimMetrics {
         match (self, timeline) {
-            (PreparedSim::HotPotato(kernel), PreparedTimeline::HotPotato(epochs)) => kernel
-                .run_demand_with_timeline(
-                    epochs,
-                    demand,
-                    &HotPotatoSimConfig {
-                        slots: options.slots,
-                        seed: options.seed,
-                        max_hops: options.max_hops,
-                        wavelengths: options.wavelengths,
-                    },
-                ),
-            (PreparedSim::MultiOps(kernel), PreparedTimeline::MultiOps(epochs)) => kernel
-                .run_demand_with_timeline(
-                    epochs,
-                    demand,
-                    &MultiOpsSimConfig {
-                        slots: options.slots,
-                        seed: options.seed,
-                        policy: options.policy,
-                        queue_limit: options.queue_limit,
-                        wavelengths: options.wavelengths,
-                    },
-                ),
+            (PreparedSim::HotPotato(kernel), PreparedTimeline::HotPotato(epochs)) => {
+                kernel.run_demand_with_timeline(epochs, demand, &hot_config(options))
+            }
+            (PreparedSim::MultiOps(kernel), PreparedTimeline::MultiOps(epochs)) => {
+                kernel.run_demand_with_timeline(epochs, demand, &ops_config(options))
+            }
             _ => panic!("timeline and kernel are from different simulator families"),
         }
     }

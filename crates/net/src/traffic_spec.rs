@@ -482,13 +482,19 @@ impl TrafficSpec {
                     path: path.clone(),
                     detail: e.to_string(),
                 })?;
-                validate_trace(std::io::BufReader::new(file), n).map_err(|error| {
+                let stats = validate_trace(std::io::BufReader::new(file), n).map_err(|error| {
                     TrafficError::Trace {
                         path: path.clone(),
                         error,
                     }
                 })?;
-                Ok(self.as_demand())
+                // The same streaming pass measures the trace, so the bound
+                // spec reports a real offered load instead of a NaN
+                // sentinel (an empty trace is load 0, not undefined).
+                Ok(DemandSpec::Trace {
+                    path: path.clone(),
+                    offered_load: Some(stats.offered_load(n)),
+                })
             }
             _ => Ok(self.as_demand()),
         }
@@ -550,7 +556,10 @@ impl TrafficSpec {
                     elephant_rate,
                     mice_rate,
                 },
-                TrafficSpec::Trace { ref path } => DemandSpec::Trace { path: path.clone() },
+                TrafficSpec::Trace { ref path } => DemandSpec::Trace {
+                    path: path.clone(),
+                    offered_load: None,
+                },
                 _ => unreachable!("every stationary workload has a pattern form"),
             },
         }
@@ -1064,7 +1073,9 @@ mod tests {
         assert_eq!(
             spec.bind(4).unwrap(),
             DemandSpec::Trace {
-                path: good.to_str().unwrap().into()
+                path: good.to_str().unwrap().into(),
+                // 2 events over slots 0..=2 on 4 nodes.
+                offered_load: Some(2.0 / 12.0),
             }
         );
         // Node ids are validated against the bound network size.

@@ -61,6 +61,15 @@ impl HotPotatoRouter {
         &self.graph
     }
 
+    /// The precomputed distance table underneath — the bit-identity oracle
+    /// of the delta-repair acceptance tests.  Hidden from docs: routing
+    /// decisions go through [`HotPotatoRouter::distance`] and the port
+    /// rankers, not the raw table.
+    #[doc(hidden)]
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
     /// Distance oracle (hops) from `src` to `dst`.
     pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<u32> {
         self.table.distance(src, dst)
@@ -168,6 +177,13 @@ impl HotPotatoRouter {
     /// words instead of a `Vec<bool>`.  Consumes the RNG identically to the
     /// slice form (one draw per decision that finds a free port), so either
     /// mask representation produces byte-identical simulations.
+    ///
+    /// The scan is chunked word at a time: busy ports are skipped by bit
+    /// tricks (`trailing_zeros` over each 64-port word) instead of a
+    /// per-port load-and-test, and only free ports pay the distance lookup.
+    /// Free ports are still visited in ascending order and the tie set
+    /// depends only on that ordered set, so the chunked walk is
+    /// byte-identical to the per-port one.
     pub fn choose_port_randomized_masked<R: Rng>(
         &self,
         node: NodeId,
@@ -184,23 +200,39 @@ impl HotPotatoRouter {
         );
         ties.clear();
         let mut best: Option<u32> = None;
-        for (port, &next) in neighbors.iter().enumerate() {
-            if free_words[port >> 6] & (1u64 << (port & 63)) == 0 {
-                continue;
+        for (w, &word) in free_words.iter().enumerate() {
+            let base = w << 6;
+            if base >= neighbors.len() {
+                break;
             }
-            let d = self.table.distance(next, dst).unwrap_or(u32::MAX);
-            match best {
-                None => {
-                    best = Some(d);
-                    ties.push(port);
+            // Mask off bits past the declared out-degree: `PortBits::reset`
+            // leaves them set, but they name no port.
+            let width = neighbors.len() - base;
+            let mut bits = if width < 64 {
+                word & ((1u64 << width) - 1)
+            } else {
+                word
+            };
+            while bits != 0 {
+                let port = base + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let d = self
+                    .table
+                    .distance(neighbors[port], dst)
+                    .unwrap_or(u32::MAX);
+                match best {
+                    None => {
+                        best = Some(d);
+                        ties.push(port);
+                    }
+                    Some(bd) if d < bd => {
+                        best = Some(d);
+                        ties.clear();
+                        ties.push(port);
+                    }
+                    Some(bd) if d == bd => ties.push(port),
+                    Some(_) => {}
                 }
-                Some(bd) if d < bd => {
-                    best = Some(d);
-                    ties.clear();
-                    ties.push(port);
-                }
-                Some(bd) if d == bd => ties.push(port),
-                Some(_) => {}
             }
         }
         if ties.is_empty() {

@@ -51,8 +51,10 @@
 //! or trailing), blank lines are ignored.  Slots must be non-decreasing,
 //! `src != dst`, and at most one event per `(slot, src)` pair — a
 //! processor injects at most one message per slot, exactly like the
-//! generators.  [`validate_trace`] streams a trace once and reports the
-//! first violation as a typed, line-numbered [`TraceError`]; replay
+//! generators.  [`validate_trace`] streams a trace once, reports the
+//! first violation as a typed, line-numbered [`TraceError`], and on
+//! success returns [`TraceStats`] (event count and slot span) from which
+//! the trace's mean offered load is derived at bind time; replay
 //! assumes a validated stream and panics (with the line number) on
 //! malformed input rather than silently misreading demand.
 
@@ -105,6 +107,12 @@ pub enum DemandSpec {
         /// Path of the trace file, opened lazily at [`DemandSpec::source`]
         /// time and streamed slot by slot.
         path: String,
+        /// The measured mean injections per slot per node, filled in by a
+        /// bind-time validation pass over the file (`TrafficSpec::bind`
+        /// stores [`TraceStats::offered_load`] here).  `None` until the
+        /// file has been measured; always finite once set, so the derived
+        /// `PartialEq` stays reflexive.
+        offered_load: Option<f64>,
     },
 }
 
@@ -129,7 +137,7 @@ impl DemandSpec {
                 elephant_rate,
                 mice_rate,
             } => DemandSource::Mix(MixState::new(*fraction, *elephant_rate, *mice_rate)),
-            DemandSpec::Trace { path } => {
+            DemandSpec::Trace { path, .. } => {
                 let file = std::fs::File::open(path)?;
                 DemandSource::Trace(TraceReplay::new(io::BufReader::new(file)))
             }
@@ -148,8 +156,9 @@ impl DemandSpec {
 
     /// The nominal offered load in messages per processor per slot — the
     /// expected per-slot injection probability for stochastic variants,
-    /// [`TrafficPattern::offered_load`] for stationary patterns, and
-    /// `NaN` (undefined ahead of replay) for traces.
+    /// [`TrafficPattern::offered_load`] for stationary patterns, and for
+    /// traces the bind-time-measured mean (or `NaN` if the file has not
+    /// been measured yet).
     pub fn offered_load(&self) -> f64 {
         match self {
             DemandSpec::Pattern(pattern) => pattern.offered_load(),
@@ -178,18 +187,20 @@ impl DemandSpec {
                 };
                 f * slot_probability(*elephant_rate) + (1.0 - f) * slot_probability(*mice_rate)
             }
-            DemandSpec::Trace { .. } => f64::NAN,
+            DemandSpec::Trace { offered_load, .. } => offered_load.unwrap_or(f64::NAN),
         }
     }
 
     /// The load that actually enters an `n`-processor network, accounting
     /// for sources the process silences (the fixed destination of a
     /// targeted Poisson process never injects; stationary patterns account
-    /// for their fixed points).  `NaN` for traces.
+    /// for their fixed points).  For traces the measured mean *is* what
+    /// enters the network, so offered and effective coincide (`NaN` until
+    /// measured).
     pub fn effective_load(&self, n: usize) -> f64 {
         if n < 2 {
             return if matches!(self, DemandSpec::Trace { .. }) {
-                f64::NAN
+                self.offered_load()
             } else {
                 0.0
             };
@@ -199,10 +210,53 @@ impl DemandSpec {
             DemandSpec::Poisson { dst: Some(_), .. } => {
                 self.offered_load() * (n as f64 - 1.0) / n as f64
             }
-            DemandSpec::Trace { .. } => f64::NAN,
             _ => self.offered_load(),
         }
     }
+
+    /// An on/off burst process calibrated so its long-run mean offered
+    /// load matches `Poisson { rate: mean_rate }` exactly — the burst-phase
+    /// rate is [`matched_burst_rate`].  Matched means isolate traffic
+    /// *shape*: any metric gap between the Poisson run and this one is the
+    /// price of demand concentration, not of extra load.
+    ///
+    /// # Panics
+    ///
+    /// When the duty cycle is too small to reach the requested mean (see
+    /// [`matched_burst_rate`]).
+    pub fn matched_on_off(mean_rate: f64, burst_len: u64, idle_len: u64) -> DemandSpec {
+        DemandSpec::OnOff {
+            rate: matched_burst_rate(mean_rate, burst_len, idle_len),
+            burst_len,
+            idle_len,
+        }
+    }
+}
+
+/// The burst-phase Poisson rate at which an on/off source with `burst_len`
+/// ON slots and `idle_len` OFF slots offers the same long-run mean load as
+/// `poisson(mean_rate)`: the source only injects during
+/// `burst / (burst + idle)` of the slots, so its per-slot injection
+/// probability while ON must be the Poisson one divided by the duty cycle.
+/// A zero `burst_len` degrades to 1 slot, exactly as the generator state
+/// does.
+///
+/// # Panics
+///
+/// When the duty cycle is too small to match the requested mean — the
+/// required ON-phase injection probability would reach 1 (a source cannot
+/// inject more than one message per slot).
+pub fn matched_burst_rate(mean_rate: f64, burst_len: u64, idle_len: u64) -> f64 {
+    let p = slot_probability(mean_rate);
+    let burst = burst_len.max(1);
+    let duty = burst as f64 / (burst.saturating_add(idle_len)) as f64;
+    let p_on = p / duty;
+    assert!(
+        p_on < 1.0,
+        "duty cycle {duty:.4} too small to match mean rate {mean_rate}: \
+         the ON-phase injection probability would be {p_on:.4} >= 1"
+    );
+    -f64::ln_1p(-p_on)
 }
 
 /// The per-run demand generator behind the kernels' injection step: holds
@@ -651,12 +705,40 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// Summary statistics gathered by the single [`validate_trace`] streaming
+/// pass: the event count and the last (highest) slot any event lands in.
+/// Everything a caller needs to derive the trace's mean offered load
+/// without a second pass over the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of injection events in the trace.
+    pub events: u64,
+    /// The slot of the final event, `None` for an empty trace.  Replay
+    /// spans slots `0..=last_slot` (slots are validated non-decreasing, so
+    /// this is also the maximum).
+    pub last_slot: Option<u64>,
+}
+
+impl TraceStats {
+    /// The trace's mean offered load on an `n`-processor network:
+    /// `events / ((last_slot + 1) · n)` injections per slot per node.  An
+    /// empty trace offers load `0.0` (not `0/0`); always finite for
+    /// `n >= 1`.
+    pub fn offered_load(&self, n: usize) -> f64 {
+        match self.last_slot {
+            None => 0.0,
+            Some(last) => self.events as f64 / ((last + 1) as f64 * n as f64),
+        }
+    }
+}
+
 /// Streams a `.trc` trace once and checks every event against the format
 /// rules and an `n`-processor network: syntax, node ranges, non-decreasing
 /// slots, no self-addressing, at most one event per `(slot, src)`.
-/// Returns the number of events on success; memory is O(n) (the per-source
-/// slot stamps), independent of trace length.
-pub fn validate_trace<R: BufRead>(reader: R, n: usize) -> Result<u64, TraceError> {
+/// Returns the event count and slot span as [`TraceStats`] on success;
+/// memory is O(n) (the per-source slot stamps), independent of trace
+/// length.
+pub fn validate_trace<R: BufRead>(reader: R, n: usize) -> Result<TraceStats, TraceError> {
     let mut events = 0u64;
     let mut previous: Option<u64> = None;
     // stamps[src] = the last slot src injected in, offset by one so the
@@ -707,7 +789,10 @@ pub fn validate_trace<R: BufRead>(reader: R, n: usize) -> Result<u64, TraceError
         stamps[event.src] = event.slot + 1;
         events += 1;
     }
-    Ok(events)
+    Ok(TraceStats {
+        events,
+        last_slot: previous,
+    })
 }
 
 #[cfg(test)]
@@ -1041,8 +1126,26 @@ mod tests {
     #[test]
     fn validate_accepts_the_format_and_counts_events() {
         let text = "# header\n0 0 1\n0 1 0\n5 2 0\n\n5 0 2 # ok\n";
-        assert_eq!(validate_trace(Cursor::new(text), 3).unwrap(), 4);
-        assert_eq!(validate_trace(Cursor::new(""), 3).unwrap(), 0);
+        let stats = validate_trace(Cursor::new(text), 3).unwrap();
+        assert_eq!(
+            stats,
+            TraceStats {
+                events: 4,
+                last_slot: Some(5),
+            }
+        );
+        // 4 events over slots 0..=5 on 3 nodes.
+        assert_eq!(stats.offered_load(3), 4.0 / 18.0);
+        let empty = validate_trace(Cursor::new(""), 3).unwrap();
+        assert_eq!(
+            empty,
+            TraceStats {
+                events: 0,
+                last_slot: None,
+            }
+        );
+        // An empty trace offers a defined load of zero, not 0/0.
+        assert_eq!(empty.offered_load(3), 0.0);
     }
 
     #[test]
@@ -1105,22 +1208,69 @@ mod tests {
     #[test]
     fn validate_allows_distinct_sources_and_source_reuse_across_slots() {
         let text = "0 1 2\n0 2 1\n1 1 2\n";
-        assert_eq!(validate_trace(Cursor::new(text), 3).unwrap(), 3);
+        assert_eq!(validate_trace(Cursor::new(text), 3).unwrap().events, 3);
     }
 
     #[test]
-    fn trace_spec_loads_are_undefined() {
+    fn trace_spec_loads_are_undefined_until_measured() {
         let spec = DemandSpec::Trace {
             path: "whatever.trc".into(),
+            offered_load: None,
         };
         assert!(spec.offered_load().is_nan());
         assert!(spec.effective_load(8).is_nan());
+        // Once the bind-time pass has measured the file, the spec reports
+        // the measured mean — and what the replay injects is exactly what
+        // enters the network, so offered and effective coincide.
+        let bound = DemandSpec::Trace {
+            path: "whatever.trc".into(),
+            offered_load: Some(0.125),
+        };
+        assert_eq!(bound.offered_load(), 0.125);
+        assert_eq!(bound.effective_load(8), 0.125);
+        assert_eq!(bound.effective_load(1), 0.125);
+        // Finite loads keep the derived equality reflexive.
+        assert_eq!(bound, bound.clone());
+    }
+
+    #[test]
+    fn matched_on_off_offers_the_poisson_mean_exactly() {
+        for (mean, burst, idle) in [(0.25, 16, 48), (0.1, 4, 4), (0.002, 1, 99), (0.6, 32, 8)] {
+            let poisson = DemandSpec::Poisson {
+                rate: mean,
+                dst: None,
+            };
+            let matched = DemandSpec::matched_on_off(mean, burst, idle);
+            let gap = (matched.offered_load() - poisson.offered_load()).abs();
+            assert!(
+                gap < 1e-15,
+                "matched_on_off({mean},{burst},{idle}) offers {} vs poisson's {}",
+                matched.offered_load(),
+                poisson.offered_load()
+            );
+            // The burst-phase rate really is hotter than the mean.
+            match matched {
+                DemandSpec::OnOff { rate, .. } => assert!(rate > mean),
+                _ => unreachable!(),
+            }
+        }
+        // A zero mean matches trivially with a silent burst phase.
+        assert_eq!(matched_burst_rate(0.0, 16, 48), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn matched_on_off_refuses_unreachable_means() {
+        // p = 1 − e^(−2) ≈ 0.86 against a 1/10 duty cycle needs an ON-phase
+        // injection probability of 8.6 — impossible.
+        matched_burst_rate(2.0, 1, 9);
     }
 
     #[test]
     fn trace_spec_source_opens_the_file() {
         let missing = DemandSpec::Trace {
             path: "/nonexistent/demand.trc".into(),
+            offered_load: None,
         };
         assert!(missing.source().is_err());
     }

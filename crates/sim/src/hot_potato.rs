@@ -45,7 +45,7 @@
 //! bundled with one [`HotPotatoSimConfig`].
 
 use crate::demand::DemandSource;
-use crate::kernel::{assign_wavelength, MessageArena, PortBits, RunCore};
+use crate::kernel::{assign_wavelength, HotScratch, PortBits, RunCore, SlotScratch};
 use crate::metrics::SimMetrics;
 use crate::schedule::{FaultSchedule, FaultScheduleError, RestoreTracker};
 use crate::traffic::TrafficPattern;
@@ -161,6 +161,15 @@ impl PreparedHotPotato {
         &self.faults
     }
 
+    /// Structural equality of the routing state — the distance table and
+    /// the fault pattern — used by the delta-repair acceptance tests to
+    /// prove a repaired kernel bit-identical to a from-scratch build.
+    /// Hidden from docs: not part of the simulation surface.
+    #[doc(hidden)]
+    pub fn routing_state_eq(&self, other: &PreparedHotPotato) -> bool {
+        self.faults == other.faults && self.router.table() == other.router.table()
+    }
+
     /// Executes one run: `config` carries the run-scoped knobs (slots, seed,
     /// livelock guard, wavelength capacity), `traffic` drives the
     /// injections.  One struct-of-arrays slot loop serves every capacity:
@@ -239,16 +248,100 @@ impl PreparedHotPotato {
     /// Executes one run under a fault timeline, driven by a
     /// [`DemandSource`] — the entry point both
     /// [`PreparedHotPotato::run_with_timeline`] and
-    /// [`PreparedHotPotato::run_demand`] reduce to.
+    /// [`PreparedHotPotato::run_demand`] reduce to.  Allocates a private
+    /// [`SlotScratch`] per call; engines that run many cells should hold one
+    /// pool per worker and call
+    /// [`PreparedHotPotato::run_demand_with_timeline_scratch`] instead.
     pub fn run_demand_with_timeline(
         &self,
         timeline: &[(u64, PreparedHotPotato)],
         demand: &mut DemandSource,
         config: &HotPotatoSimConfig,
     ) -> SimMetrics {
+        let mut scratch = SlotScratch::new();
+        self.run_demand_with_timeline_scratch(timeline, demand, config, &mut scratch)
+    }
+
+    /// [`PreparedHotPotato::run`] through a caller-owned scratch pool; see
+    /// [`PreparedHotPotato::run_demand_with_timeline_scratch`].
+    pub fn run_scratch(
+        &self,
+        traffic: &TrafficPattern,
+        config: &HotPotatoSimConfig,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
+        let mut demand = DemandSource::from_pattern(traffic.clone());
+        self.run_demand_with_timeline_scratch(&[], &mut demand, config, scratch)
+    }
+
+    /// [`PreparedHotPotato::run_demand`] through a caller-owned scratch
+    /// pool; see [`PreparedHotPotato::run_demand_with_timeline_scratch`].
+    pub fn run_demand_scratch(
+        &self,
+        demand: &mut DemandSource,
+        config: &HotPotatoSimConfig,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
+        self.run_demand_with_timeline_scratch(&[], demand, config, scratch)
+    }
+
+    /// [`PreparedHotPotato::run_with_timeline`] through a caller-owned
+    /// scratch pool; see
+    /// [`PreparedHotPotato::run_demand_with_timeline_scratch`].
+    pub fn run_with_timeline_scratch(
+        &self,
+        timeline: &[(u64, PreparedHotPotato)],
+        traffic: &TrafficPattern,
+        config: &HotPotatoSimConfig,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
+        let mut demand = DemandSource::from_pattern(traffic.clone());
+        self.run_demand_with_timeline_scratch(timeline, &mut demand, config, scratch)
+    }
+
+    /// The full-generality entry point every other `run*` method reduces
+    /// to, threading a caller-owned [`SlotScratch`] pool so consecutive runs
+    /// reuse the arena, buckets and port masks instead of reallocating.
+    /// Byte-identical to the plain entry points — a reset pool is
+    /// indistinguishable from fresh state.
+    ///
+    /// The slot body is organised as batched phases, each one pass over the
+    /// arena's parallel arrays (see the *hot path anatomy* section of the
+    /// crate docs): the **deliver/classify** phase drains every node's
+    /// bucket — delivering, dropping livelocked messages, collecting the
+    /// survivors into one slot-global transit list with per-node spans,
+    /// age-sorted per node — touching only the `dst`/`injected_at`/`hops`
+    /// columns; the **arbitrate/inject** phase then walks the nodes in
+    /// index order, deflection-routing each span and admitting at most one
+    /// injection per node, exactly preserving the per-node RNG draw order
+    /// of the classic fused loop (classification draws nothing, so hoisting
+    /// it is invisible to the RNG stream).
+    pub fn run_demand_with_timeline_scratch(
+        &self,
+        timeline: &[(u64, PreparedHotPotato)],
+        demand: &mut DemandSource,
+        config: &HotPotatoSimConfig,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
         let n = self.router.graph().node_count();
         let multiplexed = config.wavelengths.is_multiplexed();
-        let mut core = RunCore::new(config.seed, n, self.router.graph().arc_count());
+        scratch.begin_run(config.seed, n, self.router.graph().arc_count());
+        scratch.hot.begin_run(n);
+        let SlotScratch {
+            core,
+            arena,
+            injections,
+            hot,
+            ..
+        } = scratch;
+        let HotScratch {
+            at_node,
+            arriving,
+            transit,
+            spans,
+            ports,
+            ties,
+        } = hot;
         let mut spectrum = if multiplexed {
             core.metrics.wavelengths = config.wavelengths.count;
             Some(SpectrumMap::new(
@@ -261,19 +354,6 @@ impl PreparedHotPotato {
         let mut active = self;
         let mut next_epoch = 0usize;
         let mut tracker = RestoreTracker::default();
-
-        // Per-run reusable state: the struct-of-arrays message store, the
-        // handle buckets for messages at each node at the start of the slot
-        // and the buckets they arrive into, this slot's injection decisions,
-        // the per-node transit sort area, the per-node port bitset and the
-        // deflection tie-break scratch.  Allocated once, reused every slot.
-        let mut arena = MessageArena::new();
-        let mut at_node: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut arriving: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut injections: Vec<Option<usize>> = Vec::new();
-        let mut transit: Vec<u32> = Vec::new();
-        let mut ports = PortBits::new();
-        let mut ties: Vec<usize> = Vec::new();
 
         for slot in 0..config.slots {
             core.begin_slot(slot);
@@ -313,18 +393,20 @@ impl PreparedHotPotato {
             if let Some(spectrum) = spectrum.as_mut() {
                 spectrum.clear();
             }
-            demand.injections_into(n, &mut core.rng, &mut injections);
+            demand.injections_into(n, &mut core.rng, injections);
 
-            for node in 0..n {
-                let arcs = g.out_arc_ids(node);
-                // Each arc is this node's exclusive output and the spectrum
-                // was cleared at the top of the slot, so every port opens
-                // free.
-                ports.reset(arcs.len());
-                // Deliver messages destined here; sort the rest oldest first
-                // so older traffic gets the better ports.
-                transit.clear();
-                for handle in at_node[node].drain(..) {
+            // Deliver/classify phase: one pass over every node's bucket and
+            // the arena's `dst`/`injected_at`/`hops` columns.  Messages
+            // destined here are delivered, livelocked ones dropped, and the
+            // survivors collected into one slot-global transit list —
+            // node `v`'s span sorted oldest first so older traffic gets the
+            // better ports.  No RNG draws happen in this phase, so hoisting
+            // it out of the per-node loop leaves the draw order untouched.
+            transit.clear();
+            spans.clear();
+            for (node, bucket) in at_node.iter_mut().enumerate() {
+                let start = transit.len() as u32;
+                for handle in bucket.drain(..) {
                     if arena.dst(handle) == node {
                         let latency = slot.saturating_sub(arena.injected_at(handle));
                         core.deliver(latency, arena.hops(handle));
@@ -337,16 +419,29 @@ impl PreparedHotPotato {
                         transit.push(handle);
                     }
                 }
-                transit.sort_by_key(|&h| arena.injected_at(h));
+                transit[start as usize..].sort_by_key(|&h| arena.injected_at(h));
+                spans.push((start, transit.len() as u32));
+            }
 
-                for &handle in transit.iter() {
+            // Arbitrate/inject phase: nodes in index order, each one's
+            // transit span first (one deflection decision per message, one
+            // RNG draw per successful decision), then at most one injection
+            // — the exact draw order of the classic fused loop.
+            for node in 0..n {
+                let arcs = g.out_arc_ids(node);
+                // Each arc is this node's exclusive output and the spectrum
+                // was cleared at the top of the slot, so every port opens
+                // free.
+                ports.reset(arcs.len());
+                let (start, end) = spans[node];
+                for &handle in &transit[start as usize..end as usize] {
                     let dst = arena.dst(handle);
                     match active.router.choose_port_randomized_masked(
                         node,
                         dst,
                         ports.words(),
                         &mut core.rng,
-                        &mut ties,
+                        ties,
                     ) {
                         Some(port) => {
                             let lambda = claim_port(
@@ -357,8 +452,8 @@ impl PreparedHotPotato {
                                 arcs,
                                 config.wavelengths.assignment,
                                 &mut spectrum,
-                                &mut ports,
-                                &mut core,
+                                ports,
+                                core,
                             );
                             if let Some(lambda) = lambda {
                                 arena.set_wavelength(handle, lambda);
@@ -399,7 +494,7 @@ impl PreparedHotPotato {
                         dst,
                         ports.words(),
                         &mut core.rng,
-                        &mut ties,
+                        ties,
                     ) {
                         let lambda = claim_port(
                             &active.router,
@@ -409,8 +504,8 @@ impl PreparedHotPotato {
                             arcs,
                             config.wavelengths.assignment,
                             &mut spectrum,
-                            &mut ports,
-                            &mut core,
+                            ports,
+                            core,
                         );
                         let msg = core.inject(node, dst, slot);
                         let handle = arena.insert(&msg);
@@ -429,7 +524,7 @@ impl PreparedHotPotato {
             // Every node's bucket in `at_node` was drained above, so after
             // the swap `arriving` is a set of empty buckets (capacity kept)
             // ready for the next slot.
-            std::mem::swap(&mut at_node, &mut arriving);
+            std::mem::swap(at_node, arriving);
             tracker.end_slot(slot, &mut core.metrics);
         }
 
@@ -440,7 +535,7 @@ impl PreparedHotPotato {
         // convention (a single-hop message costs exactly 1 slot).
         for (node, handles) in at_node.iter_mut().enumerate() {
             let metrics = &mut core.metrics;
-            let arena = &arena;
+            let arena = &*arena;
             handles.retain(|&handle| {
                 if arena.dst(handle) == node {
                     let latency = config.slots.saturating_sub(arena.injected_at(handle));

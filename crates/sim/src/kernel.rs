@@ -57,6 +57,14 @@ pub struct RunCore {
     next_id: u64,
 }
 
+impl Default for RunCore {
+    /// A placeholder core (seed 0, no processors), to be re-armed with
+    /// [`RunCore::reset`] before use — what a [`SlotScratch`] starts from.
+    fn default() -> Self {
+        RunCore::new(0, 0, 0)
+    }
+}
+
 impl RunCore {
     /// A fresh core for one run: RNG seeded with `seed`, zeroed metrics over
     /// `processors` processors and `channels` couplers/links.
@@ -66,6 +74,17 @@ impl RunCore {
             metrics: SimMetrics::new(processors, channels),
             next_id: 0,
         }
+    }
+
+    /// Re-arms the core for another run — reseeded RNG, zeroed metrics,
+    /// identifier counter back to zero.  `SimMetrics` is all scalars, so a
+    /// reset core is indistinguishable from a freshly constructed one; this
+    /// is what lets a [`SlotScratch`] carry one core across every cell a
+    /// scenario worker runs.
+    pub fn reset(&mut self, seed: u64, processors: usize, channels: usize) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.metrics = SimMetrics::new(processors, channels);
+        self.next_id = 0;
     }
 
     /// Advances the slot clock: after this call `metrics.slots` counts the
@@ -108,10 +127,11 @@ impl RunCore {
     }
 
     /// Finishes the run: records the messages still in flight and returns
-    /// the final metrics.
-    pub fn finish(mut self, in_flight: u64) -> SimMetrics {
+    /// the final metrics.  The core stays usable — [`RunCore::reset`] re-arms
+    /// it for the next run.
+    pub fn finish(&mut self, in_flight: u64) -> SimMetrics {
         self.metrics.in_flight = in_flight;
-        self.metrics
+        self.metrics.clone()
     }
 }
 
@@ -234,6 +254,21 @@ impl MessageArena {
         self.ids.len()
     }
 
+    /// Empties the arena for a new run.  Every column is cleared but keeps
+    /// its allocation, so a reused arena hands out the exact handle sequence
+    /// a fresh one would — byte-identical runs — while only touching the
+    /// allocator when a later run's peak live population exceeds anything
+    /// seen before.
+    pub fn reset(&mut self) {
+        self.ids.clear();
+        self.srcs.clear();
+        self.dsts.clear();
+        self.injected_at.clear();
+        self.hops.clear();
+        self.wavelengths.clear();
+        self.free.clear();
+    }
+
     /// The number of live messages.
     pub fn live(&self) -> usize {
         self.ids.len() - self.free.len()
@@ -278,6 +313,97 @@ impl PortBits {
     #[inline]
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+}
+
+/// Truncates or grows a bucket array to exactly `n` empty buckets, keeping
+/// the allocations of the buckets that survive.  The per-node and
+/// per-coupler handle buckets of both slot loops reset through this, so a
+/// scratch pool reused across cells of different network sizes always
+/// presents the exact initial state a fresh allocation would.
+pub(crate) fn reset_buckets(buckets: &mut Vec<Vec<u32>>, n: usize) {
+    buckets.truncate(n);
+    for bucket in buckets.iter_mut() {
+        bucket.clear();
+    }
+    buckets.resize_with(n, Vec::new);
+}
+
+/// The hot-potato half of a [`SlotScratch`]: per-node handle buckets, the
+/// slot-global transit list with its per-node spans, the port-occupancy
+/// bitset and the deflection tie-break buffer.
+#[derive(Debug, Default)]
+pub(crate) struct HotScratch {
+    /// Handles at each node at the start of the slot.
+    pub(crate) at_node: Vec<Vec<u32>>,
+    /// Handles arriving at each node for the next slot.
+    pub(crate) arriving: Vec<Vec<u32>>,
+    /// The slot's transit handles, all nodes back to back.
+    pub(crate) transit: Vec<u32>,
+    /// `transit[spans[v].0 .. spans[v].1]` is node `v`'s transit traffic.
+    pub(crate) spans: Vec<(u32, u32)>,
+    /// Free-port bitset, rebuilt per node.
+    pub(crate) ports: PortBits,
+    /// Equally-good candidate ports of one deflection decision.
+    pub(crate) ties: Vec<usize>,
+}
+
+impl HotScratch {
+    /// Resets the buckets to `n` empty nodes and clears the slot buffers.
+    pub(crate) fn begin_run(&mut self, n: usize) {
+        reset_buckets(&mut self.at_node, n);
+        reset_buckets(&mut self.arriving, n);
+        self.transit.clear();
+        self.spans.clear();
+        self.ties.clear();
+    }
+}
+
+/// Reusable per-worker hot state for the slot loops of both simulator
+/// families: the message arena, the injection decisions and the family
+/// specific queue/port/tie buffers, bundled so a scenario worker can thread
+/// one pool through every cell it runs.
+///
+/// Every buffer is *reset* (never reallocated) at the start of a run, and a
+/// reset buffer is indistinguishable from a fresh one — so driving a kernel
+/// through a scratch pool is byte-identical to the plain entry points while
+/// only touching the allocator when a run's peak population exceeds anything
+/// the pool has seen.  A pool serves cells of different networks, sizes and
+/// families back to back; it is `Send`, so an engine can hand one to each
+/// worker thread for the worker's whole lifetime.
+#[derive(Debug, Default)]
+pub struct SlotScratch {
+    /// The per-run mutable core, re-armed by [`RunCore::reset`] per cell.
+    pub(crate) core: RunCore,
+    /// The struct-of-arrays message store.
+    pub(crate) arena: MessageArena,
+    /// This slot's injection decisions, one per processor.
+    pub(crate) injections: Vec<Option<usize>>,
+    /// Hot-potato buffers.
+    pub(crate) hot: HotScratch,
+    /// Multi-OPS buffers.
+    pub(crate) ops: crate::multi_ops::OpsScratch,
+}
+
+impl SlotScratch {
+    /// A fresh, empty pool.
+    pub fn new() -> Self {
+        SlotScratch::default()
+    }
+
+    /// Arena slots allocated by the most recent run — its peak live message
+    /// population, since the arena is emptied between runs.  Scratch-reuse
+    /// tests assert this high-water mark matches a fresh arena's, proving
+    /// pooling never inflates the handle space.
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Re-arms the shared (family-independent) state for one run.
+    pub(crate) fn begin_run(&mut self, seed: u64, processors: usize, channels: usize) {
+        self.core.reset(seed, processors, channels);
+        self.arena.reset();
+        self.injections.clear();
     }
 }
 

@@ -96,6 +96,43 @@
 //! per-node `Vec<Message>` engine it replaced bit for bit (same RNG draw
 //! order, same message ordering, same metrics) at every thread count.
 //!
+//! ## Hot path anatomy
+//!
+//! Each kernel's slot body is organised as **batched phases** — one pass
+//! over the arena's parallel arrays per phase, instead of interleaving all
+//! work per message:
+//!
+//! * **Hot-potato** runs two phases per slot.  *Deliver/classify* drains
+//!   every node bucket in index order, delivering arrivals, dropping
+//!   livelocked messages, and appending survivors to one slot-global
+//!   transit list with per-node spans (each span stable-sorted by
+//!   injection slot); this phase draws nothing from the RNG.
+//!   *Arbitrate/inject* then walks nodes in index order, resets the port
+//!   bitset once per node, routes each span through the randomized port
+//!   chooser, and admits at most one injection — so every RNG draw happens
+//!   exactly where the message-at-a-time loop drew it, and the metrics are
+//!   byte-identical.
+//! * **Multi-OPS** was already phase-shaped: inject, then per-coupler
+//!   arbitrate/advance/deliver, then the bufferless overflow/alternate
+//!   pass, then the pending-queue swap.
+//! * Port masks ([`kernel::PortBits`]) are scanned **word at a time**:
+//!   the chooser iterates `u64` words, masks the tail past the declared
+//!   port count, and pops set bits with `trailing_zeros`, visiting free
+//!   ports in ascending order — the same tie sets, hence the same draws,
+//!   as the bit-by-bit probe it replaced.
+//!
+//! Per-run mutable state lives in a reusable [`kernel::SlotScratch`] pool:
+//! the [`kernel::RunCore`], the [`kernel::MessageArena`], the injection
+//! buffer, and each kernel's private buckets/queues/bitsets.  Every
+//! `run_*_scratch` entry point begins by resetting the pool — cleared
+//! lengths, kept allocations — so a reused pool is indistinguishable from
+//! a fresh one (the arena hands out the exact handle sequence a fresh one
+//! would) while touching the allocator only when a run out-peaks
+//! everything before it.  The legacy entry points wrap a fresh pool;
+//! `otis_net::engine` hands each worker thread one pool for its whole
+//! lifetime and threads every grid cell through it, reporting the saved
+//! setups as `StreamSummary::scratch_reuses`.
+//!
 //! ## Wavelength layer
 //!
 //! [`wavelength`] configures multi-wavelength channels: at `count > 1` the
@@ -127,9 +164,12 @@ pub mod traffic;
 pub mod wavelength;
 
 pub use arbitration::ArbitrationPolicy;
-pub use demand::{validate_trace, DemandSource, DemandSpec, TraceError, TraceReplay};
+pub use demand::{
+    matched_burst_rate, validate_trace, DemandSource, DemandSpec, TraceError, TraceReplay,
+    TraceStats,
+};
 pub use hot_potato::{HotPotatoSim, HotPotatoSimConfig, PreparedHotPotato};
-pub use kernel::{MessageArena, PortBits, RunCore};
+pub use kernel::{MessageArena, PortBits, RunCore, SlotScratch};
 pub use message::Message;
 pub use metrics::{MetricValue, SimMetrics};
 pub use multi_ops::{MultiOpsSim, MultiOpsSimConfig, PreparedMultiOps};

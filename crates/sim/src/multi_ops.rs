@@ -54,7 +54,7 @@
 
 use crate::arbitration::ArbitrationPolicy;
 use crate::demand::DemandSource;
-use crate::kernel::{assign_wavelength, MessageArena, RunCore};
+use crate::kernel::{assign_wavelength, SlotScratch};
 use crate::metrics::SimMetrics;
 use crate::schedule::{FaultSchedule, FaultScheduleError, RestoreTracker};
 use crate::traffic::TrafficPattern;
@@ -105,7 +105,7 @@ impl Default for MultiOpsSimConfig {
 /// alternate-routing event.  `next_hop` is the position reached within that
 /// route slice and `holder` the processor currently holding the message.
 #[derive(Debug, Default)]
-struct FlightState {
+pub(crate) struct FlightState {
     route_src: Vec<u32>,
     alt: Vec<u32>,
     next_hop: Vec<u32>,
@@ -164,6 +164,49 @@ impl FlightState {
         self.next_hop[handle as usize] = next_hop as u32;
         self.holder[handle as usize] = holder as u32;
     }
+
+    /// Empties the arrays for a new run, keeping their allocations; they
+    /// regrow as the arena hands out handles, exactly as a fresh state
+    /// would.
+    fn clear(&mut self) {
+        self.route_src.clear();
+        self.alt.clear();
+        self.next_hop.clear();
+        self.holder.clear();
+    }
+}
+
+/// The multi-OPS half of a [`crate::kernel::SlotScratch`]: flight-state
+/// arrays, the per-coupler pending queues of this and the next slot, the
+/// round-robin arbitration memory and the candidate/overflow buffers.
+#[derive(Debug, Default)]
+pub(crate) struct OpsScratch {
+    /// Route position and holder of every in-flight message.
+    pub(crate) flights: FlightState,
+    /// Handles awaiting transmission this slot, per coupler.
+    pub(crate) pending: Vec<Vec<u32>>,
+    /// Handles forwarded to a lower-index coupler for the next slot.
+    pub(crate) next_pending: Vec<Vec<u32>>,
+    /// Last winning holder per coupler (round-robin arbitration state).
+    pub(crate) last_winner: Vec<Option<usize>>,
+    /// `(holder, injected_at)` candidates of one arbitration round.
+    pub(crate) candidates: Vec<(usize, u64)>,
+    /// Drain buffer for kernel swaps and bufferless overflow.
+    pub(crate) overflow: Vec<u32>,
+}
+
+impl OpsScratch {
+    /// Resets the queues to `couplers` empty couplers and clears the
+    /// per-run buffers.
+    pub(crate) fn begin_run(&mut self, couplers: usize) {
+        self.flights.clear();
+        crate::kernel::reset_buckets(&mut self.pending, couplers);
+        crate::kernel::reset_buckets(&mut self.next_pending, couplers);
+        self.last_winner.clear();
+        self.last_winner.resize(couplers, None);
+        self.candidates.clear();
+        self.overflow.clear();
+    }
 }
 
 /// All routes of one prepared network, flattened CSR-style: the hops of the
@@ -173,7 +216,7 @@ impl FlightState {
 /// is `O(n² · diameter)` — the same order as the routing tables already
 /// underneath — and lookups are two loads, so the injection path of the
 /// slot loop does no route computation and no allocation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct FlatRoutes {
     n: usize,
     offsets: Vec<usize>,
@@ -340,6 +383,22 @@ struct AltRoutes {
     n: usize,
     /// `routes[src · n + dst]`: alternate hop sequences, best first.
     routes: Vec<Vec<Vec<StackHop>>>,
+    /// Group-pair cache of the loopless quotient paths the alternates were
+    /// materialised from (`group_paths[sg · groups + dg]`, `None` when the
+    /// pair was never needed).  Kept on the fault-free base so delta repair
+    /// can decide per group pair whether the faults can have perturbed the
+    /// Yen enumeration at all — see [`AltRoutes::repaired`].
+    group_paths: Vec<Option<Vec<Vec<usize>>>>,
+}
+
+/// Routing-visible equality: the prepared alternates per pair.  The
+/// `group_paths` cache is deliberately excluded — a repaired table carries
+/// a partial cache (only the group pairs it recomputed), which is invisible
+/// to run behaviour.
+impl PartialEq for AltRoutes {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.routes == other.routes
+    }
 }
 
 impl AltRoutes {
@@ -390,7 +449,106 @@ impl AltRoutes {
                 routes.push(alts);
             }
         }
-        AltRoutes { n, routes }
+        AltRoutes {
+            n,
+            routes,
+            group_paths,
+        }
+    }
+
+    /// Delta-rebuild against the fault-free base: recomputes alternates only
+    /// for pairs the faults can have perturbed, copying everything else from
+    /// `base`.  Bit-identical to [`AltRoutes::new`] over the repaired router.
+    ///
+    /// A pair is reused when both hold:
+    ///
+    /// * *its group pair's Yen enumeration is provably undisturbed* — every
+    ///   loopless quotient path the fault-free Yen run accepted for
+    ///   `(sg, dg)` stays clear of the faults.  The faulted enumeration sees
+    ///   the same graph along every path it would accept (removing arcs can
+    ///   only delay BFS arrivals, never create earlier ones, so a fault-free
+    ///   spur result is stable), hence returns the same list;
+    /// * *its primary route is byte-identical* to the base's — the
+    ///   primary-exclusion test of the materialisation then filters the same
+    ///   entries ([`StackRouter::route_via_groups`] is purely structural, so
+    ///   identical group paths materialise identically under both routers).
+    ///
+    /// Everything else goes through the exact [`AltRoutes::new`] machinery
+    /// (same lazy group-pair cache, same skip rules, same cap), so
+    /// recomputed pairs are trivially identical too.
+    fn repaired(
+        base: &AltRoutes,
+        base_primary: &FlatRoutes,
+        router: &StackRouter,
+        primary: &FlatRoutes,
+        alt_paths: usize,
+    ) -> Self {
+        if base.routes.is_empty() {
+            // The base never prepared alternates (alt_paths <= 1 there);
+            // nothing to delta against.
+            return AltRoutes::new(router, primary, alt_paths);
+        }
+        let stack = router.stack_graph();
+        let n = stack.node_count();
+        let quotient = stack.quotient();
+        let groups = quotient.node_count();
+        let faults = router.faults();
+        // Per group pair: does every base Yen path avoid the faults?
+        // (`None` until first queried.)
+        let mut undisturbed: Vec<Option<bool>> = vec![None; groups * groups];
+        // Lazy cache of *faulted* Yen enumerations, for recomputed pairs.
+        let mut group_paths: Vec<Option<Vec<Vec<usize>>>> = vec![None; groups * groups];
+        let mut routes = Vec::with_capacity(n * n);
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst || primary.get(src, dst).is_none() {
+                    routes.push(Vec::new());
+                    continue;
+                }
+                let sg = stack.to_stack_node(src).group;
+                let dg = stack.to_stack_node(dst).group;
+                let pair = sg * groups + dg;
+                let clean = *undisturbed[pair].get_or_insert_with(|| {
+                    base.group_paths[pair].as_ref().is_some_and(|paths| {
+                        paths
+                            .iter()
+                            .all(|p| p.windows(2).all(|w| !faults.blocks(w[0], w[1])))
+                    })
+                });
+                if clean && primary.get(src, dst) == base_primary.get(src, dst) {
+                    routes.push(base.routes[src * n + dst].clone());
+                    continue;
+                }
+                let paths = group_paths[pair].get_or_insert_with(|| {
+                    k_shortest_paths_avoiding(quotient, sg, dg, alt_paths, |u, v| {
+                        faults.node_failed(u) || faults.node_failed(v) || faults.blocks(u, v)
+                    })
+                });
+                let primary_hops = primary.get(src, dst).expect("checked above");
+                let mut alts = Vec::new();
+                for group_path in paths.iter() {
+                    if group_path.len() < 2 {
+                        continue;
+                    }
+                    let Some(route) = router.route_via_groups(src, dst, group_path) else {
+                        continue;
+                    };
+                    if route.hops.as_slice() == primary_hops {
+                        continue;
+                    }
+                    alts.push(route.hops);
+                    if alts.len() + 1 >= alt_paths {
+                        break;
+                    }
+                }
+                routes.push(alts);
+            }
+        }
+        AltRoutes {
+            n,
+            routes,
+            group_paths,
+        }
     }
 
     /// Whether any pair has at least one alternate.
@@ -467,11 +625,13 @@ impl PreparedMultiOps {
 
     /// Derives the kernel for `faults` from a fault-free base kernel by
     /// delta-repair instead of rebuilding from scratch: the quotient routing
-    /// table is column-repaired (see [`StackRouter::from_repair`]) and only
-    /// the flat-route pairs the faults can have touched are recomputed
-    /// ([`FlatRoutes::repaired`]); alternate routes are recomputed in full
-    /// when `alt_paths > 1` (Yen alternates depend globally on the surviving
-    /// quotient).  The result is bit-identical to
+    /// table is column-repaired (see [`StackRouter::from_repair`]), only the
+    /// flat-route pairs the faults can have touched are recomputed
+    /// ([`FlatRoutes::repaired`]), and — when `alt_paths > 1` — alternate
+    /// routes are delta-rebuilt too ([`AltRoutes::repaired`]): group-level
+    /// Yen reruns only for group pairs whose fault-free enumeration the
+    /// faults can have disturbed, and per-pair materialisation only where the
+    /// Yen list or the primary route changed.  The result is bit-identical to
     /// [`PreparedMultiOps::with_alternates`] over the base stack-graph and
     /// the same faults, so runs from a repaired kernel match runs from a
     /// fresh one exactly.  `alt_paths` must equal the value the base was
@@ -491,7 +651,7 @@ impl PreparedMultiOps {
         let repair = StackRouter::from_repair(&base.router, faults);
         let routes = FlatRoutes::repaired(&base.routes, &repair.router, &repair.changed_groups);
         let alts = if alt_paths > 1 {
-            AltRoutes::new(&repair.router, &routes, alt_paths)
+            AltRoutes::repaired(&base.alts, &base.routes, &repair.router, &routes, alt_paths)
         } else {
             AltRoutes::default()
         };
@@ -511,7 +671,9 @@ impl PreparedMultiOps {
     /// [`StackRouter::from_recovery`]), so [`FlatRoutes::recovered`] can
     /// copy every route recovery provably cannot have changed from
     /// `current` instead of recomputing it.  Alternate routes are recomputed
-    /// in full when `alt_paths > 1`, exactly as in `repair_from`.  The
+    /// in full when `alt_paths > 1` — recovery *adds* quotient paths back,
+    /// so the current kernel's Yen enumerations bound nothing (unlike the
+    /// repair direction, where [`AltRoutes::repaired`] delta-rebuilds).  The
     /// result is bit-identical to [`PreparedMultiOps::with_alternates`]
     /// over the base stack-graph and `faults`.  `alt_paths` must equal the
     /// value `base` and `current` were prepared with.
@@ -609,6 +771,17 @@ impl PreparedMultiOps {
         &self.router
     }
 
+    /// Structural equality of the routing state — flat routes and prepared
+    /// alternates — used by the delta-repair acceptance tests to prove a
+    /// repaired kernel bit-identical to a from-scratch build.  Hidden from
+    /// docs: not part of the simulation surface.
+    #[doc(hidden)]
+    pub fn routing_state_eq(&self, other: &PreparedMultiOps) -> bool {
+        self.router.faults() == other.router.faults()
+            && self.routes == other.routes
+            && self.alts == other.alts
+    }
+
     /// Whether alternate routes were prepared (via
     /// [`PreparedMultiOps::with_alternates`] with `alt_paths > 1` and at
     /// least one pair having a second loopless quotient path).  When true,
@@ -702,19 +875,100 @@ impl PreparedMultiOps {
     /// Executes one run under a fault timeline, driven by a
     /// [`DemandSource`] — the entry point both
     /// [`PreparedMultiOps::run_with_timeline`] and
-    /// [`PreparedMultiOps::run_demand`] reduce to.
+    /// [`PreparedMultiOps::run_demand`] reduce to.  Allocates a private
+    /// [`SlotScratch`] per call; engines that run many cells should hold one
+    /// pool per worker and call
+    /// [`PreparedMultiOps::run_demand_with_timeline_scratch`] instead.
     pub fn run_demand_with_timeline(
         &self,
         timeline: &[(u64, PreparedMultiOps)],
         demand: &mut DemandSource,
         config: &MultiOpsSimConfig,
     ) -> SimMetrics {
+        let mut scratch = SlotScratch::new();
+        self.run_demand_with_timeline_scratch(timeline, demand, config, &mut scratch)
+    }
+
+    /// [`PreparedMultiOps::run`] through a caller-owned scratch pool; see
+    /// [`PreparedMultiOps::run_demand_with_timeline_scratch`].
+    pub fn run_scratch(
+        &self,
+        traffic: &TrafficPattern,
+        config: &MultiOpsSimConfig,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
+        let mut demand = DemandSource::from_pattern(traffic.clone());
+        self.run_demand_with_timeline_scratch(&[], &mut demand, config, scratch)
+    }
+
+    /// [`PreparedMultiOps::run_demand`] through a caller-owned scratch
+    /// pool; see [`PreparedMultiOps::run_demand_with_timeline_scratch`].
+    pub fn run_demand_scratch(
+        &self,
+        demand: &mut DemandSource,
+        config: &MultiOpsSimConfig,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
+        self.run_demand_with_timeline_scratch(&[], demand, config, scratch)
+    }
+
+    /// [`PreparedMultiOps::run_with_timeline`] through a caller-owned
+    /// scratch pool; see
+    /// [`PreparedMultiOps::run_demand_with_timeline_scratch`].
+    pub fn run_with_timeline_scratch(
+        &self,
+        timeline: &[(u64, PreparedMultiOps)],
+        traffic: &TrafficPattern,
+        config: &MultiOpsSimConfig,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
+        let mut demand = DemandSource::from_pattern(traffic.clone());
+        self.run_demand_with_timeline_scratch(timeline, &mut demand, config, scratch)
+    }
+
+    /// The full-generality entry point every other `run*` method reduces
+    /// to, threading a caller-owned [`SlotScratch`] pool so consecutive
+    /// runs reuse the arena, flight-state arrays and coupler queues instead
+    /// of reallocating.  Byte-identical to the plain entry points — a reset
+    /// pool is indistinguishable from fresh state.
+    ///
+    /// The slot body was already phase-batched (see the *hot path anatomy*
+    /// section of the crate docs): the **inject** phase admits this slot's
+    /// arrivals in processor order — one pass over the demand decisions and
+    /// the route table's first hops; the **arbitrate/advance/deliver** phase
+    /// then walks the couplers in index order, each round one pass over the
+    /// pending queue's `holder`/`injected_at` columns, advancing winners a
+    /// hop and delivering or forwarding them; the bufferless **overflow**
+    /// sub-phase re-roots losers onto alternates or drops them blocked.
+    pub fn run_demand_with_timeline_scratch(
+        &self,
+        timeline: &[(u64, PreparedMultiOps)],
+        demand: &mut DemandSource,
+        config: &MultiOpsSimConfig,
+        scratch: &mut SlotScratch,
+    ) -> SimMetrics {
         let n = self.processor_count();
         let couplers = self.coupler_count();
         let bufferless = config.wavelengths.is_multiplexed()
             || self.has_alternates()
             || timeline.iter().any(|(_, k)| k.has_alternates());
-        let mut core = RunCore::new(config.seed, n, couplers);
+        scratch.begin_run(config.seed, n, couplers);
+        scratch.ops.begin_run(couplers);
+        let SlotScratch {
+            core,
+            arena,
+            injections,
+            ops,
+            ..
+        } = scratch;
+        let OpsScratch {
+            flights,
+            pending,
+            next_pending,
+            last_winner,
+            candidates,
+            overflow,
+        } = ops;
         let mut spectrum = if bufferless {
             let w = config.wavelengths.count.max(1);
             core.metrics.wavelengths = w;
@@ -722,19 +976,6 @@ impl PreparedMultiOps {
         } else {
             None
         };
-
-        // Messages awaiting transmission this slot / next slot, per coupler
-        // (handles into the arena; `next_pending` stays empty in queued
-        // mode, where queues persist across slots), plus the reusable
-        // scratch buffers.
-        let mut arena = MessageArena::new();
-        let mut flights = FlightState::default();
-        let mut pending: Vec<Vec<u32>> = vec![Vec::new(); couplers];
-        let mut next_pending: Vec<Vec<u32>> = vec![Vec::new(); couplers];
-        let mut last_winner: Vec<Option<usize>> = vec![None; couplers];
-        let mut injections: Vec<Option<usize>> = Vec::new();
-        let mut candidates: Vec<(usize, u64)> = Vec::new();
-        let mut overflow: Vec<u32> = Vec::new();
         let mut active = self;
         let mut next_epoch = 0usize;
         let mut tracker = RestoreTracker::default();
@@ -778,7 +1019,7 @@ impl PreparedMultiOps {
             }
 
             // 1. Injection.
-            demand.injections_into(n, &mut core.rng, &mut injections);
+            demand.injections_into(n, &mut core.rng, injections);
             for (src, dst) in injections.iter().enumerate() {
                 let Some(dst) = *dst else { continue };
                 let Some(route) = active.routes.get(src, dst) else {
@@ -825,7 +1066,7 @@ impl PreparedMultiOps {
                     let Some(winner_idx) =
                         config
                             .policy
-                            .pick(&candidates, last_winner[coupler], &mut core.rng)
+                            .pick(candidates, last_winner[coupler], &mut core.rng)
                     else {
                         break;
                     };
@@ -929,7 +1170,7 @@ impl PreparedMultiOps {
             }
             if bufferless {
                 debug_assert!(pending.iter().all(|p| p.is_empty()));
-                std::mem::swap(&mut pending, &mut next_pending);
+                std::mem::swap(pending, next_pending);
             }
             tracker.end_slot(slot, &mut core.metrics);
         }
@@ -1304,6 +1545,57 @@ mod tests {
                 same.run(&traffic, &configs[0]),
                 base.run(&traffic, &configs[0])
             );
+        }
+    }
+
+    #[test]
+    fn repaired_alternates_are_bit_identical_to_from_scratch_yen() {
+        // The tentpole contract of the repair-aware alternates: for every
+        // fault pattern within the d−1 tolerance bound — every single group
+        // fault plus every single blocked coupler — the delta-rebuilt
+        // `AltRoutes` (and the whole routing state) must equal a
+        // from-scratch `with_alternates` build, entry for entry.
+        use otis_routing::node_fault_patterns_up_to;
+        for (d, s, k) in [(2, 2, 2), (2, 2, 3)] {
+            let sk = StackKautz::new(d, s, k);
+            let stack = Arc::new(sk.stack_graph().clone());
+            let quotient = stack.quotient();
+            let groups = quotient.node_count();
+            let mut patterns: Vec<FaultSet> =
+                node_fault_patterns_up_to(groups, 1).into_iter().collect();
+            for g in 0..groups {
+                for &arc in quotient.out_arc_ids(g) {
+                    let target = quotient.arc(arc).unwrap().target;
+                    let mut faults = FaultSet::new();
+                    faults.fail_arc(g, target);
+                    patterns.push(faults);
+                }
+            }
+            for alt_paths in [2usize, 3] {
+                let base = PreparedMultiOps::with_alternates(
+                    Arc::clone(&stack),
+                    FaultSet::new(),
+                    alt_paths,
+                );
+                for faults in &patterns {
+                    let repaired = PreparedMultiOps::repair_from(&base, faults, alt_paths);
+                    let fresh = PreparedMultiOps::with_alternates(
+                        Arc::clone(&stack),
+                        faults.clone(),
+                        alt_paths,
+                    );
+                    assert_eq!(
+                        repaired.alts, fresh.alts,
+                        "SK({d},{s},{k}) alt_paths {alt_paths} faults {:?}",
+                        faults
+                    );
+                    assert!(
+                        repaired.routing_state_eq(&fresh),
+                        "SK({d},{s},{k}) alt_paths {alt_paths} faults {:?}",
+                        faults
+                    );
+                }
+            }
         }
     }
 

@@ -25,33 +25,25 @@
 use otis_lightwave::net::{
     default_thread_count, run_grid, NetworkSpec, ScenarioGrid, ScenarioRow, TrafficSpec,
 };
+use otis_lightwave::sim::matched_burst_rate;
 
 const SPECS: [&str; 2] = ["SK(6,3,2)", "DB(2,8)"];
 const MEAN_RATE: f64 = 0.25;
 const BURST_LEN: u64 = 16;
 const IDLE_LEN: u64 = 48;
 
-/// The on/off burst-phase rate whose long-run mean matches `poisson(rate)`:
-/// the on/off source only injects during `burst / (burst + idle)` of the
-/// slots, so its per-slot injection probability while ON must be the duty
-/// cycle's reciprocal times the Poisson one.
-fn matched_on_rate(rate: f64) -> f64 {
-    let p = -f64::exp_m1(-rate);
-    let duty = BURST_LEN as f64 / (BURST_LEN + IDLE_LEN) as f64;
-    let p_on = p / duty;
-    assert!(p_on < 1.0, "duty cycle too small to match this mean rate");
-    // Rounded so the spec string stays readable; the means then match to
-    // ~1e-5, far below what 1600 slots can resolve.
-    (-f64::ln_1p(-p_on) * 1e4).round() / 1e4
-}
-
 fn main() {
     let poisson = TrafficSpec::Poisson {
         rate: MEAN_RATE,
         dst: None,
     };
+    // The library's calibration helper computes the burst-phase rate whose
+    // long-run mean matches `poisson(MEAN_RATE)` exactly; rounding keeps
+    // the spec string readable, and the means then still match to ~1e-5 —
+    // far below what 1600 slots can resolve.
+    let on_rate = (matched_burst_rate(MEAN_RATE, BURST_LEN, IDLE_LEN) * 1e4).round() / 1e4;
     let onoff = TrafficSpec::OnOff {
-        rate: matched_on_rate(MEAN_RATE),
+        rate: on_rate,
         burst_len: BURST_LEN,
         idle_len: IDLE_LEN,
     };

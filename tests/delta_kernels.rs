@@ -71,6 +71,34 @@ fn repaired_stack_routers_match_from_scratch_on_sk_2_2_2() {
 }
 
 #[test]
+fn repaired_alternates_match_from_scratch_yen_for_every_tolerated_fault_set() {
+    // The repair-aware alternate-route contract: `repair` no longer reruns
+    // group-level Yen in full — only group pairs the faults can have
+    // disturbed are re-enumerated, and only pairs whose Yen list or primary
+    // route changed are re-materialised.  The routing state (distance
+    // tables, flat routes, Yen alternates) must nevertheless be
+    // bit-identical to a from-scratch prepare for every fault set within
+    // the paper's d − 1 tolerance bound, on both simulator families.
+    for (spec, fault_ids, alt_paths) in [
+        ("SK(2,2,2)", 6usize, 2usize),
+        ("SK(2,2,2)", 6, 3),
+        ("DB(2,8)", 256, 3),
+    ] {
+        let network = Network::from_spec(spec).unwrap();
+        let base = network.prepare_with_alternates(&FaultSet::new(), alt_paths);
+        for faults in node_fault_patterns_up_to(fault_ids, 1) {
+            let fresh = network.prepare_with_alternates(&faults, alt_paths);
+            let repaired = base.repair(&faults, alt_paths);
+            assert!(
+                repaired.routing_state_eq(&fresh),
+                "{spec} (alt_paths {alt_paths}) routing state diverged under faults {:?}",
+                faults.sorted_nodes()
+            );
+        }
+    }
+}
+
+#[test]
 fn repaired_kernels_run_byte_identical_to_fresh_kernels() {
     // The engine-level contract: a kernel delta-repaired from the
     // fault-free base produces metrics byte-identical to a kernel prepared

@@ -189,14 +189,21 @@ fn checked_in_example_trace_replays_with_exact_counts() {
         row.metrics.delivered + row.metrics.dropped,
         "nothing is left in flight after 200 slots"
     );
-    // A trace has no a-priori rate: the load column is the undefined
-    // sentinel in every format, never NaN.
-    assert!(row.offered_load.is_nan());
-    assert!(row.as_table_row().contains(" - "), "{}", row.as_table_row());
+    // A trace has no a-priori rate, but the bind-time validation pass
+    // measures one: 29 events over slots 0..=63 on 32 nodes.  The load
+    // column carries the measured mean in every format — the undefined
+    // sentinels (`-`, `null`) are reserved for genuinely undefined cells.
+    assert_eq!(row.offered_load, 29.0 / (64.0 * 32.0));
+    assert!(
+        row.as_table_row().contains("0.014"),
+        "{}",
+        row.as_table_row()
+    );
     let mut jsonl = JsonLinesSink::new(Vec::new());
     run_grid_streaming(&grid, 1, &mut jsonl).unwrap();
     let jsonl = String::from_utf8(jsonl.into_inner()).unwrap();
-    assert!(jsonl.contains("\"load\":null"), "{jsonl}");
+    assert!(!jsonl.contains("\"load\":null"), "{jsonl}");
+    assert!(jsonl.contains("\"load\":0.014"), "{jsonl}");
     assert!(!jsonl.contains("NaN"), "{jsonl}");
     // Replays are deterministic outright — the seed never reaches them.
     let reseeded = {
